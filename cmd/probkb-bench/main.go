@@ -1,0 +1,68 @@
+// Command probkb-bench regenerates the paper's evaluation tables and
+// figures (Section 6) on synthetic corpora.
+//
+// Usage:
+//
+//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|all
+//	             [-scale 0.02] [-seed 42] [-segments 4]
+//
+// Absolute times depend on the machine and scale; EXPERIMENTS.md records
+// a reference run and compares shapes against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probkb/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, all)")
+	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
+	seed := flag.Int64("seed", 42, "generation seed")
+	segments := flag.Int("segments", 4, "MPP cluster segments")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Segments: *segments}
+	w := os.Stdout
+
+	type experiment struct {
+		id  string
+		run func() error
+	}
+	experiments := []experiment{
+		{"table2", func() error { return bench.Table2(cfg, w) }},
+		{"table3", func() error { _, err := bench.Table3(cfg, w); return err }},
+		{"table4", func() error { return bench.Table4(cfg, w) }},
+		{"fig4", func() error { return bench.Fig4(cfg, w) }},
+		{"fig6a", func() error { _, err := bench.Fig6a(cfg, w); return err }},
+		{"fig6b", func() error { _, err := bench.Fig6b(cfg, w); return err }},
+		{"fig6c", func() error { _, err := bench.Fig6c(cfg, w); return err }},
+		{"fig7a", func() error { _, err := bench.Fig7a(cfg, w); return err }},
+		{"fig7b", func() error { _, err := bench.Fig7b(cfg, w); return err }},
+		{"growth", func() error { _, err := bench.Growth(cfg, w); return err }},
+		{"feedback", func() error { return bench.Feedback(cfg, w) }},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		ran = true
+		if *exp == "all" {
+			fmt.Fprintf(w, "==================== %s ====================\n", e.id)
+		}
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "probkb-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "probkb-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

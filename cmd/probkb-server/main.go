@@ -1,0 +1,60 @@
+// Command probkb-server expands a KB once at startup and serves the
+// materialized result over HTTP (see internal/server for the endpoint
+// list) — the paper's rationale for marginal (rather than query-time)
+// inference: "avoiding query-time computation and improving system
+// responsivity".
+//
+//	probkb-server -kb DIR [-addr :8080] [-engine probkb] [-iters N]
+//	              [-no-constraints] [-theta F] [-no-inference]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"probkb"
+	"probkb/internal/server"
+)
+
+func main() {
+	dir := flag.String("kb", "", "KB directory (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	iters := flag.Int("iters", 0, "max grounding iterations (0 = to convergence)")
+	noConstraints := flag.Bool("no-constraints", false, "disable semantic constraints")
+	theta := flag.Float64("theta", 1, "rule cleaning: keep top θ of rules (1 = off)")
+	noInference := flag.Bool("no-inference", false, "skip Gibbs marginal inference")
+	seed := flag.Int64("seed", 0, "inference seed")
+	flag.Parse()
+
+	if *dir == "" {
+		log.Fatal("probkb-server: missing -kb DIR")
+	}
+	k, err := probkb.Load(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded KB: %+v", k.Stats())
+
+	exp, err := k.Expand(probkb.Config{
+		Engine:           probkb.SingleNode,
+		MaxIterations:    *iters,
+		ApplyConstraints: !*noConstraints,
+		RuleCleanTheta:   *theta,
+		RunInference:     !*noInference,
+		GibbsParallel:    true,
+		Seed:             *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := exp.Stats()
+	log.Printf("expanded: %d base + %d inferred facts, %d factors (grounding %s, inference %s)",
+		st.BaseFacts, st.InferredFacts, st.Factors, st.GroundingTime, st.InferenceTime)
+
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, server.New(k, exp)); err != nil {
+		log.Fatal(fmt.Errorf("probkb-server: %w", err))
+	}
+}

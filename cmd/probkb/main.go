@@ -1,0 +1,279 @@
+// Command probkb runs knowledge expansion over a KB directory.
+//
+// Subcommands:
+//
+//	probkb stats   -kb DIR
+//	    Print the KB's Table 2-style statistics.
+//
+//	probkb expand  -kb DIR [-out DIR] [-engine probkb|probkb-p|probkb-pn|tuffy]
+//	               [-segments N] [-iters N] [-no-constraints] [-theta F]
+//	               [-no-inference] [-burnin N] [-samples N] [-seed N] [-v]
+//	    Expand the KB: quality control, batched grounding, Gibbs
+//	    marginals. Writes the expanded KB to -out if given; prints a
+//	    summary and the top inferred facts.
+//
+//	probkb explain -kb DIR -fact "rel(x, y)" [-depth N]
+//	    Expand, then print the derivation tree of one fact.
+//
+//	probkb rules   -kb DIR [-top N]
+//	    Score the KB's rules by statistical significance.
+//
+//	probkb sql     -kb DIR -q "SELECT ..." [-explain] [-limit N]
+//	    Run a SQL query against the KB's relational representation. The
+//	    catalog holds T (facts), TC, TR, FC (constraints), and the MLN
+//	    partition tables M1..M6 — the paper's grounding queries run
+//	    verbatim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"probkb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "expand":
+		cmdExpand(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
+	case "rules":
+		cmdRules(os.Args[2:])
+	case "sql":
+		cmdSQL(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|explain|rules} [flags]; see -h of each subcommand")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "probkb:", err)
+	os.Exit(1)
+}
+
+func loadKB(dir string) *probkb.KB {
+	if dir == "" {
+		die(fmt.Errorf("missing -kb DIR"))
+	}
+	k, err := probkb.Load(dir)
+	if err != nil {
+		die(err)
+	}
+	return k
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory")
+	fs.Parse(args)
+	k := loadKB(*dir)
+	s := k.Stats()
+	fmt.Printf("# relations  %8d    # entities %8d\n", s.Relations, s.Entities)
+	fmt.Printf("# rules      %8d    # facts    %8d\n", s.Rules, s.Facts)
+	fmt.Printf("# classes    %8d    # constraints %5d\n", s.Classes, s.Constraints)
+}
+
+func engineByName(name string) (probkb.Engine, error) {
+	switch strings.ToLower(name) {
+	case "probkb", "single", "":
+		return probkb.SingleNode, nil
+	case "probkb-p", "mpp":
+		return probkb.MPP, nil
+	case "probkb-pn", "mpp-noviews":
+		return probkb.MPPNoViews, nil
+	case "tuffy", "tuffy-t", "baseline":
+		return probkb.Baseline, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}
+
+func cmdExpand(args []string) {
+	fs := flag.NewFlagSet("expand", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory")
+	out := fs.String("out", "", "write the expanded KB to this directory")
+	engineName := fs.String("engine", "probkb", "probkb | probkb-p | probkb-pn | tuffy")
+	segments := fs.Int("segments", 4, "MPP segments")
+	iters := fs.Int("iters", 0, "max grounding iterations (0 = to convergence)")
+	noConstraints := fs.Bool("no-constraints", false, "disable semantic constraints")
+	theta := fs.Float64("theta", 1, "rule cleaning: keep top θ of rules (1 = off)")
+	noInference := fs.Bool("no-inference", false, "skip Gibbs marginal inference")
+	burnin := fs.Int("burnin", 100, "Gibbs burn-in sweeps")
+	samples := fs.Int("samples", 500, "Gibbs sample sweeps")
+	seed := fs.Int64("seed", 0, "inference seed")
+	verbose := fs.Bool("v", false, "print per-iteration progress and top inferred facts")
+	factorsDir := fs.String("factors", "", "export the ground factor graph (variables.tsv, factors.tsv) to this directory")
+	fs.Parse(args)
+
+	k := loadKB(*dir)
+	eng, err := engineByName(*engineName)
+	if err != nil {
+		die(err)
+	}
+	cfg := probkb.Config{
+		Engine:           eng,
+		Segments:         *segments,
+		MaxIterations:    *iters,
+		ApplyConstraints: !*noConstraints,
+		RuleCleanTheta:   *theta,
+		RunInference:     !*noInference,
+		GibbsBurnin:      *burnin,
+		GibbsSamples:     *samples,
+		GibbsParallel:    true,
+		Seed:             *seed,
+	}
+	exp, err := k.Expand(cfg)
+	if err != nil {
+		die(err)
+	}
+	st := exp.Stats()
+	fmt.Printf("engine         %s\n", eng)
+	fmt.Printf("base facts     %d\n", st.BaseFacts)
+	fmt.Printf("inferred facts %d\n", st.InferredFacts)
+	fmt.Printf("factors        %d\n", st.Factors)
+	fmt.Printf("iterations     %d (converged=%v)\n", st.Iterations, st.Converged)
+	fmt.Printf("queries        %d grounding + %d factor\n", st.AtomQueries, st.FactorQueries)
+	fmt.Printf("time           load %s, grounding %s, factors %s, inference %s\n",
+		st.LoadTime, st.GroundingTime, st.FactorTime, st.InferenceTime)
+
+	if *verbose {
+		for _, it := range exp.PerIteration() {
+			fmt.Printf("  iter %d: +%d facts, -%d deleted, %d queries, %s\n",
+				it.Iteration, it.NewFacts, it.Deleted, it.Queries, it.Elapsed)
+		}
+		inferred := exp.InferredFacts()
+		sort.Slice(inferred, func(a, b int) bool {
+			return inferred[a].Probability > inferred[b].Probability
+		})
+		n := 20
+		if len(inferred) < n {
+			n = len(inferred)
+		}
+		fmt.Printf("top %d inferred facts:\n", n)
+		for _, f := range inferred[:n] {
+			fmt.Println(" ", f)
+		}
+	}
+
+	if *factorsDir != "" {
+		if err := exp.SaveFactorGraph(*factorsDir); err != nil {
+			die(err)
+		}
+		fmt.Printf("factor graph written to %s\n", *factorsDir)
+	}
+	if *out != "" {
+		if err := exp.ToKB().Save(*out); err != nil {
+			die(err)
+		}
+		fmt.Printf("expanded KB written to %s\n", *out)
+	}
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory")
+	factStr := fs.String("fact", "", `fact to explain, as "rel(x, y)"`)
+	depth := fs.Int("depth", 4, "proof tree depth")
+	fs.Parse(args)
+
+	rel, x, y, err := parseFactRef(*factStr)
+	if err != nil {
+		die(err)
+	}
+	k := loadKB(*dir)
+	exp, err := k.Expand(probkb.Config{Engine: probkb.SingleNode, ApplyConstraints: true})
+	if err != nil {
+		die(err)
+	}
+	text, err := exp.Explain(rel, x, y, *depth)
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(text)
+}
+
+func parseFactRef(s string) (rel, x, y string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", "", "", fmt.Errorf(`bad -fact %q: want "rel(x, y)"`, s)
+	}
+	rel = strings.TrimSpace(s[:open])
+	args := strings.Split(s[open+1:len(s)-1], ",")
+	if len(args) != 2 || rel == "" {
+		return "", "", "", fmt.Errorf(`bad -fact %q: want "rel(x, y)"`, s)
+	}
+	return rel, strings.TrimSpace(args[0]), strings.TrimSpace(args[1]), nil
+}
+
+func cmdSQL(args []string) {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory")
+	query := fs.String("q", "", "SQL query (SELECT over T, TC, TR, FC, M1..M6, DE)")
+	explain := fs.Bool("explain", false, "print the annotated physical plan instead of rows")
+	limit := fs.Int("limit", 50, "maximum rows to print")
+	fs.Parse(args)
+	if *query == "" {
+		die(fmt.Errorf("missing -q QUERY"))
+	}
+	k := loadKB(*dir)
+	if *explain {
+		plan, err := k.ExplainSQL(*query)
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	res, err := k.QuerySQL(*query)
+	if err != nil {
+		die(err)
+	}
+	total := len(res.Rows)
+	if total > *limit {
+		res.Rows = res.Rows[:*limit]
+	}
+	fmt.Print(res)
+	if total > *limit {
+		fmt.Printf("... (%d of %d rows shown)\n", *limit, total)
+	} else {
+		fmt.Printf("(%d rows)\n", total)
+	}
+}
+
+func cmdRules(args []string) {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory")
+	top := fs.Int("top", 20, "show the N best and worst rules")
+	fs.Parse(args)
+
+	k := loadKB(*dir)
+	scores := k.RuleScores()
+	sort.Slice(scores, func(a, b int) bool { return scores[a].Score > scores[b].Score })
+	n := *top
+	if n > len(scores) {
+		n = len(scores)
+	}
+	fmt.Printf("top %d rules by statistical significance:\n", n)
+	for _, sc := range scores[:n] {
+		fmt.Printf("  %.3f (%d/%d) %s\n", sc.Score, sc.Hits, sc.Matches, sc.Rule)
+	}
+	if len(scores) > n {
+		fmt.Printf("bottom %d:\n", n)
+		for _, sc := range scores[len(scores)-n:] {
+			fmt.Printf("  %.3f (%d/%d) %s\n", sc.Score, sc.Hits, sc.Matches, sc.Rule)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package probkb_test
+
+import (
+	"fmt"
+	"sort"
+
+	"probkb"
+)
+
+// Example reproduces the paper's introductory inference: Kale is rich in
+// calcium, calcium helps prevent osteoporosis, so Kale probably helps
+// prevent osteoporosis.
+func Example() {
+	k := probkb.New()
+	k.AddFact("rich_in", "kale", "Food", "calcium", "Nutrient", 0.9)
+	k.AddFact("prevents", "calcium", "Nutrient", "osteoporosis", "Disease", 0.8)
+	k.MustAddRule("1.1 prevents(x:Food, y:Disease) :- rich_in(x:Food, z:Nutrient), prevents(z:Nutrient, y:Disease)")
+
+	exp, err := k.Expand(probkb.Config{Engine: probkb.SingleNode, RunInference: false})
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range exp.InferredFacts() {
+		fmt.Printf("%s(%s, %s)\n", f.Rel, f.X, f.Y)
+	}
+	// Output:
+	// prevents(kale, osteoporosis)
+}
+
+// ExampleKB_Expand shows the full pipeline with quality control: the
+// ambiguous name "Mandel" (two different people) is removed by the
+// functional constraint on born_in before it can produce the bogus
+// located_in(Berlin, Baltimore).
+func ExampleKB_Expand() {
+	k := probkb.New()
+	k.AddFact("born_in", "Mandel", "Person", "Berlin", "City", 0.9)
+	k.AddFact("born_in", "Mandel", "Person", "Baltimore", "City", 0.9)
+	k.AddFact("born_in", "Freud", "Person", "Vienna", "City", 0.9)
+	k.MustAddRule("0.5 located_in(x:City, y:City) :- born_in(z:Person, x:City), born_in(z, y:City)")
+	if err := k.AddConstraint("born_in", probkb.TypeI, 1); err != nil {
+		panic(err)
+	}
+
+	exp, err := k.Expand(probkb.Config{
+		Engine:           probkb.SingleNode,
+		ApplyConstraints: true,
+		RunInference:     false,
+	})
+	if err != nil {
+		panic(err)
+	}
+	bogus := exp.Find("located_in", "Berlin", "Baltimore")
+	fmt.Printf("bogus inferences: %d\n", len(bogus))
+	// Output:
+	// bogus inferences: 0
+}
+
+// ExampleExpansion_Explain prints a derivation tree from the factor
+// graph's lineage.
+func ExampleExpansion_Explain() {
+	k := probkb.New()
+	k.AddFact("born_in", "Ruth_Gruber", "Writer", "Brooklyn", "Place", 0.93)
+	k.MustAddRule("1.40 live_in(x:Writer, y:Place) :- born_in(x:Writer, y:Place)")
+	exp, err := k.Expand(probkb.Config{Engine: probkb.SingleNode, RunInference: false})
+	if err != nil {
+		panic(err)
+	}
+	why, err := exp.Explain("live_in", "Ruth_Gruber", "Brooklyn", 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(why)
+	// Output:
+	// NULL live_in(Ruth_Gruber:Writer, Brooklyn:Place), derived by 1 rule application(s):
+	//   <- (w=1.40)
+	//     0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+}
+
+// ExampleKB_QuerySQL runs one of the paper's grounding queries verbatim
+// against the KB's relational representation.
+func ExampleKB_QuerySQL() {
+	k := probkb.New()
+	k.AddFact("born_in", "Ruth_Gruber", "Writer", "Brooklyn", "Place", 0.93)
+	k.MustAddRule("1.40 live_in(x:Writer, y:Place) :- born_in(x:Writer, y:Place)")
+
+	res, err := k.QuerySQL(`
+		SELECT M1.R1 AS R, T.x AS x, T.y AS y
+		FROM M1 JOIN T ON M1.R2 = T.R AND M1.C1 = T.C1 AND M1.C2 = T.C2`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v -> %d row(s)\n", res.Columns, len(res.Rows))
+	// Output:
+	// [R x y] -> 1 row(s)
+}
+
+// ExampleKB_RuleScores ranks rules by their statistical significance,
+// the signal rule cleaning thresholds on.
+func ExampleKB_RuleScores() {
+	k := probkb.New()
+	k.AddFact("r1", "a", "A", "b", "B", 0.9)
+	k.AddFact("r2", "a", "A", "b", "B", 0.9)
+	k.AddFact("r3", "e", "A", "f", "B", 0.9)
+	k.MustAddRule("1.0 r2(x:A, y:B) :- r1(x:A, y:B)") // supported by the data
+	k.MustAddRule("1.0 r4(x:A, y:B) :- r3(x:A, y:B)") // no support
+
+	scores := k.RuleScores()
+	sort.Slice(scores, func(a, b int) bool { return scores[a].Score > scores[b].Score })
+	for _, s := range scores {
+		fmt.Printf("%d/%d supported\n", s.Hits, s.Matches)
+	}
+	// Output:
+	// 1/1 supported
+	// 0/1 supported
+}

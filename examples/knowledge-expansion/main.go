@@ -1,0 +1,65 @@
+// Knowledge expansion over a web-scale-style noisy KB: the full ProbKB
+// pipeline of the paper on a synthetic ReVerb-Sherlock-like corpus with
+// a planted ground truth.
+//
+// The example contrasts four quality-control configurations (Table 4 of
+// the paper) and scores each expansion's inferred facts against the
+// hidden truth — the Figure 7(a) experiment in miniature.
+//
+// Run with:
+//
+//	go run ./examples/knowledge-expansion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probkb"
+)
+
+func main() {
+	// A synthetic knowledge base: ~8K extracted facts, ~600 learned Horn
+	// rules (a third of them unsound), functional constraints, ambiguous
+	// surface names — plus an oracle that knows the hidden true world.
+	kb, truth, err := probkb.Synthesize(0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := kb.Stats()
+	fmt.Printf("synthetic KB: %d facts, %d rules, %d relations, %d entities, %d constraints\n",
+		st.Facts, st.Rules, st.Relations, st.Entities, st.Constraints)
+	fmt.Printf("hidden true world: %d facts\n\n", truth.WorldSize())
+
+	configs := []struct {
+		name string
+		cfg  probkb.Config
+	}{
+		{"no quality control", probkb.Config{
+			Engine: probkb.SingleNode, MaxIterations: 4,
+		}},
+		{"rule cleaning (top 20%)", probkb.Config{
+			Engine: probkb.SingleNode, MaxIterations: 4, RuleCleanTheta: 0.2,
+		}},
+		{"semantic constraints", probkb.Config{
+			Engine: probkb.SingleNode, MaxIterations: 15, ApplyConstraints: true,
+		}},
+		{"constraints + rule cleaning", probkb.Config{
+			Engine: probkb.SingleNode, MaxIterations: 15, ApplyConstraints: true, RuleCleanTheta: 0.2,
+		}},
+	}
+
+	fmt.Printf("%-30s %10s %10s %10s %12s\n", "configuration", "#inferred", "#correct", "precision", "grounding")
+	for _, c := range configs {
+		exp, err := kb.Expand(c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prec, correct, total := truth.Precision(exp)
+		fmt.Printf("%-30s %10d %10d %10.3f %12s\n",
+			c.name, total, correct, prec, exp.Stats().GroundingTime.Round(1000))
+	}
+
+	fmt.Println("\nquality control removes unsound rules and ambiguous entities before")
+	fmt.Println("they can poison the inference chain (Section 5 of the paper).")
+}

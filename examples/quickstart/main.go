@@ -1,0 +1,52 @@
+// Quickstart: the smallest end-to-end ProbKB run, using the paper's
+// introductory example — Wikipedia states that kale is rich in calcium
+// and that calcium helps prevent osteoporosis, so ProbKB infers that
+// kale helps prevent osteoporosis, with a probability.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probkb"
+)
+
+func main() {
+	k := probkb.New()
+
+	// Facts extracted from text, with extraction confidences.
+	k.AddFact("rich_in", "kale", "Food", "calcium", "Nutrient", 0.9)
+	k.AddFact("prevents", "calcium", "Nutrient", "osteoporosis", "Disease", 0.8)
+	k.AddFact("rich_in", "spinach", "Food", "iron", "Nutrient", 0.85)
+	k.AddFact("prevents", "iron", "Nutrient", "anemia", "Disease", 0.75)
+
+	// One learned Horn rule: a food rich in a nutrient that prevents a
+	// disease probably prevents that disease too.
+	k.MustAddRule("1.1 prevents(x:Food, y:Disease) :- rich_in(x:Food, z:Nutrient), prevents(z:Nutrient, y:Disease)")
+
+	// Expand: batched grounding + Gibbs marginal inference.
+	exp, err := k.Expand(probkb.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := exp.Stats()
+	fmt.Printf("expanded %d base facts into %d (+%d inferred) using %d grounding queries\n",
+		st.BaseFacts, st.TotalFacts, st.InferredFacts, st.AtomQueries)
+	fmt.Println("\ninferred facts with marginal probabilities:")
+	for _, f := range exp.InferredFacts() {
+		fmt.Println(" ", f)
+	}
+
+	// Every inferred fact carries its lineage.
+	why, err := exp.Explain("prevents", "kale", "osteoporosis", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwhy prevents(kale, osteoporosis)?")
+	fmt.Print(why)
+}

@@ -1,0 +1,376 @@
+package probkb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"probkb/internal/engine"
+	"probkb/internal/factor"
+	"probkb/internal/ground"
+	"probkb/internal/infer"
+	"probkb/internal/kb"
+	"probkb/internal/quality"
+)
+
+// Fact is one fact of an expanded KB, rendered symbolically.
+type Fact struct {
+	Rel    string
+	X      string
+	XClass string
+	Y      string
+	YClass string
+	// Probability is the extraction confidence for observed facts, or
+	// the Gibbs marginal for inferred ones (NaN when inference was
+	// skipped).
+	Probability float64
+	// Inferred reports whether expansion derived the fact.
+	Inferred bool
+}
+
+// String renders the fact.
+func (f Fact) String() string {
+	return fmt.Sprintf("%.2f %s(%s:%s, %s:%s)", f.Probability, f.Rel, f.X, f.XClass, f.Y, f.YClass)
+}
+
+// ExpandStats summarizes what an expansion did.
+type ExpandStats struct {
+	BaseFacts     int
+	InferredFacts int
+	TotalFacts    int
+	Factors       int
+	Iterations    int
+	Converged     bool
+	// AtomQueries and FactorQueries count join queries — the O(k) vs
+	// O(n) story of Section 4.3.1.
+	AtomQueries   int
+	FactorQueries int
+	LoadTime      time.Duration
+	GroundingTime time.Duration
+	FactorTime    time.Duration
+	InferenceTime time.Duration
+}
+
+// Expansion is the result of KB.Expand.
+type Expansion struct {
+	kb  *kb.KB
+	res *ground.Result
+	cfg Config
+
+	graph         *factor.Graph
+	inferenceTime time.Duration
+}
+
+// runInference builds the factor graph and fills inferred facts'
+// probabilities with Gibbs marginals.
+func (e *Expansion) runInference() error {
+	start := time.Now()
+	g, err := factor.FromResult(e.res)
+	if err != nil {
+		return err
+	}
+	e.graph = g
+	probs := infer.Marginals(g, infer.Options{
+		Burnin:   e.cfg.GibbsBurnin,
+		Samples:  e.cfg.GibbsSamples,
+		Seed:     e.cfg.Seed,
+		Parallel: e.cfg.GibbsParallel,
+	})
+	if err := infer.ApplyMarginals(g, e.res.Facts, probs); err != nil {
+		return err
+	}
+	e.inferenceTime = time.Since(start)
+	return nil
+}
+
+// Stats returns the expansion summary.
+func (e *Expansion) Stats() ExpandStats {
+	st := ExpandStats{
+		BaseFacts:     e.res.BaseFacts,
+		InferredFacts: e.res.InferredFacts(),
+		TotalFacts:    e.res.Facts.NumRows(),
+		Iterations:    e.res.Iterations,
+		Converged:     e.res.Converged,
+		AtomQueries:   e.res.AtomQueries,
+		FactorQueries: e.res.FactorQueries,
+		LoadTime:      e.res.LoadTime,
+		GroundingTime: e.res.AtomTime,
+		FactorTime:    e.res.FactorTime,
+		InferenceTime: e.inferenceTime,
+	}
+	if e.res.Factors != nil {
+		st.Factors = e.res.Factors.NumRows()
+	}
+	return st
+}
+
+// Facts returns every fact of the expanded KB, observed and inferred.
+func (e *Expansion) Facts() []Fact {
+	t := e.res.Facts
+	out := make([]Fact, 0, t.NumRows())
+	ids := t.Int32Col(kb.TPiI)
+	for r := 0; r < t.NumRows(); r++ {
+		f := kb.FactAtRow(t, r)
+		out = append(out, Fact{
+			Rel: e.kb.RelDict.Name(f.Rel),
+			X:   e.kb.Entities.Name(f.X), XClass: e.kb.Classes.Name(f.XClass),
+			Y: e.kb.Entities.Name(f.Y), YClass: e.kb.Classes.Name(f.YClass),
+			Probability: probability(f.W),
+			Inferred:    int(ids[r]) >= e.res.BaseFacts,
+		})
+	}
+	return out
+}
+
+// InferredFacts returns only the newly derived facts.
+func (e *Expansion) InferredFacts() []Fact {
+	var out []Fact
+	for _, f := range e.Facts() {
+		if f.Inferred {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Find returns the expanded facts matching the relation and entity names
+// (empty strings match anything).
+func (e *Expansion) Find(rel, x, y string) []Fact {
+	var out []Fact
+	for _, f := range e.Facts() {
+		if (rel == "" || f.Rel == rel) && (x == "" || f.X == x) && (y == "" || f.Y == y) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Explain renders the derivation tree of the first fact matching
+// (rel, x, y), using the factor graph's lineage (Definition 7 notes that
+// TΦ carries the entire lineage). It requires RunInference or at least a
+// factor table; depth bounds the recursion.
+func (e *Expansion) Explain(rel, x, y string, depth int) (string, error) {
+	if err := e.ensureGraph(); err != nil {
+		return "", err
+	}
+	t := e.res.Facts
+	ids := t.Int32Col(kb.TPiI)
+	targetID := int32(-1)
+	for r := 0; r < t.NumRows(); r++ {
+		f := kb.FactAtRow(t, r)
+		if e.kb.RelDict.Name(f.Rel) == rel && e.kb.Entities.Name(f.X) == x && e.kb.Entities.Name(f.Y) == y {
+			targetID = ids[r]
+			break
+		}
+	}
+	if targetID < 0 {
+		return "", fmt.Errorf("probkb: no fact %s(%s, %s) in the expansion", rel, x, y)
+	}
+	target, ok := e.graph.VarOf(targetID)
+	if !ok {
+		return "", fmt.Errorf("probkb: fact %s(%s, %s) has no graph variable", rel, x, y)
+	}
+	name := func(v int32) string {
+		id := e.graph.FactID(v)
+		for r := 0; r < t.NumRows(); r++ {
+			if ids[r] == id {
+				return e.kb.FactString(kb.FactAtRow(t, r))
+			}
+		}
+		return fmt.Sprintf("fact#%d", id)
+	}
+	return e.graph.Explain(target, depth, name), nil
+}
+
+// FactorGraphStats exposes the ground factor graph's shape.
+func (e *Expansion) FactorGraphStats() (vars, factors, singletons int, err error) {
+	if err := e.ensureGraph(); err != nil {
+		return 0, 0, 0, err
+	}
+	st := e.graph.Stats()
+	return st.Vars, st.Factors, st.Singletons, nil
+}
+
+// ensureGraph lazily builds the factor graph.
+func (e *Expansion) ensureGraph() error {
+	if e.graph != nil {
+		return nil
+	}
+	g, err := factor.FromResult(e.res)
+	if err != nil {
+		return err
+	}
+	e.graph = g
+	return nil
+}
+
+// MAPWorld runs MAP inference (MaxWalkSAT) over the ground factor graph
+// and returns the facts that are true in the most probable world, along
+// with the world's unnormalized log score. This is the paper's
+// "alternative inference type" of Section 2.2: a single consistent world
+// instead of per-fact marginals.
+func (e *Expansion) MAPWorld(seed int64) ([]Fact, float64, error) {
+	if err := e.ensureGraph(); err != nil {
+		return nil, 0, err
+	}
+	res := infer.MAP(e.graph, infer.MAPOptions{Seed: seed})
+	t := e.res.Facts
+	ids := t.Int32Col(kb.TPiI)
+	var out []Fact
+	for r := 0; r < t.NumRows(); r++ {
+		v, ok := e.graph.VarOf(ids[r])
+		if !ok || !res.Assignment[v] {
+			continue
+		}
+		f := kb.FactAtRow(t, r)
+		out = append(out, Fact{
+			Rel: e.kb.RelDict.Name(f.Rel),
+			X:   e.kb.Entities.Name(f.X), XClass: e.kb.Classes.Name(f.XClass),
+			Y: e.kb.Entities.Name(f.Y), YClass: e.kb.Classes.Name(f.YClass),
+			Probability: probability(f.W),
+			Inferred:    int(ids[r]) >= e.res.BaseFacts,
+		})
+	}
+	return out, res.LogScore, nil
+}
+
+// ConvergenceDiagnostics re-runs Gibbs sampling as `chains` independent
+// chains and reports the worst split-chain R̂ (values near 1 mean the
+// marginals have converged; < 1.1 is the conventional threshold).
+func (e *Expansion) ConvergenceDiagnostics(chains int) (maxRHat float64, converged bool, err error) {
+	if err := e.ensureGraph(); err != nil {
+		return 0, false, err
+	}
+	d := infer.MarginalsWithDiagnostics(e.graph, infer.Options{
+		Burnin:   e.cfg.GibbsBurnin,
+		Samples:  e.cfg.GibbsSamples,
+		Seed:     e.cfg.Seed,
+		Parallel: e.cfg.GibbsParallel,
+	}, chains)
+	return d.MaxRHat, d.Converged(1.1), nil
+}
+
+// ToKB materializes the expansion as a new knowledge base whose facts
+// are the expanded set (inferred probabilities as weights), suitable for
+// Save or further expansion rounds.
+func (e *Expansion) ToKB() *KB {
+	out := e.kb.Clone()
+	t := e.res.Facts
+	facts := make([]kb.Fact, 0, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		facts = append(facts, kb.FactAtRow(t, r))
+	}
+	out.ReplaceFacts(facts)
+	return &KB{inner: out}
+}
+
+// ExtendWith incrementally expands the KB with newly observed facts —
+// the daily reality of a web-scale KB, where extractions keep arriving.
+// The prior closure is reused and the first grounding iteration joins
+// only the new facts (semi-naive seeding), so cost scales with the
+// delta. The prior expansion must have run to convergence (Stats().
+// Converged); otherwise derivations among old facts could be missing
+// and ExtendWith refuses.
+//
+// The returned Expansion replaces the receiver for further queries; the
+// receiver stays valid but frozen at its old contents. Facts derived in
+// earlier rounds count as *base* facts of the new expansion (their
+// inferred probabilities, when inference ran, carry over as evidence
+// weights); Stats().InferredFacts and Fact.Inferred describe only the
+// new round.
+func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
+	if !e.res.Converged {
+		return nil, fmt.Errorf("probkb: ExtendWith requires a converged prior expansion")
+	}
+	interned := make([]kb.Fact, 0, len(newFacts))
+	for _, f := range newFacts {
+		cx := e.kb.Classes.Intern(f.XClass)
+		cy := e.kb.Classes.Intern(f.YClass)
+		rel := e.kb.AddRelation(f.Rel, cx, cy)
+		e.kb.AddMember(cx, e.kb.Entities.Intern(f.X))
+		e.kb.AddMember(cy, e.kb.Entities.Intern(f.Y))
+		interned = append(interned, kb.Fact{
+			Rel: rel,
+			X:   e.kb.Entities.Intern(f.X), XClass: cx,
+			Y: e.kb.Entities.Intern(f.Y), YClass: cy,
+			W: f.Probability,
+		})
+	}
+
+	opts := ground.Options{MaxIterations: e.cfg.MaxIterations, SemiNaive: true}
+	if e.cfg.ApplyConstraints {
+		opts.ConstraintHook = quality.NewChecker(e.kb).Hook()
+	}
+	res, err := ground.Extend(e.kb, e.res, interned, opts)
+	if err != nil {
+		return nil, err
+	}
+	next := &Expansion{kb: e.kb, res: res, cfg: e.cfg}
+	if e.cfg.RunInference {
+		if err := next.runInference(); err != nil {
+			return nil, err
+		}
+	}
+	return next, nil
+}
+
+// SaveFactorGraph writes the ground factor graph as two TSV files in
+// dir — variables.tsv and factors.tsv — the relational hand-off format
+// of the paper's architecture (Figure 1): any external marginal
+// inference engine can consume it.
+func (e *Expansion) SaveFactorGraph(dir string) error {
+	if e.res.Factors == nil {
+		return fmt.Errorf("probkb: expansion has no factor table")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	varsF, err := os.Create(filepath.Join(dir, "variables.tsv"))
+	if err != nil {
+		return err
+	}
+	defer varsF.Close()
+	factorsF, err := os.Create(filepath.Join(dir, "factors.tsv"))
+	if err != nil {
+		return err
+	}
+	defer factorsF.Close()
+	render := func(row int) string {
+		return e.kb.FactString(kb.FactAtRow(e.res.Facts, row))
+	}
+	if err := factor.Export(e.res.Facts, e.res.Factors, varsF, factorsF, render); err != nil {
+		return err
+	}
+	if err := varsF.Sync(); err != nil {
+		return err
+	}
+	return factorsF.Sync()
+}
+
+// PerIteration reports per-iteration grounding progress: new facts and
+// constraint deletions, in order.
+func (e *Expansion) PerIteration() []IterationStats {
+	out := make([]IterationStats, len(e.res.PerIteration))
+	for i, st := range e.res.PerIteration {
+		out[i] = IterationStats{
+			Iteration: st.Iteration,
+			NewFacts:  st.NewFacts,
+			Deleted:   st.Deleted,
+			Queries:   st.Queries,
+			Elapsed:   st.Elapsed,
+		}
+	}
+	return out
+}
+
+// IterationStats is one grounding iteration's summary.
+type IterationStats struct {
+	Iteration int
+	NewFacts  int
+	Deleted   int
+	Queries   int
+	Elapsed   time.Duration
+}
+
+var _ = engine.NullInt32 // engine types appear in exported docs

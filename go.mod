@@ -1,0 +1,3 @@
+module probkb
+
+go 1.22

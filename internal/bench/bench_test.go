@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probkb/internal/quality"
+)
+
+// tiny returns a configuration small enough that every experiment runs
+// in well under a second.
+func tiny() Config { return Config{Scale: 0.004, Seed: 3, Segments: 2} }
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# relations", "# rules", "hidden true world"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table3(tiny(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 systems", len(rows))
+	}
+	// All systems reach the same closure and factor counts.
+	for _, r := range rows[1:] {
+		if r.FinalFacts != rows[0].FinalFacts || r.Factors != rows[0].Factors {
+			t.Fatalf("systems disagree: %+v vs %+v", r, rows[0])
+		}
+	}
+	for _, r := range rows {
+		if len(r.Iters) == 0 || len(r.Iters) > 4 {
+			t.Fatalf("iteration count out of range: %+v", r)
+		}
+	}
+}
+
+func TestTable4AndSystems(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Table4Configs()); got != 6 {
+		t.Fatalf("Table 4 has %d configs, want 6", got)
+	}
+	names := map[System]string{
+		SysProbKBp: "ProbKB-p", SysProbKB: "ProbKB",
+		SysTuffyT: "Tuffy-T", SysProbKBpn: "ProbKB-pn",
+	}
+	for sys, want := range names {
+		if sys.String() != want {
+			t.Fatalf("System(%d) = %q, want %q", int(sys), sys, want)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Redistribute Motion") || !strings.Contains(out, "Broadcast Motion") {
+		t.Fatalf("Figure 4 output missing motions:\n%s", out)
+	}
+}
+
+func TestFig6Sweeps(t *testing.T) {
+	cfg := tiny()
+	var buf bytes.Buffer
+	a, err := Fig6a(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || a[0].Queries[SysProbKB] != 6 && a[0].Queries[SysProbKB] > 6 {
+		t.Fatalf("fig6a points: %+v", a)
+	}
+	// Query counts: Tuffy equals the rule count, ProbKB stays at the
+	// non-empty partition count.
+	for _, p := range a {
+		if p.Queries[SysTuffyT] != p.Size {
+			t.Fatalf("Tuffy queries = %d at %d rules", p.Queries[SysTuffyT], p.Size)
+		}
+		if p.Queries[SysProbKB] > 6 {
+			t.Fatalf("ProbKB queries = %d, want <= 6", p.Queries[SysProbKB])
+		}
+	}
+	if _, err := Fig6b(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Fig6c(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c {
+		if p.Times[SysProbKBp] <= 0 || p.Times[SysProbKBpn] <= 0 {
+			t.Fatalf("missing MPP timings: %+v", p)
+		}
+	}
+}
+
+func TestFig7AndGrowth(t *testing.T) {
+	cfg := tiny()
+	var buf bytes.Buffer
+	series, err := Fig7a(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("fig7a series = %d, want 6", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("config %q has no points", s.Config.Name)
+		}
+	}
+
+	b, err := Fig7b(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() == 0 {
+		t.Fatal("fig7b found no violations")
+	}
+	_ = quality.SrcAmbiguousEntity
+
+	rows, err := Growth(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("growth rows = %d", len(rows))
+	}
+	// Constraints keep the KB no larger than the raw run at every
+	// iteration where both are defined.
+	for _, r := range rows {
+		if r.FactsRaw >= 0 && r.FactsSC >= 0 && r.FactsSC > r.FactsRaw {
+			t.Fatalf("SC grew past raw at iteration %d: %+v", r.Iteration, r)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"probkb/internal/ground"
+	"probkb/internal/kb"
+	"probkb/internal/mln"
+	"probkb/internal/mpp"
+	"probkb/internal/quality"
+	"probkb/internal/synth"
+)
+
+// Table3Row is one system's measurements for Table 3.
+type Table3Row struct {
+	System     System
+	Load       time.Duration
+	Iters      []time.Duration // Query 1, iterations 1..4
+	Query2     time.Duration
+	FinalFacts int
+	Factors    int
+}
+
+// Table3 reproduces the ReVerb-Sherlock case study (Section 6.1.1):
+// constraints applied once up front, then four grounding iterations
+// without further quality control, then factor construction — for
+// ProbKB-p, ProbKB, and Tuffy-T.
+func Table3(cfg Config, w io.Writer) ([]Table3Row, error) {
+	cfg = cfg.withDefaults()
+	c, err := cfg.corpus()
+	if err != nil {
+		return nil, err
+	}
+	// "We run Query 3 once before inference starts and do not perform
+	// any further quality control during inference."
+	pre := c.KB.Clone()
+	removed := quality.PreClean(pre)
+
+	systems := []System{SysProbKBp, SysProbKB, SysTuffyT}
+	rows := make([]Table3Row, 0, len(systems))
+	for _, sys := range systems {
+		res, err := sys.Ground(pre, ground.Options{MaxIterations: 4}, cfg.Segments)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table3 %v: %w", sys, err)
+		}
+		row := Table3Row{
+			System:     sys,
+			Load:       res.LoadTime,
+			Query2:     res.FactorTime,
+			FinalFacts: res.Facts.NumRows(),
+			Factors:    res.Factors.NumRows(),
+		}
+		for _, it := range res.PerIteration {
+			row.Iters = append(row.Iters, it.Elapsed)
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Fprintf(w, "Table 3: ReVerb-Sherlock case study (scale=%.3g, %d facts after pre-cleaning %d)\n\n",
+		cfg.Scale, pre.Stats().Facts, removed)
+	fmt.Fprintf(w, "  %-10s %10s %10s %10s %10s %10s %10s %12s %12s\n",
+		"System", "Load", "Iter 1", "Iter 2", "Iter 3", "Iter 4", "Query 2", "Facts", "Factors")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %10s", r.System, round(r.Load))
+		for i := 0; i < 4; i++ {
+			if i < len(r.Iters) {
+				fmt.Fprintf(w, " %10s", round(r.Iters[i]))
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintf(w, " %10s %12d %12d\n", round(r.Query2), r.FinalFacts, r.Factors)
+	}
+	fmt.Fprintf(w, "\n  paper: ProbKB load 607x faster than Tuffy-T; Query 1 ~100x faster in iters 2-4\n")
+	return rows, nil
+}
+
+func round(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }
+
+// SweepPoint is one (size, per-system time, inferred count) measurement
+// of Figures 6(a)/(b)/(c). Queries counts the join queries each system
+// issued — the O(k)-vs-O(n) comparison of Section 4.3.1, which holds
+// regardless of substrate speed.
+type SweepPoint struct {
+	Size     int
+	Times    map[System]time.Duration
+	Queries  map[System]int
+	Inferred int
+}
+
+// groundOnce runs the first grounding iteration only (as the paper's S1
+// and S2 experiments do) and returns the query time — bulkload excluded,
+// as in the paper, which reports load separately in Table 3 — and the
+// inferred count.
+func groundOnce(sys System, k *kb.KB, segments int) (time.Duration, int, int, error) {
+	res, err := sys.Ground(k, ground.Options{MaxIterations: 1, SkipFactors: true}, segments)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.AtomTime, res.InferredFacts(), res.AtomQueries, nil
+}
+
+// Fig6a sweeps the rule count (synthetic family S1) for Tuffy-T, ProbKB,
+// and ProbKB-p. Fractions mirror the paper's x axis (0.01 to 1.0 of one
+// million rules, scaled by cfg.Scale).
+func Fig6a(cfg Config, w io.Writer) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	c, err := cfg.corpus()
+	if err != nil {
+		return nil, err
+	}
+	fractions := []float64{0.01, 0.2, 0.5, 1.0}
+	systems := []System{SysTuffyT, SysProbKB, SysProbKBp}
+
+	fmt.Fprintf(w, "Figure 6(a): grounding time vs #rules (S1, scale=%.3g, first iteration)\n\n", cfg.Scale)
+	fmt.Fprintf(w, "  %10s %12s %12s %12s %12s %18s\n",
+		"#rules", "Tuffy-T", "ProbKB", "ProbKB-p", "#inferred", "queries (T/P)")
+
+	var points []SweepPoint
+	for _, f := range fractions {
+		n := int(f * 1e6 * cfg.Scale)
+		if n < 1 {
+			n = 1
+		}
+		k, err := synth.S1(c, n, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		p := SweepPoint{Size: n, Times: map[System]time.Duration{}, Queries: map[System]int{}}
+		for _, sys := range systems {
+			d, inferred, queries, err := groundOnce(sys, k, cfg.Segments)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig6a %v at %d rules: %w", sys, n, err)
+			}
+			p.Times[sys] = d
+			p.Queries[sys] = queries
+			p.Inferred = inferred
+		}
+		points = append(points, p)
+		fmt.Fprintf(w, "  %10d %12s %12s %12s %12d %12d/%d\n", n,
+			round(p.Times[SysTuffyT]), round(p.Times[SysProbKB]), round(p.Times[SysProbKBp]),
+			p.Inferred, p.Queries[SysTuffyT], p.Queries[SysProbKB])
+	}
+	fmt.Fprintf(w, "\n  paper at 1M rules: Tuffy-T 16507s, ProbKB 210s, ProbKB-p 53s (311x)\n")
+	return points, nil
+}
+
+// Fig6b sweeps the fact count (synthetic family S2) for the same three
+// systems.
+func Fig6b(cfg Config, w io.Writer) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	return factSweep(cfg, w, "Figure 6(b): grounding time vs #facts (S2, first iteration)",
+		[]System{SysTuffyT, SysProbKB, SysProbKBp}, false)
+}
+
+// Fig6c compares the MPP variants — ProbKB (single node), ProbKB-pn
+// (MPP, no views), ProbKB-p (MPP with views) — over the S2 sweep,
+// including factor construction (Queries 1 and 2, as in the paper).
+func Fig6c(cfg Config, w io.Writer) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	return factSweep(cfg, w, "Figure 6(c): MPP variants over S2 (Queries 1 and 2)",
+		[]System{SysProbKB, SysProbKBpn, SysProbKBp}, true)
+}
+
+func factSweep(cfg Config, w io.Writer, title string, systems []System, withFactors bool) ([]SweepPoint, error) {
+	c, err := cfg.corpus()
+	if err != nil {
+		return nil, err
+	}
+	fractions := []float64{0.1, 2, 5, 10}
+
+	fmt.Fprintf(w, "%s (scale=%.3g)\n\n", title, cfg.Scale)
+	fmt.Fprintf(w, "  %10s", "#facts")
+	for _, s := range systems {
+		fmt.Fprintf(w, " %12s", s)
+	}
+	fmt.Fprintf(w, " %12s\n", "#inferred")
+
+	var points []SweepPoint
+	base := len(c.KB.Facts)
+	for _, f := range fractions {
+		n := int(f * 1e6 * cfg.Scale)
+		if n <= base {
+			n = base + 100
+		}
+		k, err := synth.S2(c, n, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		p := SweepPoint{Size: n, Times: map[System]time.Duration{}, Queries: map[System]int{}}
+		for _, sys := range systems {
+			res, err := sys.Ground(k, ground.Options{MaxIterations: 1, SkipFactors: !withFactors}, cfg.Segments)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %v at %d facts: %w", sys, n, err)
+			}
+			// Query time only (Queries 1 and, for Fig 6(c), 2); bulkload
+			// is Table 3's row.
+			p.Times[sys] = res.AtomTime + res.FactorTime
+			p.Queries[sys] = res.AtomQueries + res.FactorQueries
+			p.Inferred = res.InferredFacts()
+		}
+		points = append(points, p)
+		fmt.Fprintf(w, "  %10d", n)
+		for _, s := range systems {
+			fmt.Fprintf(w, " %12s", round(p.Times[s]))
+		}
+		fmt.Fprintf(w, " %12d\n", p.Inferred)
+	}
+	if withFactors {
+		fmt.Fprintf(w, "\n  paper at 10M facts: ProbKB-pn 3.1x, ProbKB-p 6.3x over ProbKB\n")
+	} else {
+		fmt.Fprintf(w, "\n  paper at 10M facts: 237x speed-up of ProbKB-p over Tuffy-T\n")
+	}
+	return points, nil
+}
+
+// Fig4 reproduces the query-plan comparison: the M3 grounding join
+// against a large TΠ, planned with and without redistributed
+// materialized views, printed as annotated operator trees with motion
+// costs.
+func Fig4(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	c, err := cfg.corpus()
+	if err != nil {
+		return err
+	}
+	// The paper's sample run joins M3 against a synthetic TΠ with 10M
+	// records; scale that down.
+	n := int(10e6 * cfg.Scale)
+	if n <= len(c.KB.Facts) {
+		n = len(c.KB.Facts) + 1000
+	}
+	k, err := synth.S2(c, n, cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Figure 4: Greenplum-style plans for the M3 grounding join over %d facts, %d segments\n",
+		n, cfg.Segments)
+
+	run := func(useViews bool, title string) error {
+		g, err := ground.NewMPP(k, ground.Options{}, mpp.NewCluster(cfg.Segments), useViews)
+		if err != nil {
+			return err
+		}
+		loadStart := time.Now()
+		g.Load()
+		loadTime := time.Since(loadStart)
+		plan := g.AtomsPlan(mln.P3)
+		start := time.Now()
+		if _, err := plan.Run(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		re, bc := mpp.CountMotions(plan)
+		fmt.Fprintf(w, "\n%s (load+views %s, query %s; %d redistribute, %d broadcast motions, %dB moved)\n",
+			title, round(loadTime), round(elapsed), re, bc, mpp.MotionBytes(plan))
+		fmt.Fprint(w, mpp.Explain(plan))
+		return nil
+	}
+	if err := run(true, "WITH redistributed materialized views (optimized, left plan)"); err != nil {
+		return err
+	}
+	return run(false, "WITHOUT views (unoptimized, right plan)")
+}

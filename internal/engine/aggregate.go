@@ -1,0 +1,235 @@
+package engine
+
+import "fmt"
+
+// AggKind enumerates the aggregate functions GroupByNode supports. They
+// are exactly the ones ProbKB's quality-control queries need (Query 3 in
+// the paper groups by (R, x, C1, C2) and filters on COUNT(*) > MIN(deg)).
+type AggKind int
+
+const (
+	// AggCount counts rows per group; Col is ignored.
+	AggCount AggKind = iota
+	// AggCountDistinct counts distinct values of an Int32 column per group.
+	AggCountDistinct
+	// AggMinF64 takes the minimum of a Float64 column per group.
+	AggMinF64
+	// AggMaxF64 takes the maximum of a Float64 column per group.
+	AggMaxF64
+	// AggSumF64 sums a Float64 column per group.
+	AggSumF64
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count(*)"
+	case AggCountDistinct:
+		return "count(distinct)"
+	case AggMinF64:
+		return "min"
+	case AggMaxF64:
+		return "max"
+	case AggSumF64:
+		return "sum"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// AggSpec requests one aggregate output column.
+type AggSpec struct {
+	Kind AggKind
+	Col  int // input column; ignored for AggCount
+	Name string
+}
+
+// GroupByNode groups its input on a tuple of Int32 key columns and emits
+// one row per group: the key columns followed by the aggregates.
+type GroupByNode struct {
+	base
+	child Node
+	keys  []int
+	aggs  []AggSpec
+}
+
+// NewGroupBy constructs a hash aggregation over child.
+func NewGroupBy(child Node, keyCols []int, aggs []AggSpec) *GroupByNode {
+	sch := GroupBySchema(child.OutSchema(), keyCols, aggs)
+	return &GroupByNode{base: base{schema: sch}, child: child, keys: keyCols, aggs: aggs}
+}
+
+func (n *GroupByNode) Children() []Node { return []Node{n.child} }
+
+func (n *GroupByNode) Label() string {
+	return fmt.Sprintf("GroupAggregate (%d keys, %d aggs)", len(n.keys), len(n.aggs))
+}
+
+// groupState accumulates one group's aggregates.
+type groupState struct {
+	firstRow int
+	count    int32
+	distinct []map[int32]struct{} // one per AggCountDistinct
+	minv     []float64
+	maxv     []float64
+	sumv     []float64
+}
+
+// Run executes the aggregation.
+func (n *GroupByNode) Run() (*Table, error) {
+	ins, err := runChildren(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRun(&n.stats, func() (*Table, error) {
+		return groupByTable(in, n.keys, n.aggs, n.schema)
+	})
+}
+
+// GroupBySchema derives the output schema of a grouping over the given
+// input schema.
+func GroupBySchema(in Schema, keys []int, aggs []AggSpec) Schema {
+	sch := Schema{Cols: make([]ColDef, 0, len(keys)+len(aggs))}
+	for _, k := range keys {
+		sch.Cols = append(sch.Cols, in.Cols[k])
+	}
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggCount, AggCountDistinct:
+			sch.Cols = append(sch.Cols, ColDef{Name: a.Name, Type: Int32})
+		case AggMinF64, AggMaxF64, AggSumF64:
+			sch.Cols = append(sch.Cols, ColDef{Name: a.Name, Type: Float64})
+		}
+	}
+	return sch
+}
+
+// GroupByTable runs the aggregation kernel directly on a materialized
+// table. The MPP layer calls it once per segment.
+func GroupByTable(in *Table, keys []int, aggs []AggSpec) (*Table, error) {
+	return groupByTable(in, keys, aggs, GroupBySchema(in.Schema(), keys, aggs))
+}
+
+// groupByTable is the aggregation kernel, shared with the MPP layer.
+func groupByTable(in *Table, keys []int, aggs []AggSpec, schema Schema) (*Table, error) {
+	// Count per-kind slots so each group state sizes its slices once.
+	nDistinct, nMin, nMax, nSum := 0, 0, 0, 0
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggCountDistinct:
+			nDistinct++
+		case AggMinF64:
+			nMin++
+		case AggMaxF64:
+			nMax++
+		case AggSumF64:
+			nSum++
+		}
+	}
+
+	groups := make(map[uint64][]*groupState)
+	var order []*groupState
+
+	for r := 0; r < in.NumRows(); r++ {
+		h := HashRow(in, r, keys)
+		var g *groupState
+		for _, cand := range groups[h] {
+			if rowsEqualOn(in, cand.firstRow, keys, in, r, keys) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &groupState{firstRow: r}
+			if nDistinct > 0 {
+				g.distinct = make([]map[int32]struct{}, nDistinct)
+				for i := range g.distinct {
+					g.distinct[i] = make(map[int32]struct{})
+				}
+			}
+			if nMin > 0 {
+				g.minv = make([]float64, nMin)
+				for i := range g.minv {
+					g.minv[i] = NullFloat64()
+				}
+			}
+			if nMax > 0 {
+				g.maxv = make([]float64, nMax)
+				for i := range g.maxv {
+					g.maxv[i] = NullFloat64()
+				}
+			}
+			if nSum > 0 {
+				g.sumv = make([]float64, nSum)
+			}
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		g.count++
+		di, mi, xi, si := 0, 0, 0, 0
+		for _, a := range aggs {
+			switch a.Kind {
+			case AggCountDistinct:
+				g.distinct[di][in.cols[a.Col].i32[r]] = struct{}{}
+				di++
+			case AggMinF64:
+				v := in.cols[a.Col].f64[r]
+				if IsNullFloat64(g.minv[mi]) || v < g.minv[mi] {
+					g.minv[mi] = v
+				}
+				mi++
+			case AggMaxF64:
+				v := in.cols[a.Col].f64[r]
+				if IsNullFloat64(g.maxv[xi]) || v > g.maxv[xi] {
+					g.maxv[xi] = v
+				}
+				xi++
+			case AggSumF64:
+				g.sumv[si] += in.cols[a.Col].f64[r]
+				si++
+			}
+		}
+	}
+
+	out := NewTable("groupby", schema)
+	out.Reserve(len(order))
+	for _, g := range order {
+		col := 0
+		for _, k := range keys {
+			oc := out.cols[col]
+			ic := in.cols[k]
+			switch ic.typ {
+			case Int32:
+				oc.i32 = append(oc.i32, ic.i32[g.firstRow])
+			case Float64:
+				oc.f64 = append(oc.f64, ic.f64[g.firstRow])
+			case String:
+				oc.str = append(oc.str, ic.str[g.firstRow])
+			}
+			col++
+		}
+		di, mi, xi, si := 0, 0, 0, 0
+		for _, a := range aggs {
+			oc := out.cols[col]
+			switch a.Kind {
+			case AggCount:
+				oc.i32 = append(oc.i32, g.count)
+			case AggCountDistinct:
+				oc.i32 = append(oc.i32, int32(len(g.distinct[di])))
+				di++
+			case AggMinF64:
+				oc.f64 = append(oc.f64, g.minv[mi])
+				mi++
+			case AggMaxF64:
+				oc.f64 = append(oc.f64, g.maxv[xi])
+				xi++
+			case AggSumF64:
+				oc.f64 = append(oc.f64, g.sumv[si])
+				si++
+			}
+			col++
+		}
+		out.nrows++
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog is a tiny name → table registry, playing the role of a database
+// schema for the CLI tools and the grounders. It is not synchronized;
+// callers that share a Catalog across goroutines must coordinate.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Put registers (or replaces) a table under its own name.
+func (c *Catalog) Put(t *Table) {
+	c.tables[t.Name()] = t
+}
+
+// Get returns the named table or an error.
+func (c *Catalog) Get(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q in catalog", name)
+	}
+	return t, nil
+}
+
+// MustGet is Get but panics on a missing table.
+func (c *Catalog) MustGet(name string) *Table {
+	t, err := c.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Drop removes the named table; dropping a missing table is a no-op.
+func (c *Catalog) Drop(name string) {
+	delete(c.tables, name)
+}
+
+// Names returns the registered table names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int { return len(c.tables) }

@@ -1,0 +1,136 @@
+// Package engine implements the in-memory relational engine that ProbKB
+// uses as its single-node database substrate (the paper runs on
+// PostgreSQL; this package plays that role).
+//
+// The engine is deliberately batch oriented: every operator consumes fully
+// materialized tables and produces a fully materialized table, mirroring
+// how an analytical DBMS executes the large set-oriented grounding queries
+// of Section 4.3 of the paper. Materialize-per-operator also makes the
+// per-node timing annotations of Figure 4 directly observable via
+// Explain.
+//
+// Storage is columnar. Three column types cover everything ProbKB needs:
+// Int32 (dictionary-encoded entities, classes, relations, fact IDs),
+// Float64 (rule and fact weights), and String (dictionary tables and
+// debugging output). NULLs use in-band sentinels: NullInt32 for Int32
+// columns and NaN for Float64 columns; inferred facts carry a NULL weight
+// until marginal inference fills it in, exactly as in the paper.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ColType enumerates the storage types a column may have.
+type ColType int
+
+const (
+	// Int32 is the workhorse type: all KB symbols are dictionary-encoded
+	// to int32 IDs so joins compare integers, never strings.
+	Int32 ColType = iota
+	// Float64 stores weights and probabilities.
+	Float64
+	// String stores raw symbols; only dictionary tables use it.
+	String
+)
+
+// String returns the SQL-ish name of the column type.
+func (t ColType) String() string {
+	switch t {
+	case Int32:
+		return "int"
+	case Float64:
+		return "float"
+	case String:
+		return "text"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// NullInt32 is the in-band NULL sentinel for Int32 columns.
+const NullInt32 int32 = math.MinInt32
+
+// NullFloat64 returns the in-band NULL sentinel for Float64 columns (NaN).
+func NullFloat64() float64 { return math.NaN() }
+
+// IsNullFloat64 reports whether v is the Float64 NULL sentinel.
+func IsNullFloat64(v float64) bool { return math.IsNaN(v) }
+
+// ColDef describes one column of a schema.
+type ColDef struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered list of column definitions.
+type Schema struct {
+	Cols []ColDef
+}
+
+// NewSchema builds a schema from (name, type) pairs.
+func NewSchema(cols ...ColDef) Schema { return Schema{Cols: cols} }
+
+// C is shorthand for constructing a ColDef.
+func C(name string, t ColType) ColDef { return ColDef{Name: name, Type: t} }
+
+// NumCols returns the number of columns.
+func (s Schema) NumCols() int { return len(s.Cols) }
+
+// ColIndex returns the index of the named column, or -1 if absent.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColIndex is ColIndex but panics on a missing column. Schemas are
+// static program data in ProbKB, so a miss is a programming error.
+func (s Schema) MustColIndex(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("engine: schema has no column %q (have %s)", name, s))
+	}
+	return i
+}
+
+// Equal reports whether two schemas have identical column names and types.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if s.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(a int, b float, c text)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Project returns a new schema with the given column indices, in order.
+func (s Schema) Project(idx []int) Schema {
+	out := Schema{Cols: make([]ColDef, len(idx))}
+	for i, j := range idx {
+		out.Cols[i] = s.Cols[j]
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JoinOut selects one output column of a hash join: column Col of the
+// build side (Side == BuildSide) or probe side (Side == ProbeSide),
+// renamed to Name.
+type JoinOut struct {
+	Name string
+	Side int
+	Col  int
+}
+
+// Side constants for JoinOut.
+const (
+	BuildSide = 0
+	ProbeSide = 1
+)
+
+// BuildCol selects column col of the build input.
+func BuildCol(name string, col int) JoinOut { return JoinOut{Name: name, Side: BuildSide, Col: col} }
+
+// ProbeCol selects column col of the probe input.
+func ProbeCol(name string, col int) JoinOut { return JoinOut{Name: name, Side: ProbeSide, Col: col} }
+
+// HashJoinNode is an equi-join on tuples of Int32 columns. The build input
+// is hashed; the probe input streams. An optional residual predicate
+// filters matched pairs (used for the extra equality checks of Queries 1-3
+// and 2-3, e.g. T2.x = T3.x).
+//
+// Batch rule application (the paper's core idea) is expressed as hash
+// joins between the MLN partition tables and the facts table, so this
+// operator carries most of the grounding work.
+type HashJoinNode struct {
+	base
+	build, probe         Node
+	buildKeys, probeKeys []int
+	residual             func(b *Table, br int, p *Table, pr int) bool
+	residualDesc         string
+	outs                 []JoinOut
+	desc                 string
+}
+
+// NewHashJoin constructs a hash equi-join.
+//
+// buildKeys and probeKeys are parallel lists of Int32 column indices; a
+// build row and probe row match when the key tuples are equal and the
+// residual predicate (if any) accepts the pair. outs selects and renames
+// the output columns. desc is a human-readable join condition for Explain.
+func NewHashJoin(build, probe Node, buildKeys, probeKeys []int, outs []JoinOut, desc string) *HashJoinNode {
+	if len(buildKeys) != len(probeKeys) {
+		panic("engine: HashJoin key lists differ in length")
+	}
+	sch := JoinSchema(build.OutSchema(), probe.OutSchema(), outs)
+	return &HashJoinNode{
+		base:      base{schema: sch},
+		build:     build,
+		probe:     probe,
+		buildKeys: buildKeys,
+		probeKeys: probeKeys,
+		outs:      outs,
+		desc:      desc,
+	}
+}
+
+// WithResidual attaches a residual predicate evaluated on each key-matched
+// (build, probe) row pair; desc describes it for Explain.
+func (n *HashJoinNode) WithResidual(desc string, pred func(b *Table, br int, p *Table, pr int) bool) *HashJoinNode {
+	n.residual = pred
+	n.residualDesc = desc
+	return n
+}
+
+func (n *HashJoinNode) Children() []Node { return []Node{n.build, n.probe} }
+
+func (n *HashJoinNode) Label() string {
+	l := "Hash Join (" + n.desc + ")"
+	if n.residualDesc != "" {
+		l += " Residual (" + n.residualDesc + ")"
+	}
+	return l
+}
+
+// Run executes the join.
+func (n *HashJoinNode) Run() (*Table, error) {
+	ins, err := runChildren(n)
+	if err != nil {
+		return nil, err
+	}
+	bt, pt := ins[0], ins[1]
+	return timeRun(&n.stats, func() (*Table, error) {
+		return hashJoinTables(bt, pt, n.buildKeys, n.probeKeys, n.residual, n.outs, n.schema)
+	})
+}
+
+// JoinSchema derives the output schema a join with the given output spec
+// produces.
+func JoinSchema(buildSchema, probeSchema Schema, outs []JoinOut) Schema {
+	sch := Schema{Cols: make([]ColDef, len(outs))}
+	for i, o := range outs {
+		src := buildSchema
+		if o.Side == ProbeSide {
+			src = probeSchema
+		}
+		sch.Cols[i] = ColDef{Name: o.Name, Type: src.Cols[o.Col].Type}
+	}
+	return sch
+}
+
+// HashJoinTables runs the hash-join kernel directly on materialized
+// tables. The MPP layer calls it once per segment.
+func HashJoinTables(bt, pt *Table, buildKeys, probeKeys []int,
+	residual func(b *Table, br int, p *Table, pr int) bool,
+	outs []JoinOut) (*Table, error) {
+	return hashJoinTables(bt, pt, buildKeys, probeKeys, residual, outs,
+		JoinSchema(bt.Schema(), pt.Schema(), outs))
+}
+
+// hashJoinTables is the join kernel, shared with the MPP layer (which runs
+// it once per segment).
+func hashJoinTables(bt, pt *Table, buildKeys, probeKeys []int,
+	residual func(b *Table, br int, p *Table, pr int) bool,
+	outs []JoinOut, schema Schema) (*Table, error) {
+
+	// Build phase.
+	ht := make(map[uint64][]int32, bt.NumRows()*2)
+	for r := 0; r < bt.NumRows(); r++ {
+		h := HashRow(bt, r, buildKeys)
+		ht[h] = append(ht[h], int32(r))
+	}
+
+	out := NewTable("join", schema)
+
+	// Fast paths for emitting output rows: precompute per-output source.
+	type outSrc struct {
+		side int
+		col  int
+		typ  ColType
+	}
+	srcs := make([]outSrc, len(outs))
+	for i, o := range outs {
+		srcs[i] = outSrc{side: o.Side, col: o.Col, typ: schema.Cols[i].Type}
+	}
+
+	emit := func(br, pr int) {
+		for i, s := range srcs {
+			oc := out.cols[i]
+			src := bt
+			row := br
+			if s.side == ProbeSide {
+				src = pt
+				row = pr
+			}
+			ic := src.cols[s.col]
+			switch s.typ {
+			case Int32:
+				oc.i32 = append(oc.i32, ic.i32[row])
+			case Float64:
+				oc.f64 = append(oc.f64, ic.f64[row])
+			case String:
+				oc.str = append(oc.str, ic.str[row])
+			}
+		}
+		out.nrows++
+	}
+
+	// Probe phase.
+	for pr := 0; pr < pt.NumRows(); pr++ {
+		h := HashRow(pt, pr, probeKeys)
+		for _, cand := range ht[h] {
+			br := int(cand)
+			if !rowsEqualOn(bt, br, buildKeys, pt, pr, probeKeys) {
+				continue
+			}
+			if residual != nil && !residual(bt, br, pt, pr) {
+				continue
+			}
+			emit(br, pr)
+		}
+	}
+	return out, nil
+}
+
+// NestedLoopJoin joins two tables by exhaustive pairing; it exists only as
+// a correctness oracle for tests (hash join must agree with it).
+func NestedLoopJoin(bt, pt *Table, buildKeys, probeKeys []int,
+	residual func(b *Table, br int, p *Table, pr int) bool,
+	outs []JoinOut) *Table {
+
+	sch := JoinSchema(bt.Schema(), pt.Schema(), outs)
+	out := NewTable("nljoin", sch)
+	for br := 0; br < bt.NumRows(); br++ {
+		for pr := 0; pr < pt.NumRows(); pr++ {
+			if !rowsEqualOn(bt, br, buildKeys, pt, pr, probeKeys) {
+				continue
+			}
+			if residual != nil && !residual(bt, br, pt, pr) {
+				continue
+			}
+			for i, o := range outs {
+				oc := out.cols[i]
+				src, row := bt, br
+				if o.Side == ProbeSide {
+					src, row = pt, pr
+				}
+				ic := src.cols[o.Col]
+				switch sch.Cols[i].Type {
+				case Int32:
+					oc.i32 = append(oc.i32, ic.i32[row])
+				case Float64:
+					oc.f64 = append(oc.f64, ic.f64[row])
+				case String:
+					oc.str = append(oc.str, ic.str[row])
+				}
+			}
+			out.nrows++
+		}
+	}
+	return out
+}
+
+// JoinDesc formats a join condition like "T.R = M.R2 AND T.C1 = M.C1" from
+// column names, for Explain labels.
+func JoinDesc(buildName string, buildSchema Schema, buildKeys []int, probeName string, probeSchema Schema, probeKeys []int) string {
+	parts := make([]string, len(buildKeys))
+	for i := range buildKeys {
+		parts[i] = fmt.Sprintf("%s.%s = %s.%s",
+			buildName, buildSchema.Cols[buildKeys[i]].Name,
+			probeName, probeSchema.Cols[probeKeys[i]].Name)
+	}
+	return strings.Join(parts, " AND ")
+}

@@ -1,0 +1,111 @@
+package engine
+
+// Composite-key hashing for hash joins, distinct, grouping, and the MPP
+// layer's hash distribution. Keys are always tuples of Int32 column values.
+// We hash into uint64 and verify real equality on probe, so hash collisions
+// cost time but never correctness.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashInt32s combines a tuple of int32 values into a 64-bit hash (FNV-1a
+// over the 4 bytes of each value).
+func hashInt32s(vals ...int32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range vals {
+		u := uint32(v)
+		h ^= uint64(u & 0xff)
+		h *= fnvPrime64
+		h ^= uint64((u >> 8) & 0xff)
+		h *= fnvPrime64
+		h ^= uint64((u >> 16) & 0xff)
+		h *= fnvPrime64
+		h ^= uint64(u >> 24)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// HashRow hashes the given Int32 columns of row r. Exported for the MPP
+// layer, which uses the same function so that "distributed by (k...)"
+// means the same placement everywhere.
+func HashRow(t *Table, r int, cols []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range cols {
+		u := uint32(t.cols[c].i32[r])
+		h ^= uint64(u & 0xff)
+		h *= fnvPrime64
+		h ^= uint64((u >> 8) & 0xff)
+		h *= fnvPrime64
+		h ^= uint64((u >> 16) & 0xff)
+		h *= fnvPrime64
+		h ^= uint64(u >> 24)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// rowsEqualOn reports whether row ra of a equals row rb of b on the given
+// column lists (element-wise; the lists must have equal length).
+func rowsEqualOn(a *Table, ra int, acols []int, b *Table, rb int, bcols []int) bool {
+	for i := range acols {
+		if a.cols[acols[i]].i32[ra] != b.cols[bcols[i]].i32[rb] {
+			return false
+		}
+	}
+	return true
+}
+
+// RowSet is a set of rows of one table keyed by a tuple of Int32 columns.
+// It backs set-union semantics (facts tables dedup on (R,x,C1,y,C2)) and
+// DISTINCT.
+type RowSet struct {
+	t    *Table
+	cols []int
+	m    map[uint64][]int32
+}
+
+// NewRowSet builds a set over the existing rows of t keyed on cols.
+func NewRowSet(t *Table, cols []int) *RowSet {
+	s := &RowSet{t: t, cols: cols, m: make(map[uint64][]int32, t.NumRows()*2)}
+	for r := 0; r < t.NumRows(); r++ {
+		s.addRow(r)
+	}
+	return s
+}
+
+func (s *RowSet) addRow(r int) {
+	h := HashRow(s.t, r, s.cols)
+	s.m[h] = append(s.m[h], int32(r))
+}
+
+// Contains reports whether a row with the same key as row r of table o
+// (keyed on ocols) is already present.
+func (s *RowSet) Contains(o *Table, r int, ocols []int) bool {
+	h := HashRow(o, r, ocols)
+	for _, cand := range s.m[h] {
+		if rowsEqualOn(s.t, int(cand), s.cols, o, r, ocols) {
+			return true
+		}
+	}
+	return false
+}
+
+// NoteAppended registers that rows [from, t.NumRows()) were appended to the
+// underlying table and must join the set.
+func (s *RowSet) NoteAppended(from int) {
+	for r := from; r < s.t.NumRows(); r++ {
+		s.addRow(r)
+	}
+}
+
+// Len returns the number of indexed rows.
+func (s *RowSet) Len() int {
+	n := 0
+	for _, v := range s.m {
+		n += len(v)
+	}
+	return n
+}

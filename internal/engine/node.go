@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Node is one operator of a physical query plan. Plans are trees; Run
+// materializes the node's full output, timing itself and recording row
+// counts so Explain can annotate the tree the way Figure 4 of the paper
+// annotates Greenplum plans.
+type Node interface {
+	// OutSchema returns the schema of the node's output.
+	OutSchema() Schema
+	// Children returns the input operators.
+	Children() []Node
+	// Label returns a one-line description, e.g. "Hash Join (T.R = M1.R2)".
+	Label() string
+	// Run executes the subtree rooted at the node and returns its output.
+	Run() (*Table, error)
+	// Stats returns the row count and wall time of the most recent Run.
+	Stats() *NodeStats
+}
+
+// NodeStats records what the most recent Run of a node did.
+type NodeStats struct {
+	Rows    int
+	Elapsed time.Duration
+	// Extra carries operator-specific annotations (e.g. bytes moved by an
+	// MPP motion) that Explain appends to the label.
+	Extra string
+}
+
+// base carries the bookkeeping shared by every operator.
+type base struct {
+	schema Schema
+	stats  NodeStats
+}
+
+func (b *base) OutSchema() Schema { return b.schema }
+func (b *base) Stats() *NodeStats { return &b.stats }
+
+// timeRun wraps an operator body with timing and row accounting. The
+// elapsed time recorded is *self* time only (children timed separately),
+// matching the per-operator durations in Figure 4.
+func timeRun(st *NodeStats, body func() (*Table, error)) (*Table, error) {
+	start := time.Now()
+	out, err := body()
+	st.Elapsed = time.Since(start)
+	if out != nil {
+		st.Rows = out.NumRows()
+	}
+	return out, err
+}
+
+// runChildren executes all children first and returns their outputs. Child
+// execution time is excluded from the parent's self time.
+func runChildren(n Node) ([]*Table, error) {
+	kids := n.Children()
+	outs := make([]*Table, len(kids))
+	for i, k := range kids {
+		t, err := k.Run()
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = t
+	}
+	return outs, nil
+}
+
+// Explain renders the plan tree with per-node row counts and self times
+// from the most recent Run. Call Run first for an EXPLAIN ANALYZE view;
+// without a prior Run the annotations are zero.
+func Explain(root Node) string {
+	var b strings.Builder
+	explainNode(&b, root, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n Node, depth int) {
+	st := n.Stats()
+	fmt.Fprintf(b, "%s-> %s  (rows=%d time=%s%s)\n",
+		strings.Repeat("  ", depth), n.Label(), st.Rows, st.Elapsed.Round(time.Microsecond), st.Extra)
+	for _, k := range n.Children() {
+		explainNode(b, k, depth+1)
+	}
+}
+
+// TotalTime sums the self time of every node in the plan.
+func TotalTime(root Node) time.Duration {
+	total := root.Stats().Elapsed
+	for _, k := range root.Children() {
+		total += TotalTime(k)
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+package factor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"probkb/internal/engine"
+	"probkb/internal/ground"
+	"probkb/internal/kb"
+)
+
+// Export writes a ground factor graph in the relational text format the
+// paper's architecture hands to external inference engines ("the result
+// factor graph in relational format ... existing inference engines,
+// e.g., Gibbs, GraphLab, can be used" — Figure 1).
+//
+// variables.tsv:  id <TAB> weight|null <TAB> observed(0|1) [<TAB> rendering]
+// factors.tsv:    i1 <TAB> i2|null <TAB> i3|null <TAB> weight
+//
+// render may be nil; when provided it appends a human-readable fact
+// column to variables.tsv.
+func Export(facts, factors *engine.Table, varsW, factorsW io.Writer, render func(row int) string) error {
+	bw := bufio.NewWriter(varsW)
+	ids := facts.Int32Col(kb.TPiI)
+	ws := facts.Float64Col(kb.TPiW)
+	for r := 0; r < facts.NumRows(); r++ {
+		w := "null"
+		observed := 0
+		if !engine.IsNullFloat64(ws[r]) {
+			w = formatF(ws[r])
+			observed = 1
+		}
+		if render != nil {
+			fmt.Fprintf(bw, "%d\t%s\t%d\t%s\n", ids[r], w, observed, render(r))
+		} else {
+			fmt.Fprintf(bw, "%d\t%s\t%d\n", ids[r], w, observed)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	bf := bufio.NewWriter(factorsW)
+	i1 := factors.Int32Col(ground.TPhiI1)
+	i2 := factors.Int32Col(ground.TPhiI2)
+	i3 := factors.Int32Col(ground.TPhiI3)
+	fw := factors.Float64Col(ground.TPhiW)
+	nullable := func(v int32) string {
+		if v == engine.NullInt32 {
+			return "null"
+		}
+		return fmt.Sprint(v)
+	}
+	for r := 0; r < factors.NumRows(); r++ {
+		fmt.Fprintf(bf, "%d\t%s\t%s\t%s\n", i1[r], nullable(i2[r]), nullable(i3[r]), formatF(fw[r]))
+	}
+	return bf.Flush()
+}
+
+func formatF(v float64) string {
+	if math.IsInf(v, +1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,257 @@
+// Package factor implements the ground factor graph (Section 2.2 and
+// Definition 7 of the paper): the output of grounding and the input to
+// marginal inference.
+//
+// A variable is one fact of TΠ (a binary ground atom); a factor is one
+// row of TΦ. Two factor kinds exist:
+//
+//   - clause factors (I1, I2[, I3], w): the ground Horn clause
+//     I1 ← I2[, I3] with weight w, contributing e^w unless the body is
+//     true and the head false;
+//   - singleton factors (I1, NULL, NULL, w): an observed fact's own
+//     weight, a unit clause contributing e^w when the fact is true.
+//
+// Because TΦ records which facts derived which, it carries the entire
+// lineage of the expanded KB; Lineage and Explain query it.
+package factor
+
+import (
+	"fmt"
+	"strings"
+
+	"probkb/internal/engine"
+	"probkb/internal/ground"
+	"probkb/internal/kb"
+)
+
+// Factor is one ground factor. Head is the consequent variable; Body has
+// 0 (singleton), 1, or 2 antecedent variables.
+type Factor struct {
+	Head int32
+	Body []int32
+	W    float64
+}
+
+// Singleton reports whether the factor is an observed fact's unit clause.
+func (f Factor) Singleton() bool { return len(f.Body) == 0 }
+
+// Vars returns all variables the factor touches (head first).
+func (f Factor) Vars() []int32 {
+	out := make([]int32, 0, 1+len(f.Body))
+	out = append(out, f.Head)
+	return append(out, f.Body...)
+}
+
+// Graph is a materialized ground factor graph. Variables are graph-local
+// indices 0..NumVars-1; VarOf and FactID translate between them and the
+// (possibly sparse, after constraint deletions) fact IDs of TΠ.
+type Graph struct {
+	nvars   int
+	factors []Factor
+	// adj[v] lists the indices of the factors touching variable v.
+	adj [][]int32
+	// ids[v] is variable v's fact ID; byID is the inverse.
+	ids  []int32
+	byID map[int32]int32
+}
+
+// FromTables builds a Graph from a grounding result's TΠ and TΦ tables.
+// Fact IDs may be sparse (quality control deletes rows without
+// renumbering); every factor must reference a present fact.
+func FromTables(facts, factors *engine.Table) (*Graph, error) {
+	n := facts.NumRows()
+	ids := facts.Int32Col(kb.TPiI)
+	g := &Graph{
+		nvars: n,
+		adj:   make([][]int32, n),
+		ids:   make([]int32, n),
+		byID:  make(map[int32]int32, n),
+	}
+	for r := 0; r < n; r++ {
+		if _, dup := g.byID[ids[r]]; dup {
+			return nil, fmt.Errorf("factor: duplicate fact ID %d", ids[r])
+		}
+		g.ids[r] = ids[r]
+		g.byID[ids[r]] = int32(r)
+	}
+
+	i1s := factors.Int32Col(ground.TPhiI1)
+	i2s := factors.Int32Col(ground.TPhiI2)
+	i3s := factors.Int32Col(ground.TPhiI3)
+	ws := factors.Float64Col(ground.TPhiW)
+	for r := 0; r < factors.NumRows(); r++ {
+		mapID := func(id int32) (int32, error) {
+			v, ok := g.byID[id]
+			if !ok {
+				return 0, fmt.Errorf("factor: factor row %d references unknown fact %d", r, id)
+			}
+			return v, nil
+		}
+		head, err := mapID(i1s[r])
+		if err != nil {
+			return nil, err
+		}
+		f := Factor{Head: head, W: ws[r]}
+		if i2s[r] != engine.NullInt32 {
+			v, err := mapID(i2s[r])
+			if err != nil {
+				return nil, err
+			}
+			f.Body = append(f.Body, v)
+		}
+		if i3s[r] != engine.NullInt32 {
+			v, err := mapID(i3s[r])
+			if err != nil {
+				return nil, err
+			}
+			f.Body = append(f.Body, v)
+		}
+		idx := int32(len(g.factors))
+		g.factors = append(g.factors, f)
+		for _, v := range f.Vars() {
+			g.adj[v] = append(g.adj[v], idx)
+		}
+	}
+	return g, nil
+}
+
+// VarOf translates a fact ID to its graph variable index.
+func (g *Graph) VarOf(factID int32) (int32, bool) {
+	v, ok := g.byID[factID]
+	return v, ok
+}
+
+// FactID translates a graph variable index back to its fact ID.
+func (g *Graph) FactID(v int32) int32 { return g.ids[v] }
+
+// FromResult builds a Graph straight from a grounding result.
+func FromResult(res *ground.Result) (*Graph, error) {
+	if res.Factors == nil {
+		return nil, fmt.Errorf("factor: grounding result has no factor table (SkipFactors?)")
+	}
+	return FromTables(res.Facts, res.Factors)
+}
+
+// NumVars returns the number of variables (facts).
+func (g *Graph) NumVars() int { return g.nvars }
+
+// NumFactors returns the number of factors.
+func (g *Graph) NumFactors() int { return len(g.factors) }
+
+// Factor returns factor i.
+func (g *Graph) Factor(i int) Factor { return g.factors[i] }
+
+// FactorsOf returns the indices of the factors touching variable v.
+func (g *Graph) FactorsOf(v int32) []int32 { return g.adj[v] }
+
+// Satisfied evaluates a factor's clause under an assignment: false only
+// when the body is fully true and the head false (clause semantics);
+// singleton factors are satisfied when the fact itself is true.
+func (f Factor) Satisfied(assign []bool) bool {
+	if f.Singleton() {
+		return assign[f.Head]
+	}
+	for _, b := range f.Body {
+		if !assign[b] {
+			return true
+		}
+	}
+	return assign[f.Head]
+}
+
+// LogScore returns the assignment's unnormalized log probability
+// Σ w_i · n_i(x) over all factors (equation (4) of the paper).
+func (g *Graph) LogScore(assign []bool) float64 {
+	var s float64
+	for _, f := range g.factors {
+		if f.Satisfied(assign) {
+			s += f.W
+		}
+	}
+	return s
+}
+
+// Neighbors returns the distinct variables sharing a factor with v (its
+// Markov blanket), excluding v itself.
+func (g *Graph) Neighbors(v int32) []int32 {
+	seen := map[int32]bool{v: true}
+	var out []int32
+	for _, fi := range g.adj[v] {
+		for _, u := range g.factors[fi].Vars() {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// Lineage returns the derivation factors of variable v: the non-singleton
+// factors whose head is v, each one a rule application that produced the
+// fact.
+func (g *Graph) Lineage(v int32) []Factor {
+	var out []Factor
+	for _, fi := range g.adj[v] {
+		f := g.factors[fi]
+		if f.Head == v && !f.Singleton() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Explain renders the proof tree of variable v down to the given depth,
+// naming facts through the provided renderer. Facts with no derivations
+// print as base extractions.
+func (g *Graph) Explain(v int32, depth int, name func(int32) string) string {
+	var b strings.Builder
+	g.explain(&b, v, depth, 0, name)
+	return b.String()
+}
+
+func (g *Graph) explain(b *strings.Builder, v int32, depth, indent int, name func(int32) string) {
+	pad := strings.Repeat("  ", indent)
+	derivs := g.Lineage(v)
+	if len(derivs) == 0 || depth == 0 {
+		fmt.Fprintf(b, "%s%s\n", pad, name(v))
+		return
+	}
+	fmt.Fprintf(b, "%s%s, derived by %d rule application(s):\n", pad, name(v), len(derivs))
+	for _, f := range derivs {
+		fmt.Fprintf(b, "%s<- (w=%.2f)\n", pad+"  ", f.W)
+		for _, u := range f.Body {
+			g.explain(b, u, depth-1, indent+2, name)
+		}
+	}
+}
+
+// Stats summarizes the graph for reports.
+type Stats struct {
+	Vars       int
+	Factors    int
+	Singletons int
+	MaxDegree  int
+	AvgDegree  float64
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	st := Stats{Vars: g.nvars, Factors: len(g.factors)}
+	for _, f := range g.factors {
+		if f.Singleton() {
+			st.Singletons++
+		}
+	}
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+		if len(a) > st.MaxDegree {
+			st.MaxDegree = len(a)
+		}
+	}
+	if g.nvars > 0 {
+		st.AvgDegree = float64(total) / float64(g.nvars)
+	}
+	return st
+}

@@ -1,0 +1,368 @@
+package ground
+
+import (
+	"fmt"
+	"time"
+
+	"probkb/internal/engine"
+	"probkb/internal/kb"
+	"probkb/internal/mln"
+)
+
+// BatchGrounder is the ProbKB grounder: Algorithm 1 over the relational
+// model, applying all rules of a partition with one multi-way join.
+type BatchGrounder struct {
+	kb    *kb.KB
+	parts *mln.Partitions
+	opts  Options
+}
+
+// NewBatch prepares a batch grounder for the KB.
+func NewBatch(k *kb.KB, opts Options) (*BatchGrounder, error) {
+	parts, err := k.MLNPartitions()
+	if err != nil {
+		return nil, fmt.Errorf("ground: partitioning rules: %w", err)
+	}
+	return &BatchGrounder{kb: k, parts: parts, opts: opts}, nil
+}
+
+// Ground runs Algorithm 1 and returns the grounding result.
+func (g *BatchGrounder) Ground() (*Result, error) {
+	res := &Result{}
+
+	loadStart := time.Now()
+	tpi := g.kb.FactsTable()
+	ix := newFactIndex(tpi)
+	res.LoadTime = time.Since(loadStart)
+	res.BaseFacts = tpi.NumRows()
+
+	return g.groundFrom(tpi, ix, -1, res)
+}
+
+// groundFrom runs the closure loop and factor phase over an existing
+// facts table. deltaFrom >= 0 seeds the first iteration's semi-naive
+// delta at that row offset (the incremental-expansion path); -1 starts
+// naive.
+func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom int, res *Result) (*Result, error) {
+	active := g.parts.NonEmpty()
+
+	// Phase 1: transitive closure (groundAtoms until fixpoint or cap).
+	atomStart := time.Now()
+	maxIters := g.opts.MaxIterations
+	// Semi-naive bookkeeping: deltaFrom marks where the previous
+	// iteration's new rows start; -1 forces a full (naive) join.
+	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
+		iterStart := time.Now()
+		st := IterStats{Iteration: iter}
+
+		var delta *engine.Table
+		if deltaFrom >= 0 && (g.opts.SemiNaive || iter == 1) {
+			// Semi-naive delta; an explicit seed (incremental expansion)
+			// applies on the first iteration even under naive evaluation.
+			delta = sliceRows(tpi, deltaFrom)
+		}
+		prevLen := tpi.NumRows()
+
+		// Run every partition's query against this iteration's snapshot
+		// of TΠ, then merge (Algorithm 1 lines 3-5).
+		candidates := make([]*engine.Table, 0, len(active))
+		for _, p := range active {
+			for _, plan := range g.atomsPlans(p, tpi, delta) {
+				out, err := plan.Run()
+				if err != nil {
+					return nil, fmt.Errorf("ground: partition %d atoms query: %w", p, err)
+				}
+				st.Queries++
+				candidates = append(candidates, out)
+			}
+		}
+		for _, c := range candidates {
+			st.NewFacts += ix.merge(c)
+		}
+		if g.opts.ConstraintHook != nil {
+			st.Deleted = g.opts.ConstraintHook(tpi)
+			if st.Deleted > 0 {
+				ix.rebuild()
+			}
+		}
+		if st.Deleted > 0 {
+			deltaFrom = -1 // removals invalidate the delta; go naive once
+		} else {
+			deltaFrom = prevLen
+		}
+
+		st.Elapsed = time.Since(iterStart)
+		res.PerIteration = append(res.PerIteration, st)
+		res.Iterations = iter
+		res.AtomQueries += st.Queries
+		if g.opts.OnIteration != nil {
+			g.opts.OnIteration(st)
+		}
+		if g.opts.Observer != nil {
+			g.opts.Observer(iter, tpi)
+		}
+		if st.NewFacts == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.AtomTime = time.Since(atomStart)
+	res.Facts = tpi
+
+	if g.opts.SkipFactors {
+		return res, nil
+	}
+
+	// Phase 2: ground factors (Algorithm 1 lines 8-10).
+	factorStart := time.Now()
+	factors := engine.NewTable("TPhi", FactorSchema())
+	for _, p := range active {
+		plan := g.factorsPlan(p, tpi)
+		out, err := plan.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ground: partition %d factors query: %w", p, err)
+		}
+		res.FactorQueries++
+		factors.AppendTable(out) // bag union (Proposition 1)
+	}
+	appendSingletonFactors(factors, tpi)
+	res.FactorQueries++
+	res.Factors = factors
+	res.FactorTime = time.Since(factorStart)
+	return res, nil
+}
+
+// sliceRows copies rows [from, NumRows) of t into a fresh table (the Δ
+// input of semi-naive evaluation).
+func sliceRows(t *engine.Table, from int) *engine.Table {
+	out := engine.NewTable(t.Name()+"_delta", t.Schema())
+	n := t.NumRows()
+	rows := make([]int32, 0, n-from)
+	for r := from; r < n; r++ {
+		rows = append(rows, int32(r))
+	}
+	out.AppendRowsFrom(t, rows)
+	return out
+}
+
+// atomsPlans returns the query plans for partition p this iteration:
+// one full join under naive evaluation; under semi-naive, the Δ-joins
+// (Δ for one-atom bodies; Δ⋈T and T⋈Δ for two-atom bodies, whose union
+// covers every derivation using at least one new fact — Δ⋈Δ pairs appear
+// in both and dedup in the merge).
+func (g *BatchGrounder) atomsPlans(p int, tpi, delta *engine.Table) []engine.Node {
+	_, body := mln.Shape(p)
+	if delta == nil {
+		return []engine.Node{g.atomsPlan(p, tpi, tpi)}
+	}
+	if len(body) == 1 {
+		return []engine.Node{g.atomsPlan(p, delta, delta)}
+	}
+	return []engine.Node{
+		g.atomsPlan(p, delta, tpi),
+		g.atomsPlan(p, tpi, delta),
+	}
+}
+
+// atomsPlan builds Query 1-p: the join computing new ground atoms from
+// partition p, with the first body atom probing t2src and the second
+// t3src (both the full table under naive evaluation).
+func (g *BatchGrounder) atomsPlan(p int, t2src, t3src *engine.Table) engine.Node {
+	m := g.parts.Table(p)
+	lay := layoutOf(p)
+	_, body := mln.Shape(p)
+	b0 := body[0]
+
+	// J1: Mi ⋈ T on the first body atom's relation and classes.
+	j1Keys := []int{lay.r2, lay.class[b0.Arg1], lay.class[b0.Arg2]}
+	tKeys := []int{kb.TPiR, kb.TPiC1, kb.TPiC2}
+
+	if len(body) == 1 {
+		outs := []engine.JoinOut{
+			engine.BuildCol("R", lay.r1),
+			engine.ProbeCol("x", tCol(b0, mln.X)),
+			engine.BuildCol("C1", lay.class[mln.X]),
+			engine.ProbeCol("y", tCol(b0, mln.Y)),
+			engine.BuildCol("C2", lay.class[mln.Y]),
+		}
+		j := engine.NewHashJoin(engine.NewScan(m), engine.NewScan(t2src), j1Keys, tKeys, outs,
+			fmt.Sprintf("M%d.R2 = T.R AND classes", p))
+		return engine.NewDistinct(j, candidateKeyCols)
+	}
+
+	b1 := body[1]
+	// J1 output: R1, R3, CX, CY, CZ, xv (value of x from the first body
+	// fact), zv (value of z).
+	j1Outs := []engine.JoinOut{
+		engine.BuildCol("R1", lay.r1),
+		engine.BuildCol("R3", lay.r3),
+		engine.BuildCol("CX", lay.class[mln.X]),
+		engine.BuildCol("CY", lay.class[mln.Y]),
+		engine.BuildCol("CZ", lay.class[mln.Z]),
+		engine.ProbeCol("xv", tCol(b0, mln.X)),
+		engine.ProbeCol("zv", tCol(b0, mln.Z)),
+	}
+	j1 := engine.NewHashJoin(engine.NewScan(m), engine.NewScan(t2src), j1Keys, tKeys, j1Outs,
+		fmt.Sprintf("M%d.R2 = T2.R AND classes", p))
+
+	// J2: join the second body atom, matching z.
+	varCol := map[mln.Var]int{mln.X: 2, mln.Y: 3, mln.Z: 4}
+	j2BuildKeys := []int{1, varCol[b1.Arg1], varCol[b1.Arg2], 6}
+	j2ProbeKeys := []int{kb.TPiR, kb.TPiC1, kb.TPiC2, tCol(b1, mln.Z)}
+	j2Outs := []engine.JoinOut{
+		engine.BuildCol("R", 0),
+		engine.BuildCol("x", 5),
+		engine.BuildCol("C1", 2),
+		engine.ProbeCol("y", tCol(b1, mln.Y)),
+		engine.BuildCol("C2", 3),
+	}
+	j2 := engine.NewHashJoin(j1, engine.NewScan(t3src), j2BuildKeys, j2ProbeKeys, j2Outs,
+		fmt.Sprintf("M%d.R3 = T3.R AND classes AND T2.z = T3.z", p))
+	return engine.NewDistinct(j2, candidateKeyCols)
+}
+
+// factorsPlan builds Query 2-p: the join emitting ground factors
+// (I1, I2, I3, w) for partition p. It mirrors atomsPlan but carries fact
+// IDs and the rule weight, and additionally joins the rule head to
+// resolve I1.
+func (g *BatchGrounder) factorsPlan(p int, tpi *engine.Table) engine.Node {
+	m := g.parts.Table(p)
+	lay := layoutOf(p)
+	_, body := mln.Shape(p)
+	b0 := body[0]
+
+	scanT := func() engine.Node { return engine.NewScan(tpi) }
+	j1Keys := []int{lay.r2, lay.class[b0.Arg1], lay.class[b0.Arg2]}
+	tKeys := []int{kb.TPiR, kb.TPiC1, kb.TPiC2}
+	headKeys := []int{kb.TPiR, kb.TPiC1, kb.TPiC2, kb.TPiX, kb.TPiY}
+
+	if len(body) == 1 {
+		// J1 output: R1, CX, CY, xv, yv, I2, w.
+		j1Outs := []engine.JoinOut{
+			engine.BuildCol("R1", lay.r1),
+			engine.BuildCol("CX", lay.class[mln.X]),
+			engine.BuildCol("CY", lay.class[mln.Y]),
+			engine.ProbeCol("xv", tCol(b0, mln.X)),
+			engine.ProbeCol("yv", tCol(b0, mln.Y)),
+			engine.ProbeCol("I2", kb.TPiI),
+			engine.BuildCol("w", lay.w),
+		}
+		j1 := engine.NewHashJoin(engine.NewScan(m), scanT(), j1Keys, tKeys, j1Outs,
+			fmt.Sprintf("M%d.R2 = T2.R AND classes", p))
+		// Head join resolves I1.
+		j2Outs := []engine.JoinOut{
+			engine.ProbeCol("I1", kb.TPiI),
+			engine.BuildCol("I2", 5),
+			engine.BuildCol("w", 6),
+		}
+		j2 := engine.NewHashJoin(j1, scanT(), []int{0, 1, 2, 3, 4}, headKeys, j2Outs,
+			fmt.Sprintf("M%d.R1 = T1.R AND head classes AND head args", p))
+		return engine.NewProject(j2,
+			engine.ColExpr("I1", 0),
+			engine.ColExpr("I2", 1),
+			engine.ConstI32Expr("I3", engine.NullInt32),
+			engine.ColExpr("w", 2),
+		)
+	}
+
+	b1 := body[1]
+	// J1 output: R1, R3, CX, CY, CZ, xv, zv, I2, w.
+	j1Outs := []engine.JoinOut{
+		engine.BuildCol("R1", lay.r1),
+		engine.BuildCol("R3", lay.r3),
+		engine.BuildCol("CX", lay.class[mln.X]),
+		engine.BuildCol("CY", lay.class[mln.Y]),
+		engine.BuildCol("CZ", lay.class[mln.Z]),
+		engine.ProbeCol("xv", tCol(b0, mln.X)),
+		engine.ProbeCol("zv", tCol(b0, mln.Z)),
+		engine.ProbeCol("I2", kb.TPiI),
+		engine.BuildCol("w", lay.w),
+	}
+	j1 := engine.NewHashJoin(engine.NewScan(m), scanT(), j1Keys, tKeys, j1Outs,
+		fmt.Sprintf("M%d.R2 = T2.R AND classes", p))
+
+	varCol := map[mln.Var]int{mln.X: 2, mln.Y: 3, mln.Z: 4}
+	j2BuildKeys := []int{1, varCol[b1.Arg1], varCol[b1.Arg2], 6}
+	j2ProbeKeys := []int{kb.TPiR, kb.TPiC1, kb.TPiC2, tCol(b1, mln.Z)}
+	// J2 output: R1, CX, CY, xv, yv, I2, I3, w.
+	j2Outs := []engine.JoinOut{
+		engine.BuildCol("R1", 0),
+		engine.BuildCol("CX", 2),
+		engine.BuildCol("CY", 3),
+		engine.BuildCol("xv", 5),
+		engine.ProbeCol("yv", tCol(b1, mln.Y)),
+		engine.BuildCol("I2", 7),
+		engine.ProbeCol("I3", kb.TPiI),
+		engine.BuildCol("w", 8),
+	}
+	j2 := engine.NewHashJoin(j1, scanT(), j2BuildKeys, j2ProbeKeys, j2Outs,
+		fmt.Sprintf("M%d.R3 = T3.R AND classes AND T2.z = T3.z", p))
+
+	j3Outs := []engine.JoinOut{
+		engine.ProbeCol("I1", kb.TPiI),
+		engine.BuildCol("I2", 5),
+		engine.BuildCol("I3", 6),
+		engine.BuildCol("w", 7),
+	}
+	return engine.NewHashJoin(j2, scanT(), []int{0, 1, 2, 3, 4}, headKeys, j3Outs,
+		fmt.Sprintf("M%d.R1 = T1.R AND head classes AND head args", p))
+}
+
+// appendSingletonFactors emits one size-1 factor per observed (non-NULL
+// weight) fact: groundFactors(TΠ) in Algorithm 1 line 10.
+func appendSingletonFactors(factors, tpi *engine.Table) {
+	ids := tpi.Int32Col(kb.TPiI)
+	ws := tpi.Float64Col(kb.TPiW)
+	for r := 0; r < tpi.NumRows(); r++ {
+		if engine.IsNullFloat64(ws[r]) {
+			continue
+		}
+		factors.AppendRow(ids[r], engine.NullInt32, engine.NullInt32, ws[r])
+	}
+}
+
+// Ground is the one-call convenience: batch-ground k under opts.
+func Ground(k *kb.KB, opts Options) (*Result, error) {
+	g, err := NewBatch(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return g.Ground()
+}
+
+// Extend incrementally expands a previous grounding result with newly
+// arrived facts: the prior closure is reused as-is and the first
+// iteration joins only against the delta (semi-naive seeding), so the
+// cost scales with the new data, not the whole KB. The rule set and
+// options must describe the same MLN the prior run used; the factor
+// phase, when enabled, recomputes TΦ over the combined closure.
+func Extend(k *kb.KB, prev *Result, newFacts []kb.Fact, opts Options) (*Result, error) {
+	g, err := NewBatch(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	loadStart := time.Now()
+	tpi := prev.Facts.Clone()
+	ix := newFactIndex(tpi)
+	res.LoadTime = time.Since(loadStart)
+
+	// Append the genuinely new facts with fresh IDs, preserving their
+	// observation weights.
+	deltaFrom := tpi.NumRows()
+	for _, f := range newFacts {
+		probe := engine.NewTable("new", kb.FactsSchema())
+		probe.AppendRow(int32(0), f.Rel, f.X, f.XClass, f.Y, f.YClass, f.W)
+		if ix.set.Contains(probe, 0, tpiKeyCols) {
+			continue
+		}
+		before := tpi.NumRows()
+		tpi.AppendRow(ix.next, f.Rel, f.X, f.XClass, f.Y, f.YClass, f.W)
+		ix.next++
+		ix.set.NoteAppended(before)
+	}
+	res.BaseFacts = tpi.NumRows()
+
+	return g.groundFrom(tpi, ix, deltaFrom, res)
+}

@@ -1,0 +1,212 @@
+// Package ground implements MLN grounding over the relational model of
+// Section 4 of the paper — the system's core contribution.
+//
+// Two grounders share identical semantics:
+//
+//   - BatchGrounder (probkb mode, Algorithm 1): applies *all rules of a
+//     partition at once* by joining the MLN table Mi against the facts
+//     table TΠ — O(k) queries per iteration for k non-empty partitions,
+//     regardless of rule count. It runs on the single-node engine or,
+//     through the mpp planner, on a Greenplum-style cluster with
+//     redistributed materialized views.
+//
+//   - TuffyGrounder (the Tuffy-T baseline of Section 6.1): one table per
+//     relation and one join query per rule — O(n) queries per iteration
+//     for n rules.
+//
+// Grounding is two phases (Algorithm 1): groundAtoms computes the
+// transitive closure of the facts under the rules, then groundFactors
+// replays the joins carrying fact IDs to emit the ground factor table TΦ
+// (Definition 7), including singleton factors for the observed facts.
+package ground
+
+import (
+	"fmt"
+	"time"
+
+	"probkb/internal/engine"
+	"probkb/internal/kb"
+	"probkb/internal/mln"
+)
+
+// Factor-table column indices (Definition 7): a row (I1, I2, I3, w) is a
+// weighted ground rule I1 ← I2 [, I3]; I2 and I3 are NULL for factors of
+// size 2 or 1.
+const (
+	TPhiI1 = 0
+	TPhiI2 = 1
+	TPhiI3 = 2
+	TPhiW  = 3
+)
+
+// FactorSchema returns the schema of TΦ.
+func FactorSchema() engine.Schema {
+	return engine.NewSchema(
+		engine.C("I1", engine.Int32),
+		engine.C("I2", engine.Int32),
+		engine.C("I3", engine.Int32),
+		engine.C("w", engine.Float64),
+	)
+}
+
+// IterStats records what one grounding iteration did.
+type IterStats struct {
+	Iteration int
+	NewFacts  int
+	Deleted   int // facts removed by the constraint hook
+	Queries   int
+	Elapsed   time.Duration
+}
+
+// Result is the output of a grounding run.
+type Result struct {
+	// Facts is the final TΠ: observed facts (weighted) plus inferred
+	// facts (NULL weight), one row per distinct fact.
+	Facts *engine.Table
+	// Factors is TΦ.
+	Factors *engine.Table
+	// BaseFacts is the number of facts present before inference.
+	BaseFacts int
+	// Iterations actually executed.
+	Iterations int
+	// Converged reports whether a fixpoint was reached (no new facts in
+	// the final iteration) rather than the iteration cap.
+	Converged bool
+	// PerIteration has one entry per executed iteration.
+	PerIteration []IterStats
+	// AtomQueries and FactorQueries count the join queries issued in each
+	// phase — the O(k) vs O(n) comparison of Section 4.3.1.
+	AtomQueries   int
+	FactorQueries int
+	// LoadTime, AtomTime, FactorTime break down the wall clock.
+	LoadTime   time.Duration
+	AtomTime   time.Duration
+	FactorTime time.Duration
+}
+
+// InferredFacts returns how many facts grounding added.
+func (r *Result) InferredFacts() int {
+	return r.Facts.NumRows() - r.BaseFacts
+}
+
+// Options configures a grounding run.
+type Options struct {
+	// MaxIterations caps the closure loop; 0 means run to fixpoint.
+	MaxIterations int
+	// ConstraintHook, when non-nil, is invoked on TΠ after each
+	// iteration's merge (Algorithm 1 line 6, applyConstraints). It must
+	// delete offending rows in place and return how many it removed.
+	ConstraintHook func(tpi *engine.Table) int
+	// SkipFactors skips the groundFactors phase (Query 2); the scaling
+	// experiments of Figure 6(a)/(b) time only the first phase.
+	SkipFactors bool
+	// SemiNaive switches the closure loop to semi-naive evaluation:
+	// iteration i joins each partition against the *delta* of facts new
+	// in iteration i-1 (for two-atom bodies, Δ⋈T ∪ T⋈Δ), instead of
+	// re-joining the full table. Same fixpoint, less rework on deep
+	// closures. The paper uses naive evaluation; this is the ablation
+	// DESIGN.md calls out. After a constraint deletion the next
+	// iteration falls back to a full join (deltas cannot see removals).
+	SemiNaive bool
+	// OnIteration, when non-nil, observes each iteration's stats.
+	OnIteration func(IterStats)
+	// Observer, when non-nil, sees the facts table after each iteration's
+	// merge and constraint pass (read-only). The Figure 7(a) harness uses
+	// it to score precision per iteration.
+	Observer func(iter int, tpi *engine.Table)
+}
+
+// factIndex tracks the distinct facts of a TΠ table by their identity key
+// (R, x, C1, y, C2) and hands out the next fact ID.
+type factIndex struct {
+	set  *engine.RowSet
+	tpi  *engine.Table
+	next int32
+}
+
+// tpiKeyCols are the identity columns of TΠ.
+var tpiKeyCols = []int{kb.TPiR, kb.TPiX, kb.TPiC1, kb.TPiY, kb.TPiC2}
+
+func newFactIndex(tpi *engine.Table) *factIndex {
+	next := int32(0)
+	ids := tpi.Int32Col(kb.TPiI)
+	for _, id := range ids {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	return &factIndex{set: engine.NewRowSet(tpi, tpiKeyCols), tpi: tpi, next: next}
+}
+
+// candidateKeyCols are the identity columns of a groundAtoms result
+// (schema R, x, C1, y, C2).
+var candidateKeyCols = []int{0, 1, 2, 3, 4}
+
+// merge appends the rows of candidates (schema (R, x, C1, y, C2)) that
+// are not yet in TΠ, assigning fresh IDs and NULL weights; it returns the
+// number of new facts.
+func (ix *factIndex) merge(candidates *engine.Table) int {
+	added := 0
+	r32 := candidates.Int32Col(0)
+	x32 := candidates.Int32Col(1)
+	c132 := candidates.Int32Col(2)
+	y32 := candidates.Int32Col(3)
+	c232 := candidates.Int32Col(4)
+	for r := 0; r < candidates.NumRows(); r++ {
+		if ix.set.Contains(candidates, r, candidateKeyCols) {
+			continue
+		}
+		before := ix.tpi.NumRows()
+		ix.tpi.AppendRow(ix.next, r32[r], x32[r], c132[r], y32[r], c232[r], engine.NullFloat64())
+		ix.next++
+		ix.set.NoteAppended(before)
+		added++
+	}
+	return added
+}
+
+// rebuild re-indexes TΠ after in-place deletions.
+func (ix *factIndex) rebuild() {
+	ix.set = engine.NewRowSet(ix.tpi, tpiKeyCols)
+}
+
+// ---------------------------------------------------------------------------
+// Join-shape derivation
+//
+// Everything below derives the grounding joins from the canonical shape
+// of each partition, so Queries 1-i and 2-i for all six partitions come
+// out of one generator.
+
+// mCols describes the column layout of an MLN partition table.
+type mCols struct {
+	r1, r2, r3 int // r3 = -1 for length-2 partitions
+	w          int
+	class      [3]int // class column per canonical variable X, Y, Z (Z = -1 if absent)
+}
+
+// layoutOf returns the column layout of partition p's table.
+func layoutOf(p int) mCols {
+	if p == mln.P1 || p == mln.P2 {
+		return mCols{r1: 0, r2: 1, r3: -1, w: 4, class: [3]int{2, 3, -1}}
+	}
+	return mCols{r1: 0, r2: 1, r3: 2, w: 6, class: [3]int{3, 4, 5}}
+}
+
+// atomSide tells where an atom's variables sit in a TΠ row: the variable
+// in the subject position (T.x) and in the object position (T.y).
+func atomSide(a mln.Atom) (subj, obj mln.Var) { return a.Arg1, a.Arg2 }
+
+// tCol returns the TΠ value column holding variable v of atom a, given
+// that the row matched atom a.
+func tCol(a mln.Atom, v mln.Var) int {
+	if a.Arg1 == v {
+		return kb.TPiX
+	}
+	if a.Arg2 == v {
+		return kb.TPiY
+	}
+	panic(fmt.Sprintf("ground: atom %v does not mention %v", a, v))
+}
+
+// hasVar reports whether atom a mentions v.
+func hasVar(a mln.Atom, v mln.Var) bool { return a.Arg1 == v || a.Arg2 == v }

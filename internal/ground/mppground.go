@@ -1,0 +1,339 @@
+package ground
+
+import (
+	"fmt"
+	"time"
+
+	"probkb/internal/engine"
+	"probkb/internal/kb"
+	"probkb/internal/mln"
+	"probkb/internal/mpp"
+)
+
+// The four distribution keys of Section 4.4: the paper materializes
+// redistributed views of TΠ under exactly these key tuples, which cover
+// every probe-side join the six grounding queries perform.
+var (
+	keyRCC   = []int{kb.TPiR, kb.TPiC1, kb.TPiC2}
+	keyRCxC  = []int{kb.TPiR, kb.TPiC1, kb.TPiC2, kb.TPiX}
+	keyRCCy  = []int{kb.TPiR, kb.TPiC1, kb.TPiC2, kb.TPiY}
+	keyRCxCy = []int{kb.TPiR, kb.TPiC1, kb.TPiC2, kb.TPiX, kb.TPiY}
+)
+
+// MPPGrounder runs Algorithm 1 on the mpp cluster substrate: ProbKB-p
+// when redistributed materialized views are enabled, ProbKB-pn when they
+// are not (the two MPP configurations of Figure 6(c)).
+type MPPGrounder struct {
+	kb       *kb.KB
+	parts    *mln.Partitions
+	opts     Options
+	cluster  *mpp.Cluster
+	useViews bool
+
+	tpi   *engine.Table // master copy
+	ix    *factIndex
+	dT    *mpp.DistTable
+	views *mpp.Views
+	repM  [mln.NumPartitions + 1]*mpp.DistTable
+	// distributedLen is how many master rows the cluster copies already
+	// hold; rows beyond it are appended incrementally.
+	distributedLen int
+}
+
+// NewMPP prepares an MPP grounder. useViews selects ProbKB-p (true) or
+// ProbKB-pn (false).
+func NewMPP(k *kb.KB, opts Options, cluster *mpp.Cluster, useViews bool) (*MPPGrounder, error) {
+	parts, err := k.MLNPartitions()
+	if err != nil {
+		return nil, fmt.Errorf("ground: partitioning rules: %w", err)
+	}
+	return &MPPGrounder{kb: k, parts: parts, opts: opts, cluster: cluster, useViews: useViews}, nil
+}
+
+// load distributes the facts table and replicates the MLN tables across
+// the cluster; with views enabled it also materializes the four
+// redistributed views.
+func (g *MPPGrounder) load() {
+	g.tpi = g.kb.FactsTable()
+	g.ix = newFactIndex(g.tpi)
+	g.redistribute()
+	for _, p := range g.parts.NonEmpty() {
+		g.repM[p] = g.cluster.Replicate(g.parts.Table(p))
+	}
+}
+
+// redistribute reloads the distributed facts table from the master copy
+// and rebuilds the views from scratch (initial load, and after
+// constraint deletions invalidate the copies). Only the three views the
+// groundAtoms queries probe are built here; the head-join view of the
+// factor phase is materialized lazily by ensureHeadView.
+func (g *MPPGrounder) redistribute() {
+	// The base table is distributed by fact ID — a fine key for storage
+	// balance, but never a join key; the views (or motions) supply join
+	// placement.
+	g.dT = g.cluster.Distribute(g.tpi, []int{kb.TPiI})
+	g.distributedLen = g.tpi.NumRows()
+	if !g.useViews {
+		g.views = nil
+		return
+	}
+	g.views = mpp.NewViews(g.cluster)
+	for _, key := range [][]int{keyRCC, keyRCxC, keyRCCy} {
+		g.views.Materialize(g.dT, key)
+	}
+}
+
+// ensureHeadView materializes the (R, C1, x, C2, y) view the factor
+// phase's head joins probe; grounding iterations never use it, so it is
+// built once, just in time.
+func (g *MPPGrounder) ensureHeadView() {
+	if g.views == nil {
+		return
+	}
+	if _, ok := g.views.Lookup(g.dT.Name(), keyRCxCy); !ok {
+		g.views.Materialize(g.dT, keyRCxCy)
+	}
+}
+
+// appendDelta incrementally ships the master rows added since the last
+// distribution to the cluster copies and views (Algorithm 1 line 7, the
+// common no-deletion case).
+func (g *MPPGrounder) appendDelta() {
+	from := g.distributedLen
+	g.dT.AppendFrom(g.tpi, from)
+	if g.views != nil {
+		g.views.AppendFrom(g.dT.Name(), g.tpi, from)
+	}
+	g.distributedLen = g.tpi.NumRows()
+}
+
+// Ground runs the distributed Algorithm 1.
+func (g *MPPGrounder) Ground() (*Result, error) {
+	res := &Result{}
+
+	loadStart := time.Now()
+	g.load()
+	res.LoadTime = time.Since(loadStart)
+	res.BaseFacts = g.tpi.NumRows()
+
+	active := g.parts.NonEmpty()
+
+	atomStart := time.Now()
+	maxIters := g.opts.MaxIterations
+	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
+		iterStart := time.Now()
+		st := IterStats{Iteration: iter}
+
+		candidates := make([]*engine.Table, 0, len(active))
+		for _, p := range active {
+			plan := g.atomsPlanMPP(p)
+			out, err := plan.Run()
+			if err != nil {
+				return nil, fmt.Errorf("ground: mpp partition %d atoms query: %w", p, err)
+			}
+			st.Queries++
+			candidates = append(candidates, mpp.Gather(out))
+		}
+		for _, c := range candidates {
+			st.NewFacts += g.ix.merge(c)
+		}
+		if g.opts.ConstraintHook != nil {
+			st.Deleted = g.opts.ConstraintHook(g.tpi)
+			if st.Deleted > 0 {
+				g.ix.rebuild()
+			}
+		}
+		// Maintain the cluster copies for whoever reads them next — the
+		// next iteration or the factor phase. When this is the final
+		// iteration and no factor phase follows, the maintenance would
+		// feed nobody; skip it.
+		lastIter := st.NewFacts == 0 || (maxIters != 0 && iter == maxIters)
+		needFresh := !lastIter || !g.opts.SkipFactors
+		if needFresh {
+			switch {
+			case st.Deleted > 0:
+				// Deletions invalidate the cluster copies; rebuild.
+				g.redistribute()
+			case st.NewFacts > 0:
+				// The common case: incrementally maintain the distributed
+				// table and its views with just the new rows.
+				g.appendDelta()
+			}
+		}
+
+		st.Elapsed = time.Since(iterStart)
+		res.PerIteration = append(res.PerIteration, st)
+		res.Iterations = iter
+		res.AtomQueries += st.Queries
+		if g.opts.OnIteration != nil {
+			g.opts.OnIteration(st)
+		}
+		if st.NewFacts == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.AtomTime = time.Since(atomStart)
+	res.Facts = g.tpi
+
+	if g.opts.SkipFactors {
+		return res, nil
+	}
+
+	factorStart := time.Now()
+	g.ensureHeadView()
+	factors := engine.NewTable("TPhi", FactorSchema())
+	for _, p := range active {
+		plan := g.factorsPlanMPP(p)
+		out, err := plan.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ground: mpp partition %d factors query: %w", p, err)
+		}
+		res.FactorQueries++
+		factors.AppendTable(mpp.Gather(out))
+	}
+	appendSingletonFactors(factors, g.tpi)
+	res.FactorQueries++
+	res.Factors = factors
+	res.FactorTime = time.Since(factorStart)
+	return res, nil
+}
+
+// probeT returns the scan the planner should use for a TΠ probe joined on
+// key: the matching view when views are on (no motion), the base table
+// otherwise (the planner will insert a motion).
+func (g *MPPGrounder) probeT() mpp.Node { return mpp.NewScan(g.dT) }
+
+// Load distributes the facts and MLN tables without grounding; the
+// Figure 4 harness uses it to build standalone plans.
+func (g *MPPGrounder) Load() { g.load() }
+
+// AtomsPlan exposes the distributed groundAtoms plan for partition p; the
+// Figure 4 harness uses it to print optimized vs unoptimized plans.
+func (g *MPPGrounder) AtomsPlan(p int) mpp.Node { return g.atomsPlanMPP(p) }
+
+// atomsPlanMPP mirrors BatchGrounder.atomsPlan on the cluster.
+func (g *MPPGrounder) atomsPlanMPP(p int) mpp.Node {
+	lay := layoutOf(p)
+	_, body := mln.Shape(p)
+	b0 := body[0]
+	scanM := mpp.NewScan(g.repM[p])
+
+	j1Keys := []int{lay.r2, lay.class[b0.Arg1], lay.class[b0.Arg2]}
+
+	if len(body) == 1 {
+		outs := []engine.JoinOut{
+			engine.BuildCol("R", lay.r1),
+			engine.ProbeCol("x", tCol(b0, mln.X)),
+			engine.BuildCol("C1", lay.class[mln.X]),
+			engine.ProbeCol("y", tCol(b0, mln.Y)),
+			engine.BuildCol("C2", lay.class[mln.Y]),
+		}
+		return mpp.PlanJoin(scanM, g.probeT(), j1Keys, keyRCC, outs,
+			fmt.Sprintf("M%d.R2 = T.R AND classes", p), g.views)
+	}
+
+	b1 := body[1]
+	j1Outs := []engine.JoinOut{
+		engine.BuildCol("R1", lay.r1),
+		engine.BuildCol("R3", lay.r3),
+		engine.BuildCol("CX", lay.class[mln.X]),
+		engine.BuildCol("CY", lay.class[mln.Y]),
+		engine.BuildCol("CZ", lay.class[mln.Z]),
+		engine.ProbeCol("xv", tCol(b0, mln.X)),
+		engine.ProbeCol("zv", tCol(b0, mln.Z)),
+	}
+	j1 := mpp.PlanJoin(scanM, g.probeT(), j1Keys, keyRCC, j1Outs,
+		fmt.Sprintf("M%d.R2 = T2.R AND classes", p), g.views)
+
+	varCol := map[mln.Var]int{mln.X: 2, mln.Y: 3, mln.Z: 4}
+	j2BuildKeys := []int{1, varCol[b1.Arg1], varCol[b1.Arg2], 6}
+	j2ProbeKeys := []int{kb.TPiR, kb.TPiC1, kb.TPiC2, tCol(b1, mln.Z)}
+	j2Outs := []engine.JoinOut{
+		engine.BuildCol("R", 0),
+		engine.BuildCol("x", 5),
+		engine.BuildCol("C1", 2),
+		engine.ProbeCol("y", tCol(b1, mln.Y)),
+		engine.BuildCol("C2", 3),
+	}
+	return mpp.PlanJoin(j1, g.probeT(), j2BuildKeys, j2ProbeKeys, j2Outs,
+		fmt.Sprintf("M%d.R3 = T3.R AND classes AND T2.z = T3.z", p), g.views)
+}
+
+// factorsPlanMPP mirrors BatchGrounder.factorsPlan on the cluster.
+func (g *MPPGrounder) factorsPlanMPP(p int) mpp.Node {
+	lay := layoutOf(p)
+	_, body := mln.Shape(p)
+	b0 := body[0]
+	scanM := mpp.NewScan(g.repM[p])
+
+	j1Keys := []int{lay.r2, lay.class[b0.Arg1], lay.class[b0.Arg2]}
+	headProbeKeys := keyRCxCy
+
+	if len(body) == 1 {
+		j1Outs := []engine.JoinOut{
+			engine.BuildCol("R1", lay.r1),
+			engine.BuildCol("CX", lay.class[mln.X]),
+			engine.BuildCol("CY", lay.class[mln.Y]),
+			engine.ProbeCol("xv", tCol(b0, mln.X)),
+			engine.ProbeCol("yv", tCol(b0, mln.Y)),
+			engine.ProbeCol("I2", kb.TPiI),
+			engine.BuildCol("w", lay.w),
+		}
+		j1 := mpp.PlanJoin(scanM, g.probeT(), j1Keys, keyRCC, j1Outs,
+			fmt.Sprintf("M%d.R2 = T2.R AND classes", p), g.views)
+		j2Outs := []engine.JoinOut{
+			engine.ProbeCol("I1", kb.TPiI),
+			engine.BuildCol("I2", 5),
+			engine.BuildCol("w", 6),
+		}
+		j2 := mpp.PlanJoin(j1, g.probeT(), []int{0, 1, 2, 3, 4}, headProbeKeys, j2Outs,
+			fmt.Sprintf("M%d.R1 = T1.R AND head", p), g.views)
+		return mpp.NewProject(j2,
+			engine.ColExpr("I1", 0),
+			engine.ColExpr("I2", 1),
+			engine.ConstI32Expr("I3", engine.NullInt32),
+			engine.ColExpr("w", 2),
+		)
+	}
+
+	b1 := body[1]
+	j1Outs := []engine.JoinOut{
+		engine.BuildCol("R1", lay.r1),
+		engine.BuildCol("R3", lay.r3),
+		engine.BuildCol("CX", lay.class[mln.X]),
+		engine.BuildCol("CY", lay.class[mln.Y]),
+		engine.BuildCol("CZ", lay.class[mln.Z]),
+		engine.ProbeCol("xv", tCol(b0, mln.X)),
+		engine.ProbeCol("zv", tCol(b0, mln.Z)),
+		engine.ProbeCol("I2", kb.TPiI),
+		engine.BuildCol("w", lay.w),
+	}
+	j1 := mpp.PlanJoin(scanM, g.probeT(), j1Keys, keyRCC, j1Outs,
+		fmt.Sprintf("M%d.R2 = T2.R AND classes", p), g.views)
+
+	varCol := map[mln.Var]int{mln.X: 2, mln.Y: 3, mln.Z: 4}
+	j2BuildKeys := []int{1, varCol[b1.Arg1], varCol[b1.Arg2], 6}
+	j2ProbeKeys := []int{kb.TPiR, kb.TPiC1, kb.TPiC2, tCol(b1, mln.Z)}
+	j2Outs := []engine.JoinOut{
+		engine.BuildCol("R1", 0),
+		engine.BuildCol("CX", 2),
+		engine.BuildCol("CY", 3),
+		engine.BuildCol("xv", 5),
+		engine.ProbeCol("yv", tCol(b1, mln.Y)),
+		engine.BuildCol("I2", 7),
+		engine.ProbeCol("I3", kb.TPiI),
+		engine.BuildCol("w", 8),
+	}
+	j2 := mpp.PlanJoin(j1, g.probeT(), j2BuildKeys, j2ProbeKeys, j2Outs,
+		fmt.Sprintf("M%d.R3 = T3.R AND classes AND T2.z = T3.z", p), g.views)
+
+	j3Outs := []engine.JoinOut{
+		engine.ProbeCol("I1", kb.TPiI),
+		engine.BuildCol("I2", 5),
+		engine.BuildCol("I3", 6),
+		engine.BuildCol("w", 7),
+	}
+	return mpp.PlanJoin(j2, g.probeT(), []int{0, 1, 2, 3, 4}, headProbeKeys, j3Outs,
+		fmt.Sprintf("M%d.R1 = T1.R AND head", p), g.views)
+}

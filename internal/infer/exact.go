@@ -1,0 +1,57 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"probkb/internal/factor"
+)
+
+// MaxExactVars bounds the brute-force enumeration: 2^22 assignments is
+// the largest state space Exact will walk.
+const MaxExactVars = 22
+
+// Exact computes the true marginals P(X_v = 1) by enumerating every
+// assignment — the test oracle for the Gibbs samplers. It fails on
+// graphs with more than MaxExactVars variables.
+func Exact(g *factor.Graph) ([]float64, error) {
+	n := g.NumVars()
+	if n > MaxExactVars {
+		return nil, fmt.Errorf("infer: %d variables exceeds exact-inference bound %d", n, MaxExactVars)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+
+	assign := make([]bool, n)
+	probs := make([]float64, n)
+	var z float64
+
+	// Streaming log-sum-exp over all 2^n assignments keeps the
+	// enumeration numerically stable for large weights.
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 0; v < n; v++ {
+			assign[v] = mask&(1<<uint(v)) != 0
+		}
+		l := g.LogScore(assign)
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	for mask, l := range logs {
+		w := math.Exp(l - maxLog)
+		z += w
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				probs[v] += w
+			}
+		}
+	}
+	for v := range probs {
+		probs[v] /= z
+	}
+	return probs, nil
+}

@@ -1,0 +1,309 @@
+// Package infer implements marginal inference over ground factor graphs.
+//
+// The paper delegates this phase to an external engine (a parallel Gibbs
+// sampler on GraphLab [14, 29]); this package plays that role with two
+// samplers sharing one conditional kernel:
+//
+//   - a sequential Gibbs sweep, and
+//   - a *chromatic* parallel Gibbs sampler: variables are greedily
+//     colored so no two neighbors share a color, then each color class is
+//     sampled synchronously in parallel — the construction of Gonzalez et
+//     al. [14] the paper cites, which preserves Gibbs correctness because
+//     a variable's conditional depends only on other colors.
+//
+// An exact enumeration oracle (exact.go) validates both on small graphs.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"probkb/internal/engine"
+	"probkb/internal/factor"
+	"probkb/internal/kb"
+)
+
+// Options configures a sampling run.
+type Options struct {
+	// Burnin sweeps are discarded before collecting.
+	Burnin int
+	// Samples sweeps are collected for the marginal estimates.
+	Samples int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Parallel enables the chromatic sampler.
+	Parallel bool
+	// Workers bounds the goroutines per color; 0 means NumCPU.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Burnin == 0 {
+		o.Burnin = 100
+	}
+	if o.Samples == 0 {
+		o.Samples = 500
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Marginals estimates P(X_v = 1) for every variable by Gibbs sampling.
+func Marginals(g *factor.Graph, opts Options) []float64 {
+	opts = opts.withDefaults()
+	n := g.NumVars()
+	if n == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	assign := make([]bool, n)
+	for v := range assign {
+		assign[v] = rng.Intn(2) == 0
+	}
+
+	counts := make([]int64, n)
+	if opts.Parallel {
+		runChromatic(g, assign, counts, opts)
+	} else {
+		runSequential(g, assign, counts, opts, rng)
+	}
+
+	probs := make([]float64, n)
+	for v := range probs {
+		probs[v] = float64(counts[v]) / float64(opts.Samples)
+	}
+	return probs
+}
+
+// condLogOdds computes log P(v=1 | blanket) - log P(v=0 | blanket): the
+// sum over v's factors of w·[satisfied with v=1] - w·[satisfied with
+// v=0].
+func condLogOdds(g *factor.Graph, assign []bool, v int32) float64 {
+	var lo float64
+	old := assign[v]
+	for _, fi := range g.FactorsOf(v) {
+		f := g.Factor(int(fi))
+		assign[v] = true
+		if f.Satisfied(assign) {
+			lo += f.W
+		}
+		assign[v] = false
+		if f.Satisfied(assign) {
+			lo -= f.W
+		}
+	}
+	assign[v] = old
+	return lo
+}
+
+// sampleVar resamples one variable from its conditional.
+func sampleVar(g *factor.Graph, assign []bool, v int32, u float64) {
+	p1 := sigmoid(condLogOdds(g, assign, v))
+	assign[v] = u < p1
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func runSequential(g *factor.Graph, assign []bool, counts []int64, opts Options, rng *rand.Rand) {
+	n := g.NumVars()
+	for sweep := 0; sweep < opts.Burnin+opts.Samples; sweep++ {
+		for v := 0; v < n; v++ {
+			sampleVar(g, assign, int32(v), rng.Float64())
+		}
+		if sweep >= opts.Burnin {
+			for v := 0; v < n; v++ {
+				if assign[v] {
+					counts[v]++
+				}
+			}
+		}
+	}
+}
+
+// Coloring holds a chromatic schedule: color[v] per variable, classes
+// listing the variables of each color.
+type Coloring struct {
+	Colors  []int
+	Classes [][]int32
+}
+
+// ColorGraph greedily colors the Markov-blanket graph: neighbors never
+// share a color. Variables are visited in decreasing degree order
+// (Welsh–Powell), which keeps the color count low on the hub-heavy
+// graphs grounding produces.
+func ColorGraph(g *factor.Graph) Coloring {
+	n := g.NumVars()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(g.FactorsOf(order[a])) > len(g.FactorsOf(order[b]))
+	})
+
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var classes [][]int32
+	for _, v := range order {
+		used := make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			if colors[u] >= 0 {
+				used[colors[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		for c >= len(classes) {
+			classes = append(classes, nil)
+		}
+		classes[c] = append(classes[c], v)
+	}
+	return Coloring{Colors: colors, Classes: classes}
+}
+
+// Valid reports whether the coloring assigns distinct colors to every
+// pair of neighboring variables (used by tests).
+func (c Coloring) Valid(g *factor.Graph) bool {
+	for v := int32(0); int(v) < g.NumVars(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if c.Colors[v] == c.Colors[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// splitmix64 advances a per-variable RNG state and returns a uniform
+// float64 in [0, 1). It is the cheap deterministic stream the chromatic
+// sampler gives each variable, so results do not depend on the worker
+// count or scheduling.
+func splitmix64(state *uint64) float64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+func runChromatic(g *factor.Graph, assign []bool, counts []int64, opts Options) {
+	coloring := ColorGraph(g)
+	n := g.NumVars()
+
+	// Sort each color class for memory locality, and seed one splitmix64
+	// stream per variable for worker-count-independent determinism.
+	for _, class := range coloring.Classes {
+		sort.Slice(class, func(a, b int) bool { return class[a] < class[b] })
+	}
+	seeder := rand.New(rand.NewSource(opts.Seed))
+	states := make([]uint64, n)
+	for v := range states {
+		states[v] = uint64(seeder.Int63())
+	}
+
+	for sweep := 0; sweep < opts.Burnin+opts.Samples; sweep++ {
+		for _, class := range coloring.Classes {
+			// All variables in one class are mutually non-adjacent, so
+			// sampling them concurrently equals sampling them in any
+			// sequential order. Small classes run inline: goroutine
+			// dispatch would cost more than the sampling itself.
+			workers := opts.Workers
+			if perWorker := 512; len(class) < perWorker*2 {
+				workers = 1
+			} else if max := len(class) / perWorker; workers > max {
+				workers = max
+			}
+			parallelFor(len(class), workers, func(i int) {
+				v := class[i]
+				sampleVar(g, assign, v, splitmix64(&states[v]))
+			})
+		}
+		if sweep >= opts.Burnin {
+			for v := 0; v < n; v++ {
+				if assign[v] {
+					counts[v]++
+				}
+			}
+		}
+	}
+}
+
+// parallelFor runs f(0..n-1) across at most workers goroutines.
+func parallelFor(n, workers int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ApplyMarginals writes the estimated probabilities into the NULL weight
+// cells of a TΠ table, completing the knowledge-expansion pipeline: after
+// this call every inferred fact carries its marginal probability.
+// Observed facts keep their extraction weights. The graph provides the
+// fact-ID → variable mapping (fact IDs may be sparse after quality
+// control).
+func ApplyMarginals(g *factor.Graph, facts *engine.Table, probs []float64) error {
+	if g.NumVars() != len(probs) {
+		return fmt.Errorf("infer: %d marginals for %d variables", len(probs), g.NumVars())
+	}
+	ws := facts.Float64Col(kb.TPiW)
+	ids := facts.Int32Col(kb.TPiI)
+	for r := 0; r < facts.NumRows(); r++ {
+		if !engine.IsNullFloat64(ws[r]) {
+			continue
+		}
+		v, ok := g.VarOf(ids[r])
+		if !ok {
+			return fmt.Errorf("infer: fact %d has no graph variable", ids[r])
+		}
+		ws[r] = probs[v]
+	}
+	return nil
+}

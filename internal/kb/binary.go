@@ -1,0 +1,321 @@
+package kb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"probkb/internal/mln"
+)
+
+// Binary snapshot format: a single file holding the whole KB, the fast
+// counterpart of the text directory for bulkload-heavy workflows (the
+// Table 3 "Load" row is exactly this cost). Little-endian throughout.
+//
+//	magic "PKB\x01"
+//	u32 × 6: #entities #classes #relations(sigs) #members #facts #rules
+//	u32 × 2: #constraints #taxonomyEdges
+//	dict entities, dict classes, dict relation names
+//	    (each: u32 count, then per name u32 len + bytes)
+//	relations:  (u32 nameID, u32 domain, u32 range) ×
+//	members:    (u32 class, u32 entity) ×
+//	facts:      (u32 rel, u32 x, u32 xc, u32 y, u32 yc, f64 w) ×
+//	rules:      (u8 shape, u32 head, u32 b0, u32 b1, u32 c1, u32 c2,
+//	             u32 c3, f64 w) ×   (b1/c3 are 0 for one-atom bodies)
+//	constraints:(u32 rel, u8 type, u32 degree) ×
+//	taxonomy:   (u32 sub, u32 super) ×
+var binaryMagic = [4]byte{'P', 'K', 'B', 1}
+
+// SaveBinary writes the KB as one binary snapshot file.
+func (k *KB) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := k.writeBinary(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a snapshot written by SaveBinary.
+func LoadBinary(path string) (*KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readBinary(bufio.NewReaderSize(f, 1<<20))
+}
+
+func (k *KB) writeBinary(w io.Writer) error {
+	le := binary.LittleEndian
+	if _, err := w.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	edges := k.SubclassEdges()
+	counts := []uint32{
+		uint32(k.Entities.Len()), uint32(k.Classes.Len()), uint32(len(k.Relations)),
+		uint32(len(k.Members)), uint32(len(k.Facts)), uint32(len(k.Rules)),
+		uint32(len(k.Constraints)), uint32(len(edges)),
+	}
+	for _, c := range counts {
+		if err := binary.Write(w, le, c); err != nil {
+			return err
+		}
+	}
+	writeDict := func(d *Dict) error {
+		if err := binary.Write(w, le, uint32(d.Len())); err != nil {
+			return err
+		}
+		for _, name := range d.Names() {
+			if err := binary.Write(w, le, uint32(len(name))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, d := range []*Dict{k.Entities, k.Classes, k.RelDict} {
+		if err := writeDict(d); err != nil {
+			return err
+		}
+	}
+	for _, r := range k.Relations {
+		if err := binary.Write(w, le, []uint32{uint32(r.ID), uint32(r.Domain), uint32(r.Range)}); err != nil {
+			return err
+		}
+	}
+	for _, m := range k.Members {
+		if err := binary.Write(w, le, []uint32{uint32(m.Class), uint32(m.Entity)}); err != nil {
+			return err
+		}
+	}
+	for _, f := range k.Facts {
+		if err := binary.Write(w, le, []uint32{uint32(f.Rel), uint32(f.X), uint32(f.XClass), uint32(f.Y), uint32(f.YClass)}); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, f.W); err != nil {
+			return err
+		}
+	}
+	for _, c := range k.Rules {
+		part, err := c.Partition()
+		if err != nil {
+			return fmt.Errorf("kb: rule does not partition: %w", err)
+		}
+		var b1 uint32
+		if len(c.Body) == 2 {
+			b1 = uint32(c.Body[1].Rel)
+		}
+		if err := binary.Write(w, le, uint8(part)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, []uint32{
+			uint32(c.Head.Rel), uint32(c.Body[0].Rel), b1,
+			uint32(c.Class[mln.X]), uint32(c.Class[mln.Y]), uint32(c.Class[mln.Z]),
+		}); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, c.Weight); err != nil {
+			return err
+		}
+	}
+	for _, c := range k.Constraints {
+		if err := binary.Write(w, le, uint32(c.Rel)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, uint8(c.Type)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, uint32(c.Degree)); err != nil {
+			return err
+		}
+	}
+	for _, e := range edges {
+		if err := binary.Write(w, le, []uint32{uint32(e.Sub), uint32(e.Super)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBinary(r io.Reader) (*KB, error) {
+	le := binary.LittleEndian
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("kb: reading snapshot magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("kb: not a ProbKB snapshot (magic %v)", magic)
+	}
+	var counts [8]uint32
+	for i := range counts {
+		if err := binary.Read(r, le, &counts[i]); err != nil {
+			return nil, err
+		}
+	}
+	const sane = 1 << 28
+	for i, c := range counts {
+		if c > sane {
+			return nil, fmt.Errorf("kb: snapshot count %d implausible (%d)", i, c)
+		}
+	}
+
+	k := New()
+	// anySize skips the header cross-check (the relation-name dictionary
+	// is smaller than the signature count when names carry several
+	// signatures).
+	const anySize = ^uint32(0)
+	readDict := func(d *Dict, want uint32) error {
+		var n uint32
+		if err := binary.Read(r, le, &n); err != nil {
+			return err
+		}
+		if want != anySize && n != want {
+			return fmt.Errorf("kb: dictionary size %d does not match header %d", n, want)
+		}
+		if n > sane {
+			return fmt.Errorf("kb: dictionary size %d implausible", n)
+		}
+		buf := make([]byte, 0, 64)
+		for i := uint32(0); i < n; i++ {
+			var l uint32
+			if err := binary.Read(r, le, &l); err != nil {
+				return err
+			}
+			if l > 1<<20 {
+				return fmt.Errorf("kb: symbol length %d implausible", l)
+			}
+			if uint32(cap(buf)) < l {
+				buf = make([]byte, l)
+			}
+			buf = buf[:l]
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return err
+			}
+			d.Intern(string(buf))
+		}
+		return nil
+	}
+	if err := readDict(k.Entities, counts[0]); err != nil {
+		return nil, err
+	}
+	if err := readDict(k.Classes, counts[1]); err != nil {
+		return nil, err
+	}
+	if err := readDict(k.RelDict, anySize); err != nil {
+		return nil, err
+	}
+
+	for i := uint32(0); i < counts[2]; i++ {
+		var rec [3]uint32
+		if err := binary.Read(r, le, rec[:]); err != nil {
+			return nil, err
+		}
+		k.AddRelation(k.RelDict.Name(int32(rec[0])), int32(rec[1]), int32(rec[2]))
+	}
+	for i := uint32(0); i < counts[3]; i++ {
+		var rec [2]uint32
+		if err := binary.Read(r, le, rec[:]); err != nil {
+			return nil, err
+		}
+		k.AddMember(int32(rec[0]), int32(rec[1]))
+	}
+	for i := uint32(0); i < counts[4]; i++ {
+		var rec [5]uint32
+		var w float64
+		if err := binary.Read(r, le, rec[:]); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, &w); err != nil {
+			return nil, err
+		}
+		k.AddFact(Fact{
+			Rel: int32(rec[0]),
+			X:   int32(rec[1]), XClass: int32(rec[2]),
+			Y: int32(rec[3]), YClass: int32(rec[4]),
+			W: w,
+		})
+	}
+	for i := uint32(0); i < counts[5]; i++ {
+		var shape uint8
+		var rec [6]uint32
+		var w float64
+		if err := binary.Read(r, le, &shape); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, rec[:]); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, &w); err != nil {
+			return nil, err
+		}
+		c, err := clauseFromShape(int(shape), int32(rec[0]), int32(rec[1]), int32(rec[2]),
+			int32(rec[3]), int32(rec[4]), int32(rec[5]), w)
+		if err != nil {
+			return nil, err
+		}
+		if err := k.AddRule(c); err != nil {
+			return nil, err
+		}
+	}
+	for i := uint32(0); i < counts[6]; i++ {
+		var rel uint32
+		var typ uint8
+		var deg uint32
+		if err := binary.Read(r, le, &rel); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, &typ); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, &deg); err != nil {
+			return nil, err
+		}
+		if err := k.AddConstraint(Constraint{Rel: int32(rel), Type: int(typ), Degree: int(deg)}); err != nil {
+			return nil, err
+		}
+	}
+	for i := uint32(0); i < counts[7]; i++ {
+		var rec [2]uint32
+		if err := binary.Read(r, le, rec[:]); err != nil {
+			return nil, err
+		}
+		if err := k.DeclareSubclass(int32(rec[0]), int32(rec[1])); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// clauseFromShape reconstructs a canonical clause from its partition
+// shape and identifier tuple.
+func clauseFromShape(part int, head, b0, b1, c1, c2, c3 int32, w float64) (mln.Clause, error) {
+	h, body := mln.Shape(part)
+	c := mln.Clause{Head: h, Weight: w}
+	c.Head.Rel = head
+	c.Body = append(c.Body, body[0])
+	c.Body[0].Rel = b0
+	if len(body) == 2 {
+		c.Body = append(c.Body, body[1])
+		c.Body[1].Rel = b1
+	}
+	c.Class[mln.X] = c1
+	c.Class[mln.Y] = c2
+	c.Class[mln.Z] = c3
+	if _, err := c.Partition(); err != nil {
+		return mln.Clause{}, fmt.Errorf("kb: snapshot rule invalid: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,114 @@
+package kb
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	k := exampleKB(t)
+	// Exercise every section: taxonomy and an extra member too.
+	city, _ := k.Classes.Lookup("City")
+	place, _ := k.Classes.Lookup("Place")
+	if err := k.DeclareSubclass(city, place); err != nil {
+		t.Fatal(err)
+	}
+	k.AddMember(k.Classes.Intern("Org"), k.Entities.Intern("UN"))
+
+	path := filepath.Join(t.TempDir(), "kb.pkb")
+	if err := k.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Stats() != k.Stats() {
+		t.Fatalf("stats changed: %+v vs %+v", loaded.Stats(), k.Stats())
+	}
+	// Dictionaries preserve IDs exactly (binary snapshots are
+	// ID-stable, unlike the text format).
+	for id, name := range k.Entities.Names() {
+		if loaded.Entities.Name(int32(id)) != name {
+			t.Fatalf("entity %d renamed: %q vs %q", id, loaded.Entities.Name(int32(id)), name)
+		}
+	}
+	for i, f := range k.Facts {
+		if loaded.Facts[i] != f {
+			t.Fatalf("fact %d changed: %+v vs %+v", i, loaded.Facts[i], f)
+		}
+	}
+	for i, c := range k.Rules {
+		lc := loaded.Rules[i]
+		if lc.Head != c.Head || lc.Weight != c.Weight || lc.Class != c.Class || len(lc.Body) != len(c.Body) {
+			t.Fatalf("rule %d changed", i)
+		}
+		for j := range c.Body {
+			if lc.Body[j] != c.Body[j] {
+				t.Fatalf("rule %d body changed", i)
+			}
+		}
+	}
+	if len(loaded.Constraints) != len(k.Constraints) {
+		t.Fatal("constraints lost")
+	}
+	lc, _ := loaded.Classes.Lookup("City")
+	lp, _ := loaded.Classes.Lookup("Place")
+	if !loaded.IsSubclass(lc, lp) {
+		t.Fatal("taxonomy lost")
+	}
+	if errs := loaded.Validate(); len(errs) != 0 {
+		t.Fatalf("loaded snapshot invalid: %v", errs)
+	}
+}
+
+func TestBinaryNaNWeightSurvives(t *testing.T) {
+	k := New()
+	k.InternFact("r", "a", "A", "b", "B", 0.5)
+	k.Facts = append(k.Facts, Fact{Rel: 0, X: 1, XClass: 0, Y: 0, YClass: 1, W: math.NaN()})
+	path := filepath.Join(t.TempDir(), "kb.pkb")
+	if err := k.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Facts) != 2 || !math.IsNaN(loaded.Facts[1].W) {
+		t.Fatalf("NaN weight lost: %+v", loaded.Facts)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.pkb")
+	if err := os.WriteFile(bad, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinary(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated valid prefix.
+	k := exampleKB(t)
+	good := filepath.Join(dir, "good.pkb")
+	if err := k.SaveBinary(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.pkb")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinary(trunc); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := LoadBinary(filepath.Join(dir, "missing.pkb")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package kb
+
+import "fmt"
+
+// Dict is a bidirectional string ↔ int32 dictionary. ProbKB dictionary-
+// encodes every entity, class, and relation symbol so that the grounding
+// joins compare integers, never strings (Section 4.2 of the paper).
+type Dict struct {
+	names []string
+	ids   map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]int32)}
+}
+
+// Intern returns the ID of name, assigning the next free ID on first use.
+func (d *Dict) Intern(name string) int32 {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := int32(len(d.names))
+	d.names = append(d.names, name)
+	d.ids[name] = id
+	return id
+}
+
+// Lookup returns the ID of name if it has been interned.
+func (d *Dict) Lookup(name string) (int32, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the string for an ID; it panics on an unknown ID, which is
+// always a programming error (IDs only come from Intern).
+func (d *Dict) Name(id int32) string {
+	if id < 0 || int(id) >= len(d.names) {
+		panic(fmt.Sprintf("kb: dictionary has no id %d (size %d)", id, len(d.names)))
+	}
+	return d.names[id]
+}
+
+// Len returns the number of interned symbols.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns the interned symbols in ID order. The caller must not
+// modify the returned slice.
+func (d *Dict) Names() []string { return d.names }

@@ -1,0 +1,135 @@
+package kb
+
+import (
+	"probkb/internal/engine"
+
+	"probkb/internal/mln"
+)
+
+// Column indices of the facts table TΠ (Definition 4 and Figure 3(a)).
+// Every module that touches TΠ uses these constants, so the layout is
+// defined exactly once.
+const (
+	TPiI  = 0 // I: integer fact identifier
+	TPiR  = 1 // R: relation ID
+	TPiX  = 2 // x: subject entity ID
+	TPiC1 = 3 // C1: subject class ID (replicated from TC for join locality)
+	TPiY  = 4 // y: object entity ID
+	TPiC2 = 5 // C2: object class ID
+	TPiW  = 6 // w: weight; NULL for inferred facts
+)
+
+// FactsSchema returns the schema of TΠ.
+func FactsSchema() engine.Schema {
+	return engine.NewSchema(
+		engine.C("I", engine.Int32),
+		engine.C("R", engine.Int32),
+		engine.C("x", engine.Int32),
+		engine.C("C1", engine.Int32),
+		engine.C("y", engine.Int32),
+		engine.C("C2", engine.Int32),
+		engine.C("w", engine.Float64),
+	)
+}
+
+// FactsTable materializes TΠ from the KB's fact list; fact i gets ID i.
+func (k *KB) FactsTable() *engine.Table {
+	n := len(k.Facts)
+	ids := make([]int32, n)
+	rels := make([]int32, n)
+	xs := make([]int32, n)
+	c1s := make([]int32, n)
+	ys := make([]int32, n)
+	c2s := make([]int32, n)
+	ws := make([]float64, n)
+	for i, f := range k.Facts {
+		ids[i] = int32(i)
+		rels[i] = f.Rel
+		xs[i] = f.X
+		c1s[i] = f.XClass
+		ys[i] = f.Y
+		c2s[i] = f.YClass
+		ws[i] = f.W
+	}
+	return engine.TableFromColumns("T", FactsSchema(), ids, rels, xs, c1s, ys, c2s, ws)
+}
+
+// FactAtRow reconstructs a Fact value from row r of a TΠ-shaped table.
+func FactAtRow(t *engine.Table, r int) Fact {
+	return Fact{
+		Rel: t.Int32Col(TPiR)[r],
+		X:   t.Int32Col(TPiX)[r], XClass: t.Int32Col(TPiC1)[r],
+		Y: t.Int32Col(TPiY)[r], YClass: t.Int32Col(TPiC2)[r],
+		W: t.Float64Col(TPiW)[r],
+	}
+}
+
+// ClassTable materializes TC (Definition 2): tuples (C, e).
+func (k *KB) ClassTable() *engine.Table {
+	t := engine.NewTable("TC", engine.NewSchema(
+		engine.C("C", engine.Int32),
+		engine.C("e", engine.Int32),
+	))
+	t.Reserve(len(k.Members))
+	for _, m := range k.Members {
+		t.AppendRow(m.Class, m.Entity)
+	}
+	return t
+}
+
+// RelationTable materializes TR (Definition 3): tuples (R, C1, C2).
+func (k *KB) RelationTable() *engine.Table {
+	t := engine.NewTable("TR", engine.NewSchema(
+		engine.C("R", engine.Int32),
+		engine.C("C1", engine.Int32),
+		engine.C("C2", engine.Int32),
+	))
+	t.Reserve(len(k.Relations))
+	for _, r := range k.Relations {
+		t.AppendRow(r.ID, r.Domain, r.Range)
+	}
+	return t
+}
+
+// Column indices of the constraints table TΩ (Definition 11).
+const (
+	TOmegaR    = 0 // R: relation ID
+	TOmegaType = 1 // α: functionality type (1 or 2)
+	TOmegaDeg  = 2 // δ: degree of pseudo-functionality
+)
+
+// ConstraintsTable materializes TΩ. The degree is stored as Float64 so
+// Query 3's HAVING COUNT(*) > MIN(deg) can use the engine's float
+// aggregates directly.
+func (k *KB) ConstraintsTable() *engine.Table {
+	t := engine.NewTable("FC", engine.NewSchema(
+		engine.C("R", engine.Int32),
+		engine.C("arg", engine.Int32),
+		engine.C("deg", engine.Float64),
+	))
+	t.Reserve(len(k.Constraints))
+	for _, c := range k.Constraints {
+		t.AppendRow(c.Rel, int32(c.Type), float64(c.Degree))
+	}
+	return t
+}
+
+// DictTable materializes a dictionary as an (id, name) table, e.g. the DE,
+// DC, DR tables of Section 4.2.
+func DictTable(name string, d *Dict) *engine.Table {
+	t := engine.NewTable(name, engine.NewSchema(
+		engine.C("id", engine.Int32),
+		engine.C("name", engine.String),
+	))
+	t.Reserve(d.Len())
+	for id, s := range d.Names() {
+		t.AppendRow(int32(id), s)
+	}
+	return t
+}
+
+// MLNPartitions builds the six MLN partition tables M1..M6 from the KB's
+// rule set.
+func (k *KB) MLNPartitions() (*mln.Partitions, error) {
+	return mln.Build(k.Rules)
+}

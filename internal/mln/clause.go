@@ -1,0 +1,256 @@
+// Package mln implements the Markov logic fragment ProbKB reasons with:
+// weighted first-order Horn clauses over typed binary relations, and the
+// six structural-equivalence partitions of Section 4.2.2 of the paper.
+//
+// Symbols (relations, classes) are dictionary-encoded int32 IDs; the kb
+// package owns the dictionaries. A clause's variables are canonicalized to
+// X (head arg 1), Y (head arg 2), and Z (the existential body variable of
+// length-2 bodies), which is exactly the naming the paper's rule shapes
+// (1)–(6) use.
+package mln
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Var identifies a clause variable after canonicalization.
+type Var int8
+
+// The three variables a ProbKB Horn clause may use.
+const (
+	X Var = iota
+	Y
+	Z
+)
+
+// String returns the variable's conventional name.
+func (v Var) String() string {
+	switch v {
+	case X:
+		return "x"
+	case Y:
+		return "y"
+	case Z:
+		return "z"
+	default:
+		return fmt.Sprintf("Var(%d)", int8(v))
+	}
+}
+
+// Atom is one literal R(a, b) of a clause, over canonical variables.
+type Atom struct {
+	Rel  int32
+	Arg1 Var
+	Arg2 Var
+}
+
+// Clause is a weighted first-order Horn clause
+//
+//	Weight  Head ← Body[0] [, Body[1]]
+//
+// with per-variable class constraints. A Weight of +Inf marks a hard rule
+// (Section 2.1); ProbKB routes those to quality control rather than
+// inference.
+type Clause struct {
+	Head   Atom
+	Body   []Atom
+	Weight float64
+	// Class[v] is the class constraint of variable v; Class[2] is unused
+	// for single-atom bodies.
+	Class [3]int32
+}
+
+// Hard reports whether the clause is a hard rule (infinite weight).
+func (c Clause) Hard() bool { return math.IsInf(c.Weight, +1) }
+
+// Partition IDs of the paper's six structurally equivalent rule shapes:
+//
+//	P1: p(x,y) ← q(x,y)
+//	P2: p(x,y) ← q(y,x)
+//	P3: p(x,y) ← q(z,x), r(z,y)
+//	P4: p(x,y) ← q(x,z), r(z,y)
+//	P5: p(x,y) ← q(z,x), r(y,z)
+//	P6: p(x,y) ← q(x,z), r(y,z)
+const (
+	P1 = 1
+	P2 = 2
+	P3 = 3
+	P4 = 4
+	P5 = 5
+	P6 = 6
+	// NumPartitions is the number of structural partitions.
+	NumPartitions = 6
+)
+
+// Errors returned by Canonicalize.
+var (
+	ErrBadHead   = errors.New("mln: head must be a binary atom over two distinct variables")
+	ErrBodyArity = errors.New("mln: body must have one or two atoms")
+	ErrBadShape  = errors.New("mln: clause does not match any of the six Horn shapes")
+)
+
+// Partition classifies a canonical clause into one of P1..P6.
+//
+// The clause must already be canonical (head = p(X, Y), body variables
+// drawn from {X, Y, Z}); use Canonicalize to normalize clauses built from
+// arbitrary variable layouts.
+func (c Clause) Partition() (int, error) {
+	if c.Head.Arg1 != X || c.Head.Arg2 != Y {
+		return 0, ErrBadHead
+	}
+	switch len(c.Body) {
+	case 1:
+		b := c.Body[0]
+		switch {
+		case b.Arg1 == X && b.Arg2 == Y:
+			return P1, nil
+		case b.Arg1 == Y && b.Arg2 == X:
+			return P2, nil
+		}
+		return 0, ErrBadShape
+	case 2:
+		q, r := c.Body[0], c.Body[1]
+		// q must mention X, r must mention Y (Canonicalize guarantees
+		// the ordering); both mention Z.
+		switch {
+		case q.Arg1 == Z && q.Arg2 == X && r.Arg1 == Z && r.Arg2 == Y:
+			return P3, nil
+		case q.Arg1 == X && q.Arg2 == Z && r.Arg1 == Z && r.Arg2 == Y:
+			return P4, nil
+		case q.Arg1 == Z && q.Arg2 == X && r.Arg1 == Y && r.Arg2 == Z:
+			return P5, nil
+		case q.Arg1 == X && q.Arg2 == Z && r.Arg1 == Y && r.Arg2 == Z:
+			return P6, nil
+		}
+		return 0, ErrBadShape
+	default:
+		return 0, ErrBodyArity
+	}
+}
+
+// Shape returns the canonical head and body atom patterns of partition p
+// (relation fields are zero; only the variable layout matters). The
+// grounding query generators derive their join structure from these
+// patterns, so the six SQL shapes of Section 4.3 are written once.
+func Shape(p int) (head Atom, body []Atom) {
+	head = Atom{Arg1: X, Arg2: Y}
+	switch p {
+	case P1:
+		return head, []Atom{{Arg1: X, Arg2: Y}}
+	case P2:
+		return head, []Atom{{Arg1: Y, Arg2: X}}
+	case P3:
+		return head, []Atom{{Arg1: Z, Arg2: X}, {Arg1: Z, Arg2: Y}}
+	case P4:
+		return head, []Atom{{Arg1: X, Arg2: Z}, {Arg1: Z, Arg2: Y}}
+	case P5:
+		return head, []Atom{{Arg1: Z, Arg2: X}, {Arg1: Y, Arg2: Z}}
+	case P6:
+		return head, []Atom{{Arg1: X, Arg2: Z}, {Arg1: Y, Arg2: Z}}
+	default:
+		panic(fmt.Sprintf("mln: no shape for partition %d", p))
+	}
+}
+
+// RawAtom is a literal over arbitrary variable numbers, the form rule
+// parsers and learners produce before canonicalization.
+type RawAtom struct {
+	Rel  int32
+	Arg1 int
+	Arg2 int
+}
+
+// Canonicalize converts an arbitrary-variable Horn clause into canonical
+// form: head variables become X and Y, the remaining body variable (if
+// any) becomes Z, and for two-atom bodies the atom containing X is placed
+// first. classes maps the caller's variable numbers to class IDs.
+func Canonicalize(head RawAtom, body []RawAtom, classes map[int]int32, weight float64) (Clause, error) {
+	if head.Arg1 == head.Arg2 {
+		return Clause{}, ErrBadHead
+	}
+	if len(body) < 1 || len(body) > 2 {
+		return Clause{}, ErrBodyArity
+	}
+	rename := map[int]Var{head.Arg1: X, head.Arg2: Y}
+	mapVar := func(v int) (Var, error) {
+		if mv, ok := rename[v]; ok {
+			return mv, nil
+		}
+		// First unseen non-head variable becomes Z; a second one is not
+		// expressible in the six shapes.
+		for _, used := range rename {
+			if used == Z {
+				return 0, ErrBadShape
+			}
+		}
+		rename[v] = Z
+		return Z, nil
+	}
+
+	c := Clause{Head: Atom{Rel: head.Rel, Arg1: X, Arg2: Y}, Weight: weight}
+	for _, ra := range body {
+		if ra.Arg1 == ra.Arg2 {
+			return Clause{}, ErrBadShape
+		}
+		a1, err := mapVar(ra.Arg1)
+		if err != nil {
+			return Clause{}, err
+		}
+		a2, err := mapVar(ra.Arg2)
+		if err != nil {
+			return Clause{}, err
+		}
+		c.Body = append(c.Body, Atom{Rel: ra.Rel, Arg1: a1, Arg2: a2})
+	}
+
+	if len(c.Body) == 2 {
+		// Place the X-bearing atom first, the Y-bearing atom second.
+		mentions := func(a Atom, v Var) bool { return a.Arg1 == v || a.Arg2 == v }
+		q, r := c.Body[0], c.Body[1]
+		if !mentions(q, X) || !mentions(r, Y) {
+			if mentions(r, X) && mentions(q, Y) {
+				q, r = r, q
+			} else {
+				return Clause{}, ErrBadShape
+			}
+		}
+		// Each body atom of a length-2 clause must pair a head variable
+		// with Z.
+		if !mentions(q, Z) || !mentions(r, Z) || mentions(q, Y) || mentions(r, X) {
+			return Clause{}, ErrBadShape
+		}
+		c.Body[0], c.Body[1] = q, r
+	}
+
+	for v, mv := range rename {
+		if cls, ok := classes[v]; ok {
+			c.Class[mv] = cls
+		}
+	}
+	// Validate: must now classify.
+	if _, err := c.Partition(); err != nil {
+		return Clause{}, err
+	}
+	return c, nil
+}
+
+// RelationsUsed returns the distinct relation IDs the clause mentions,
+// head first.
+func (c Clause) RelationsUsed() []int32 {
+	out := []int32{c.Head.Rel}
+	for _, b := range c.Body {
+		seen := false
+		for _, r := range out {
+			if r == b.Rel {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, b.Rel)
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package mln
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mk builds a canonical clause directly.
+func mk(head Atom, body []Atom, w float64) Clause {
+	return Clause{Head: head, Body: body, Weight: w}
+}
+
+func TestPartitionShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Clause
+		want int
+	}{
+		{"P1", mk(Atom{1, X, Y}, []Atom{{2, X, Y}}, 1), P1},
+		{"P2", mk(Atom{1, X, Y}, []Atom{{2, Y, X}}, 1), P2},
+		{"P3", mk(Atom{1, X, Y}, []Atom{{2, Z, X}, {3, Z, Y}}, 1), P3},
+		{"P4", mk(Atom{1, X, Y}, []Atom{{2, X, Z}, {3, Z, Y}}, 1), P4},
+		{"P5", mk(Atom{1, X, Y}, []Atom{{2, Z, X}, {3, Y, Z}}, 1), P5},
+		{"P6", mk(Atom{1, X, Y}, []Atom{{2, X, Z}, {3, Y, Z}}, 1), P6},
+	}
+	for _, tc := range cases {
+		got, err := tc.c.Partition()
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: partition = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPartitionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Clause
+	}{
+		{"bad head vars", mk(Atom{1, Y, X}, []Atom{{2, X, Y}}, 1)},
+		{"empty body", mk(Atom{1, X, Y}, nil, 1)},
+		{"three body atoms", mk(Atom{1, X, Y}, []Atom{{2, X, Y}, {3, X, Y}, {4, X, Y}}, 1)},
+		{"single body with z", mk(Atom{1, X, Y}, []Atom{{2, X, Z}}, 1)},
+		{"body atom order swapped", mk(Atom{1, X, Y}, []Atom{{2, Z, Y}, {3, Z, X}}, 1)},
+	}
+	for _, tc := range cases {
+		if _, err := tc.c.Partition(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestCanonicalizeLength1(t *testing.T) {
+	// head p(v7, v3), body q(v3, v7) — variable numbers arbitrary.
+	c, err := Canonicalize(RawAtom{Rel: 1, Arg1: 7, Arg2: 3},
+		[]RawAtom{{Rel: 2, Arg1: 3, Arg2: 7}},
+		map[int]int32{7: 100, 3: 200}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Partition()
+	if err != nil || p != P2 {
+		t.Fatalf("partition = %d, %v; want P2", p, err)
+	}
+	if c.Class[X] != 100 || c.Class[Y] != 200 {
+		t.Fatalf("classes = %v", c.Class)
+	}
+	if c.Weight != 1.5 {
+		t.Fatalf("weight = %v", c.Weight)
+	}
+}
+
+func TestCanonicalizeLength2AllShapes(t *testing.T) {
+	// Build each shape with scrambled variable numbers (x=5, y=9, z=2)
+	// and scrambled body atom order, and check classification.
+	x, y, z := 5, 9, 2
+	classes := map[int]int32{x: 10, y: 20, z: 30}
+	cases := []struct {
+		name string
+		b1   RawAtom
+		b2   RawAtom
+		want int
+	}{
+		{"P3", RawAtom{2, z, x}, RawAtom{3, z, y}, P3},
+		{"P4", RawAtom{2, x, z}, RawAtom{3, z, y}, P4},
+		{"P5", RawAtom{2, z, x}, RawAtom{3, y, z}, P5},
+		{"P6", RawAtom{2, x, z}, RawAtom{3, y, z}, P6},
+		// Swapped body order must canonicalize to the same shapes.
+		{"P3 swapped", RawAtom{3, z, y}, RawAtom{2, z, x}, P3},
+		{"P6 swapped", RawAtom{3, y, z}, RawAtom{2, x, z}, P6},
+	}
+	for _, tc := range cases {
+		c, err := Canonicalize(RawAtom{1, x, y}, []RawAtom{tc.b1, tc.b2}, classes, 1)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		got, err := c.Partition()
+		if err != nil || got != tc.want {
+			t.Errorf("%s: partition = %d, %v; want %d", tc.name, got, err, tc.want)
+		}
+		if c.Class[X] != 10 || c.Class[Y] != 20 || c.Class[Z] != 30 {
+			t.Errorf("%s: classes = %v", tc.name, c.Class)
+		}
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	x, y, z := 0, 1, 2
+	cls := map[int]int32{x: 1, y: 2, z: 3}
+	cases := []struct {
+		name string
+		head RawAtom
+		body []RawAtom
+	}{
+		{"head same var twice", RawAtom{1, x, x}, []RawAtom{{2, x, y}}},
+		{"no body", RawAtom{1, x, y}, nil},
+		{"three atoms", RawAtom{1, x, y}, []RawAtom{{2, x, y}, {3, x, y}, {4, x, y}}},
+		{"four variables", RawAtom{1, x, y}, []RawAtom{{2, x, z}, {3, 7, y}}},
+		{"body atom with both head vars", RawAtom{1, x, y}, []RawAtom{{2, x, y}, {3, z, y}}},
+		{"body atom var repeated", RawAtom{1, x, y}, []RawAtom{{2, z, z}, {3, z, y}}},
+		{"both body atoms on x", RawAtom{1, x, y}, []RawAtom{{2, z, x}, {3, x, z}}},
+	}
+	for _, tc := range cases {
+		if _, err := Canonicalize(tc.head, tc.body, cls, 1); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestHard(t *testing.T) {
+	if !mk(Atom{1, X, Y}, []Atom{{2, X, Y}}, math.Inf(1)).Hard() {
+		t.Fatal("infinite weight not detected as hard")
+	}
+	if mk(Atom{1, X, Y}, []Atom{{2, X, Y}}, 3).Hard() {
+		t.Fatal("finite weight detected as hard")
+	}
+}
+
+func TestVarString(t *testing.T) {
+	if X.String() != "x" || Y.String() != "y" || Z.String() != "z" {
+		t.Fatal("variable names wrong")
+	}
+	if Var(9).String() != "Var(9)" {
+		t.Fatal("unknown var formatting wrong")
+	}
+}
+
+func TestRelationsUsed(t *testing.T) {
+	c := mk(Atom{1, X, Y}, []Atom{{2, Z, X}, {2, Z, Y}}, 1)
+	got := c.RelationsUsed()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("RelationsUsed = %v", got)
+	}
+}
+
+// TestCanonicalizeRoundTrip: every canonical clause of every shape, when
+// expressed with scrambled variable numbers, canonicalizes back to a
+// clause with the same partition, relations, and classes.
+func TestCanonicalizeRoundTrip(t *testing.T) {
+	prop := func(seed int64, shape uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random distinct variable numbers.
+		perm := rng.Perm(10)
+		x, y, z := perm[0], perm[1], perm[2]
+		classes := map[int]int32{x: rng.Int31n(50), y: rng.Int31n(50), z: rng.Int31n(50)}
+		r1, r2, r3 := rng.Int31n(100), rng.Int31n(100), rng.Int31n(100)
+		var body []RawAtom
+		var want int
+		switch shape % 6 {
+		case 0:
+			body, want = []RawAtom{{r2, x, y}}, P1
+		case 1:
+			body, want = []RawAtom{{r2, y, x}}, P2
+		case 2:
+			body, want = []RawAtom{{r2, z, x}, {r3, z, y}}, P3
+		case 3:
+			body, want = []RawAtom{{r2, x, z}, {r3, z, y}}, P4
+		case 4:
+			body, want = []RawAtom{{r2, z, x}, {r3, y, z}}, P5
+		case 5:
+			body, want = []RawAtom{{r2, x, z}, {r3, y, z}}, P6
+		}
+		// Shuffle body order for the two-atom shapes.
+		if len(body) == 2 && rng.Intn(2) == 0 {
+			body[0], body[1] = body[1], body[0]
+		}
+		c, err := Canonicalize(RawAtom{r1, x, y}, body, classes, 1)
+		if err != nil {
+			return false
+		}
+		got, err := c.Partition()
+		if err != nil || got != want {
+			return false
+		}
+		if c.Head.Rel != r1 {
+			return false
+		}
+		return c.Class[X] == classes[x] && c.Class[Y] == classes[y] &&
+			(len(body) == 1 || c.Class[Z] == classes[z])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package mln
+
+import (
+	"testing"
+)
+
+func sampleClauses() []Clause {
+	return []Clause{
+		mk(Atom{1, X, Y}, []Atom{{2, X, Y}}, 1.40),
+		mk(Atom{1, X, Y}, []Atom{{2, X, Y}}, 1.53),
+		mk(Atom{3, X, Y}, []Atom{{2, Y, X}}, 0.5),
+		mk(Atom{4, X, Y}, []Atom{{5, Z, X}, {5, Z, Y}}, 0.32),
+		mk(Atom{4, X, Y}, []Atom{{2, Z, X}, {2, Z, Y}}, 0.52),
+		mk(Atom{4, X, Y}, []Atom{{5, X, Z}, {5, Y, Z}}, 0.7),
+	}
+}
+
+func TestBuildPartitions(t *testing.T) {
+	p, err := Build(sampleClauses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", p.Total())
+	}
+	stats := p.Stats()
+	want := [NumPartitions + 1]int{0, 2, 1, 2, 0, 0, 1}
+	if stats != want {
+		t.Fatalf("Stats = %v, want %v", stats, want)
+	}
+	ne := p.NonEmpty()
+	wantNE := []int{P1, P2, P3, P6}
+	if len(ne) != len(wantNE) {
+		t.Fatalf("NonEmpty = %v, want %v", ne, wantNE)
+	}
+	for i := range ne {
+		if ne[i] != wantNE[i] {
+			t.Fatalf("NonEmpty = %v, want %v", ne, wantNE)
+		}
+	}
+}
+
+func TestPartitionTableContents(t *testing.T) {
+	p, err := Build(sampleClauses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := p.Table(P1)
+	if m1.NumRows() != 2 {
+		t.Fatalf("M1 rows = %d, want 2", m1.NumRows())
+	}
+	// First M1 row: (R1=1, R2=2, C1, C2, w=1.40).
+	if m1.Int32Col(0)[0] != 1 || m1.Int32Col(1)[0] != 2 || m1.Float64Col(4)[0] != 1.40 {
+		t.Fatalf("M1 row 0 = %s", m1.String())
+	}
+	m3 := p.Table(P3)
+	if m3.NumRows() != 2 {
+		t.Fatalf("M3 rows = %d, want 2", m3.NumRows())
+	}
+	if m3.Int32Col(0)[0] != 4 || m3.Int32Col(1)[0] != 5 || m3.Int32Col(2)[0] != 5 {
+		t.Fatalf("M3 row 0 = %s", m3.String())
+	}
+	if len(p.Clauses(P3)) != 2 {
+		t.Fatalf("Clauses(P3) = %d, want 2", len(p.Clauses(P3)))
+	}
+	if p.Table(P4).NumRows() != 0 {
+		t.Fatal("M4 should be empty")
+	}
+}
+
+func TestBuildRejectsBadClause(t *testing.T) {
+	bad := []Clause{mk(Atom{1, Y, X}, []Atom{{2, X, Y}}, 1)}
+	if _, err := Build(bad); err == nil {
+		t.Fatal("Build accepted a malformed clause")
+	}
+}
+
+func TestPartitionIndexPanics(t *testing.T) {
+	p := NewPartitions()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Table(0) did not panic")
+		}
+	}()
+	p.Table(0)
+}
+
+func TestSchemas(t *testing.T) {
+	if Len2Schema().String() != "(R1 int, R2 int, C1 int, C2 int, w float)" {
+		t.Fatalf("Len2Schema = %s", Len2Schema())
+	}
+	if Len3Schema().NumCols() != 7 {
+		t.Fatalf("Len3Schema cols = %d", Len3Schema().NumCols())
+	}
+}

@@ -1,0 +1,410 @@
+package mpp
+
+import (
+	"fmt"
+
+	"probkb/internal/engine"
+)
+
+// ---------------------------------------------------------------------------
+// Filter
+
+// FilterNode keeps rows matching a predicate; it runs segment-local and
+// preserves the input distribution.
+type FilterNode struct {
+	dbase
+	child Node
+	pred  func(t *engine.Table, row int) bool
+	desc  string
+}
+
+// NewFilter returns a distributed filter.
+func NewFilter(child Node, desc string, pred func(t *engine.Table, row int) bool) *FilterNode {
+	return &FilterNode{
+		dbase: dbase{cluster: clusterOf(child), schema: child.OutSchema(), dist: child.OutDist()},
+		child: child, pred: pred, desc: desc,
+	}
+}
+
+func (n *FilterNode) Children() []Node { return []Node{n.child} }
+func (n *FilterNode) Label() string    { return "Filter (" + n.desc + ")" }
+
+// Run filters every segment in parallel.
+func (n *FilterNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("filter", n.schema, n.dist)
+		err := n.cluster.forEachSegment(func(i int) error {
+			seg := in.segs[i]
+			keep := make([]int32, 0, seg.NumRows())
+			for r := 0; r < seg.NumRows(); r++ {
+				if n.pred(seg, r) {
+					keep = append(keep, int32(r))
+				}
+			}
+			out.segs[i].AppendRowsFrom(seg, keep)
+			return nil
+		})
+		return out, err
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Project
+
+// ProjectNode computes a new row layout, segment-local.
+type ProjectNode struct {
+	dbase
+	child Node
+	exprs []engine.OutExpr
+}
+
+// NewProject returns a distributed projection. The output distribution is
+// derived: if every distribution-key column of the input survives as a
+// plain column reference, the output stays hashed on the mapped columns;
+// otherwise it degrades to random (replicated stays replicated).
+func NewProject(child Node, exprs ...engine.OutExpr) *ProjectNode {
+	// engine.NewProject resolves types; reuse it on a dummy scan to get
+	// the schema without duplicating that logic.
+	probe := engine.NewProject(engine.NewScan(engine.NewTable("", child.OutSchema())), exprs...)
+	dist := remapDist(child.OutDist(), exprs)
+	return &ProjectNode{
+		dbase: dbase{cluster: clusterOf(child), schema: probe.OutSchema(), dist: dist},
+		child: child, exprs: exprs,
+	}
+}
+
+// remapDist maps a distribution through a projection list.
+func remapDist(d Distribution, exprs []engine.OutExpr) Distribution {
+	if d.Replicated {
+		return d
+	}
+	if d.Key == nil {
+		return RandomDist()
+	}
+	mapped := make([]int, len(d.Key))
+	for i, k := range d.Key {
+		found := -1
+		for j, e := range exprs {
+			if e.Col == k {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return RandomDist()
+		}
+		mapped[i] = found
+	}
+	return HashedBy(mapped...)
+}
+
+func (n *ProjectNode) Children() []Node { return []Node{n.child} }
+func (n *ProjectNode) Label() string    { return fmt.Sprintf("Project (%d cols)", len(n.exprs)) }
+
+// Run projects every segment in parallel.
+func (n *ProjectNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("project", n.schema, n.dist)
+		err := n.cluster.forEachSegment(func(i int) error {
+			p := engine.NewProject(engine.NewScan(in.segs[i]), n.exprs...)
+			t, err := p.Run()
+			if err != nil {
+				return err
+			}
+			out.segs[i].AppendTable(t)
+			return nil
+		})
+		return out, err
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Hash Join
+
+// HashJoinNode joins two collocated inputs segment-locally in parallel.
+//
+// Collocation is a *precondition*: either at least one input is
+// replicated, or both inputs are hash-distributed on exactly the join key
+// tuples. The planner (PlanJoin) is responsible for inserting motions to
+// establish it; constructing a join over non-collocated inputs panics,
+// because silently joining them would drop matches that live on different
+// segments.
+type HashJoinNode struct {
+	dbase
+	build, probe         Node
+	buildKeys, probeKeys []int
+	residual             func(b *engine.Table, br int, p *engine.Table, pr int) bool
+	residualDesc         string
+	outs                 []engine.JoinOut
+	desc                 string
+}
+
+// NewHashJoin constructs a distributed hash join. See HashJoinNode for the
+// collocation precondition.
+func NewHashJoin(build, probe Node, buildKeys, probeKeys []int, outs []engine.JoinOut, desc string) *HashJoinNode {
+	if len(buildKeys) != len(probeKeys) {
+		panic("mpp: HashJoin key lists differ in length")
+	}
+	bd, pd := build.OutDist(), probe.OutDist()
+	collocated := bd.Replicated || pd.Replicated ||
+		(keysEqual(bd.Key, buildKeys) && keysEqual(pd.Key, probeKeys))
+	if !collocated {
+		panic(fmt.Sprintf("mpp: HashJoin inputs not collocated: build %s on %v, probe %s on %v",
+			bd, buildKeys, pd, probeKeys))
+	}
+	sch := engine.JoinSchema(build.OutSchema(), probe.OutSchema(), outs)
+	return &HashJoinNode{
+		dbase:     dbase{cluster: clusterOf(build), schema: sch, dist: joinOutputDist(bd, pd, buildKeys, probeKeys, outs)},
+		build:     build,
+		probe:     probe,
+		buildKeys: buildKeys,
+		probeKeys: probeKeys,
+		outs:      outs,
+		desc:      desc,
+	}
+}
+
+// joinOutputDist derives the output distribution of a collocated join.
+func joinOutputDist(bd, pd Distribution, buildKeys, probeKeys []int, outs []engine.JoinOut) Distribution {
+	if bd.Replicated && pd.Replicated {
+		return ReplicatedDist()
+	}
+	// Rows land on the segment of the non-replicated side (or either, if
+	// both hashed on the join keys). Map that side's distribution key
+	// through the output spec.
+	trySide := func(side int, key []int) (Distribution, bool) {
+		if key == nil {
+			return Distribution{}, false
+		}
+		mapped := make([]int, len(key))
+		for i, k := range key {
+			found := -1
+			for j, o := range outs {
+				if o.Side == side && o.Col == k {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return Distribution{}, false
+			}
+			mapped[i] = found
+		}
+		return HashedBy(mapped...), true
+	}
+	if !bd.Replicated {
+		if d, ok := trySide(engine.BuildSide, bd.Key); ok {
+			return d
+		}
+	}
+	if !pd.Replicated {
+		if d, ok := trySide(engine.ProbeSide, pd.Key); ok {
+			return d
+		}
+	}
+	return RandomDist()
+}
+
+// WithResidual attaches a residual predicate (see engine.HashJoinNode).
+func (n *HashJoinNode) WithResidual(desc string, pred func(b *engine.Table, br int, p *engine.Table, pr int) bool) *HashJoinNode {
+	n.residual = pred
+	n.residualDesc = desc
+	return n
+}
+
+func (n *HashJoinNode) Children() []Node { return []Node{n.build, n.probe} }
+
+func (n *HashJoinNode) Label() string {
+	l := "Hash Join (" + n.desc + ")"
+	if n.residualDesc != "" {
+		l += " Residual (" + n.residualDesc + ")"
+	}
+	return l
+}
+
+// Run joins every segment pair in parallel.
+func (n *HashJoinNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	bt, pt := ins[0], ins[1]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("join", n.schema, n.dist)
+		err := n.cluster.forEachSegment(func(i int) error {
+			t, err := engine.HashJoinTables(bt.segs[i], pt.segs[i], n.buildKeys, n.probeKeys, n.residual, n.outs)
+			if err != nil {
+				return err
+			}
+			out.segs[i] = t
+			out.segs[i].SetName(fmt.Sprintf("join.seg%d", i))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Joining two replicated inputs produces identical output on every
+		// segment; that is exactly the replicated invariant, keep it.
+		return out, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+
+// DistinctNode removes duplicate rows by key, segment-locally. The
+// precondition mirrors the join's: equal keys must be collocated, i.e. the
+// input is replicated or hashed on a tuple of columns that is a subset of
+// the distinct keys.
+type DistinctNode struct {
+	dbase
+	child Node
+	keys  []int
+}
+
+// NewDistinct constructs a distributed duplicate elimination.
+func NewDistinct(child Node, keys []int) *DistinctNode {
+	d := child.OutDist()
+	if !d.Replicated && !subsetOf(d.Key, keys) {
+		panic(fmt.Sprintf("mpp: Distinct on %v over input distributed %s: equal keys not collocated", keys, d))
+	}
+	return &DistinctNode{
+		dbase: dbase{cluster: clusterOf(child), schema: child.OutSchema(), dist: d},
+		child: child, keys: keys,
+	}
+}
+
+// subsetOf reports whether every element of sub appears in super; a nil
+// sub (random distribution) is not a subset of anything.
+func subsetOf(sub, super []int) bool {
+	if sub == nil {
+		return false
+	}
+	for _, s := range sub {
+		found := false
+		for _, t := range super {
+			if s == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *DistinctNode) Children() []Node { return []Node{n.child} }
+func (n *DistinctNode) Label() string {
+	return fmt.Sprintf("HashAggregate (distinct on %d cols)", len(n.keys))
+}
+
+// Run deduplicates every segment in parallel.
+func (n *DistinctNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("distinct", n.schema, n.dist)
+		err := n.cluster.forEachSegment(func(i int) error {
+			t, err := engine.NewDistinct(engine.NewScan(in.segs[i]), n.keys).Run()
+			if err != nil {
+				return err
+			}
+			out.segs[i].AppendTable(t)
+			return nil
+		})
+		return out, err
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Group By
+
+// GroupByNode aggregates segment-locally; the same collocation
+// precondition as Distinct applies (group keys must be collocated).
+type GroupByNode struct {
+	dbase
+	child Node
+	keys  []int
+	aggs  []engine.AggSpec
+}
+
+// NewGroupBy constructs a distributed aggregation.
+func NewGroupBy(child Node, keys []int, aggs []engine.AggSpec) *GroupByNode {
+	d := child.OutDist()
+	if !d.Replicated && !subsetOf(d.Key, keys) {
+		panic(fmt.Sprintf("mpp: GroupBy on %v over input distributed %s: groups not collocated", keys, d))
+	}
+	sch := engine.GroupBySchema(child.OutSchema(), keys, aggs)
+	// Key columns come first in the output; remap the input's hash key.
+	var outDist Distribution
+	if d.Replicated {
+		outDist = ReplicatedDist()
+	} else {
+		mapped := make([]int, len(d.Key))
+		ok := true
+		for i, k := range d.Key {
+			pos := -1
+			for j, gk := range keys {
+				if gk == k {
+					pos = j
+					break
+				}
+			}
+			if pos < 0 {
+				ok = false
+				break
+			}
+			mapped[i] = pos
+		}
+		if ok {
+			outDist = HashedBy(mapped...)
+		} else {
+			outDist = RandomDist()
+		}
+	}
+	return &GroupByNode{
+		dbase: dbase{cluster: clusterOf(child), schema: sch, dist: outDist},
+		child: child, keys: keys, aggs: aggs,
+	}
+}
+
+func (n *GroupByNode) Children() []Node { return []Node{n.child} }
+func (n *GroupByNode) Label() string {
+	return fmt.Sprintf("GroupAggregate (%d keys, %d aggs)", len(n.keys), len(n.aggs))
+}
+
+// Run aggregates every segment in parallel.
+func (n *GroupByNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("groupby", n.schema, n.dist)
+		err := n.cluster.forEachSegment(func(i int) error {
+			t, err := engine.GroupByTable(in.segs[i], n.keys, n.aggs)
+			if err != nil {
+				return err
+			}
+			out.segs[i].AppendTable(t)
+			return nil
+		})
+		return out, err
+	})
+}

@@ -1,0 +1,258 @@
+// Package mpp implements the shared-nothing massively parallel processing
+// database substrate that ProbKB-p runs on (the paper uses Greenplum 4.2;
+// this package plays that role).
+//
+// A Cluster owns a fixed number of segments. A DistTable is a relation
+// whose rows are hash-partitioned across segments by a tuple of Int32
+// "distribution key" columns, or fully replicated on every segment.
+// Distributed operators execute the single-node engine kernels once per
+// segment, in parallel goroutines, and insert *motion* operators —
+// Redistribute, Broadcast, Gather — whenever the data placement an
+// operator needs differs from the placement it has. Motions account for
+// the rows and bytes they ship, so Explain output reproduces the
+// plan-shape comparison of Figure 4 in the paper: a join against a table
+// already distributed on the join key shows a cheap Redistribute Motion on
+// the other input, while the unoptimized plan shows an expensive Broadcast
+// Motion.
+//
+// Section 4.4 of the paper keys its optimization on *redistributed
+// materialized views*: extra copies of TΠ distributed by the exact key
+// tuples the grounding joins use. Cluster.Materialize registers such a
+// view; the planner (planner.go) picks the collocated copy when one
+// exists.
+package mpp
+
+import (
+	"fmt"
+	"sync"
+
+	"probkb/internal/engine"
+)
+
+// Cluster models a shared-nothing MPP database with a fixed segment count.
+type Cluster struct {
+	nseg int
+}
+
+// NewCluster returns a cluster with n segments; n must be >= 1.
+func NewCluster(n int) *Cluster {
+	if n < 1 {
+		panic("mpp: cluster needs at least one segment")
+	}
+	return &Cluster{nseg: n}
+}
+
+// NumSegments returns the cluster's segment count.
+func (c *Cluster) NumSegments() int { return c.nseg }
+
+// Distribution describes how a DistTable's rows are placed.
+//
+// Exactly one of three states holds: hash-distributed by Key (Key != nil),
+// replicated on every segment (Replicated), or scattered with no placement
+// invariant (both zero — "distributed randomly" in Greenplum terms).
+type Distribution struct {
+	Key        []int
+	Replicated bool
+}
+
+// HashedBy returns a hash distribution on the given key columns.
+func HashedBy(key ...int) Distribution { return Distribution{Key: key} }
+
+// ReplicatedDist returns the replicated distribution.
+func ReplicatedDist() Distribution { return Distribution{Replicated: true} }
+
+// RandomDist returns the no-invariant distribution.
+func RandomDist() Distribution { return Distribution{} }
+
+// Random reports whether the distribution carries no placement invariant.
+func (d Distribution) Random() bool { return d.Key == nil && !d.Replicated }
+
+// String renders the distribution for Explain output.
+func (d Distribution) String() string {
+	switch {
+	case d.Replicated:
+		return "replicated"
+	case d.Key != nil:
+		return fmt.Sprintf("hashed%v", d.Key)
+	default:
+		return "random"
+	}
+}
+
+// DistTable is a relation partitioned (or replicated) across the segments
+// of one cluster.
+type DistTable struct {
+	cluster *Cluster
+	name    string
+	schema  engine.Schema
+	dist    Distribution
+	segs    []*engine.Table
+}
+
+// Name returns the distributed table's name.
+func (d *DistTable) Name() string { return d.name }
+
+// SetName renames the distributed table.
+func (d *DistTable) SetName(n string) {
+	d.name = n
+	for i, s := range d.segs {
+		s.SetName(fmt.Sprintf("%s.seg%d", n, i))
+	}
+}
+
+// Schema returns the table schema.
+func (d *DistTable) Schema() engine.Schema { return d.schema }
+
+// Dist returns the table's distribution.
+func (d *DistTable) Dist() Distribution { return d.dist }
+
+// Replicated reports whether every segment holds a full copy.
+func (d *DistTable) Replicated() bool { return d.dist.Replicated }
+
+// Segment returns segment i's local slice of the table.
+func (d *DistTable) Segment(i int) *engine.Table { return d.segs[i] }
+
+// NumRows returns the logical row count: the sum over segments for a
+// distributed table, or one copy's count for a replicated one.
+func (d *DistTable) NumRows() int {
+	if d.Replicated() {
+		return d.segs[0].NumRows()
+	}
+	n := 0
+	for _, s := range d.segs {
+		n += s.NumRows()
+	}
+	return n
+}
+
+// segmentOf returns the segment a row of t belongs on under key.
+func segmentOf(t *engine.Table, row int, key []int, nseg int) int {
+	return int(engine.HashRow(t, row, key) % uint64(nseg))
+}
+
+// newDistTable allocates the per-segment shells.
+func (c *Cluster) newDistTable(name string, schema engine.Schema, dist Distribution) *DistTable {
+	d := &DistTable{cluster: c, name: name, schema: schema, dist: dist}
+	d.segs = make([]*engine.Table, c.nseg)
+	for i := range d.segs {
+		d.segs[i] = engine.NewTable(fmt.Sprintf("%s.seg%d", name, i), schema)
+	}
+	return d
+}
+
+// Distribute loads t into the cluster hash-partitioned by the given key
+// columns. This is the bulkload path (CREATE TABLE ... DISTRIBUTED BY).
+func (c *Cluster) Distribute(t *engine.Table, key []int) *DistTable {
+	if len(key) == 0 {
+		panic("mpp: Distribute needs a non-empty key; use Replicate for replicated tables")
+	}
+	d := c.newDistTable(t.Name(), t.Schema(), HashedBy(append([]int(nil), key...)...))
+	scatterInto(t, d.segs, key)
+	return d
+}
+
+// Replicate loads t as a replicated table: every segment gets a full copy
+// (CREATE TABLE ... DISTRIBUTED REPLICATED). The paper replicates the
+// small MLN partition tables M1..M6 this way.
+func (c *Cluster) Replicate(t *engine.Table) *DistTable {
+	d := c.newDistTable(t.Name(), t.Schema(), ReplicatedDist())
+	for i := range d.segs {
+		d.segs[i].AppendTable(t)
+	}
+	return d
+}
+
+// scatterInto hash-partitions t's rows into the given per-segment tables
+// and returns the per-segment row lists (useful to motions for
+// accounting).
+func scatterInto(t *engine.Table, segs []*engine.Table, key []int) [][]int32 {
+	nseg := len(segs)
+	perSeg := make([][]int32, nseg)
+	for r := 0; r < t.NumRows(); r++ {
+		s := segmentOf(t, r, key, nseg)
+		perSeg[s] = append(perSeg[s], int32(r))
+	}
+	for s, rows := range perSeg {
+		if len(rows) == 0 {
+			continue
+		}
+		segs[s].AppendRowsFrom(t, rows)
+	}
+	return perSeg
+}
+
+// AppendFrom incrementally loads rows [from, t.NumRows()) of t into the
+// distributed table: hashed tables scatter the delta by their key,
+// replicated tables append it everywhere. This is the incremental
+// materialized-view maintenance path the grounder uses between
+// iterations (a full rebuild is only needed after deletions).
+func (d *DistTable) AppendFrom(t *engine.Table, from int) {
+	n := t.NumRows()
+	if from >= n {
+		return
+	}
+	rows := make([]int32, 0, n-from)
+	for r := from; r < n; r++ {
+		rows = append(rows, int32(r))
+	}
+	delta := engine.NewTable("delta", d.schema)
+	delta.AppendRowsFrom(t, rows)
+	if d.Replicated() {
+		for i := range d.segs {
+			d.segs[i].AppendTable(delta)
+		}
+		return
+	}
+	key := d.dist.Key
+	if key == nil {
+		panic("mpp: AppendFrom into a randomly distributed table")
+	}
+	scatterInto(delta, d.segs, key)
+}
+
+// Gather collects a distributed table onto the master as one engine table.
+func Gather(d *DistTable) *engine.Table {
+	out := engine.NewTable(d.name, d.schema)
+	if d.Replicated() {
+		out.AppendTable(d.segs[0])
+		return out
+	}
+	for _, s := range d.segs {
+		out.AppendTable(s)
+	}
+	return out
+}
+
+// forEachSegment runs f(i) for every segment index concurrently and
+// returns the first error.
+func (c *Cluster) forEachSegment(f func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, c.nseg)
+	for i := 0; i < c.nseg; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// keysEqual reports whether two distribution key tuples are identical.
+func keysEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,630 @@
+package mpp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"probkb/internal/engine"
+)
+
+func twoColTable(name string, a, b []int32) *engine.Table {
+	t := engine.NewTable(name, engine.NewSchema(engine.C("a", engine.Int32), engine.C("b", engine.Int32)))
+	for i := range a {
+		t.AppendRow(a[i], b[i])
+	}
+	return t
+}
+
+func randomTable(rng *rand.Rand, name string, n int, domain int32) *engine.Table {
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = rng.Int31n(domain)
+		b[i] = rng.Int31n(domain)
+	}
+	return twoColTable(name, a, b)
+}
+
+// sortedFlat renders a table's rows as a sorted [][]int32 for comparison.
+func sortedFlat(t *engine.Table) [][]int32 {
+	t = t.Clone()
+	cols := make([]int, t.Schema().NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	t.SortByInt32Cols(cols...)
+	out := make([][]int32, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]int32, len(cols))
+		for c := range cols {
+			row[c] = t.Int32Col(c)[r]
+		}
+		out[r] = row
+	}
+	return out
+}
+
+func flatEqual(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDistributeGatherRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := randomTable(rng, "T", 500, 50)
+	c := NewCluster(4)
+	d := c.Distribute(base, []int{0})
+	if d.NumRows() != 500 {
+		t.Fatalf("NumRows = %d, want 500", d.NumRows())
+	}
+	if !flatEqual(sortedFlat(Gather(d)), sortedFlat(base)) {
+		t.Fatal("gather after distribute lost or changed rows")
+	}
+	// Placement invariant: every row sits on its hash segment.
+	for i := 0; i < c.NumSegments(); i++ {
+		seg := d.Segment(i)
+		for r := 0; r < seg.NumRows(); r++ {
+			if segmentOf(seg, r, []int{0}, c.NumSegments()) != i {
+				t.Fatalf("row on segment %d hashes elsewhere", i)
+			}
+		}
+	}
+	if d.Dist().String() != "hashed[0]" {
+		t.Fatalf("dist = %s", d.Dist())
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	base := twoColTable("M", []int32{1, 2}, []int32{3, 4})
+	c := NewCluster(3)
+	d := c.Replicate(base)
+	if !d.Replicated() {
+		t.Fatal("replicated table not marked replicated")
+	}
+	if d.NumRows() != 2 {
+		t.Fatalf("replicated NumRows = %d, want 2 (one copy)", d.NumRows())
+	}
+	for i := 0; i < 3; i++ {
+		if d.Segment(i).NumRows() != 2 {
+			t.Fatalf("segment %d has %d rows, want 2", i, d.Segment(i).NumRows())
+		}
+	}
+	if !flatEqual(sortedFlat(Gather(d)), sortedFlat(base)) {
+		t.Fatal("gather of replicated table should yield one copy")
+	}
+}
+
+func TestDistributeEmptyKeyPanics(t *testing.T) {
+	c := NewCluster(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distribute with empty key did not panic")
+		}
+	}()
+	c.Distribute(twoColTable("T", nil, nil), nil)
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster(0) did not panic")
+		}
+	}()
+	NewCluster(0)
+}
+
+func TestRedistributeMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := randomTable(rng, "T", 300, 20)
+	c := NewCluster(4)
+	d := c.Distribute(base, []int{0})
+	re := NewRedistribute(NewScan(d), []int{1})
+	out, err := re.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatEqual(sortedFlat(Gather(out)), sortedFlat(base)) {
+		t.Fatal("redistribute changed the row multiset")
+	}
+	if out.Dist().String() != "hashed[1]" {
+		t.Fatalf("output dist = %s, want hashed[1]", out.Dist())
+	}
+	for i := 0; i < c.NumSegments(); i++ {
+		seg := out.Segment(i)
+		for r := 0; r < seg.NumRows(); r++ {
+			if segmentOf(seg, r, []int{1}, c.NumSegments()) != i {
+				t.Fatal("redistributed row on wrong segment")
+			}
+		}
+	}
+	if !strings.Contains(re.Stats().Extra, "moved=") {
+		t.Fatalf("redistribute stats missing motion annotation: %q", re.Stats().Extra)
+	}
+}
+
+func TestRedistributeReplicatedInput(t *testing.T) {
+	base := twoColTable("M", []int32{1, 2, 3}, []int32{4, 5, 6})
+	c := NewCluster(3)
+	re := NewRedistribute(NewScan(c.Replicate(base)), []int{0})
+	out, err := re.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatEqual(sortedFlat(Gather(out)), sortedFlat(base)) {
+		t.Fatal("redistributing a replicated table should keep exactly one copy")
+	}
+}
+
+func TestBroadcastMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := randomTable(rng, "T", 100, 10)
+	c := NewCluster(4)
+	d := c.Distribute(base, []int{0})
+	bc := NewBroadcast(NewScan(d))
+	out, err := bc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Replicated() {
+		t.Fatal("broadcast output not replicated")
+	}
+	for i := 0; i < 4; i++ {
+		if !flatEqual(sortedFlat(out.Segment(i)), sortedFlat(base)) {
+			t.Fatalf("segment %d missing broadcast rows", i)
+		}
+	}
+	if MotionBytes(bc) <= 0 {
+		t.Fatal("broadcast should account moved bytes")
+	}
+	// Broadcasting an already-replicated input moves nothing.
+	bc2 := NewBroadcast(NewScan(c.Replicate(base)))
+	if _, err := bc2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if MotionBytes(bc2) != 0 {
+		t.Fatal("broadcast of replicated input should move 0 bytes")
+	}
+}
+
+func TestGatherNode(t *testing.T) {
+	base := twoColTable("T", []int32{1, 2, 3}, []int32{1, 2, 3})
+	c := NewCluster(2)
+	g := NewGather(NewScan(c.Distribute(base, []int{0})))
+	out, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Segment(0).NumRows() != 3 || out.Segment(1).NumRows() != 0 {
+		t.Fatal("gather should place all rows on segment 0")
+	}
+}
+
+// TestDistributedJoinAgreesWithSingleNode is the core MPP property: for
+// random tables under every collocation scenario the planner produces, the
+// distributed join result equals the single-node join result.
+func TestDistributedJoinAgreesWithSingleNode(t *testing.T) {
+	outs := []engine.JoinOut{
+		engine.BuildCol("ba", 0), engine.BuildCol("bb", 1),
+		engine.ProbeCol("pa", 0), engine.ProbeCol("pb", 1),
+	}
+	prop := func(seed int64, nl, nr uint8, scenario uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left := randomTable(rng, "L", int(nl)%40, 8)
+		right := randomTable(rng, "R", int(nr)%40, 8)
+		c := NewCluster(3)
+
+		var build, probe Node
+		switch scenario % 4 {
+		case 0: // both collocated on join keys
+			build = NewScan(c.Distribute(left, []int{0}))
+			probe = NewScan(c.Distribute(right, []int{1}))
+		case 1: // build replicated
+			build = NewScan(c.Replicate(left))
+			probe = NewScan(c.Distribute(right, []int{0}))
+		case 2: // probe needs redistribution
+			build = NewScan(c.Distribute(left, []int{0}))
+			probe = NewScan(c.Distribute(right, []int{0})) // wrong key: join uses col 1
+		case 3: // neither placed usefully: broadcast build
+			build = NewScan(c.Distribute(left, []int{1}))
+			probe = NewScan(c.Distribute(right, []int{0}))
+		}
+		plan := PlanJoin(build, probe, []int{0}, []int{1}, outs, "L.a = R.b", nil)
+		got, err := plan.Run()
+		if err != nil {
+			return false
+		}
+		want := engine.NestedLoopJoin(left, right, []int{0}, []int{1}, nil, outs)
+		return flatEqual(sortedFlat(Gather(got)), sortedFlat(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanJoinMotionChoices(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	left := randomTable(rng, "L", 50, 5)
+	right := randomTable(rng, "R", 50, 5)
+	c := NewCluster(2)
+	outs := []engine.JoinOut{engine.BuildCol("a", 0)}
+
+	// Collocated: no motions.
+	p := PlanJoin(NewScan(c.Distribute(left, []int{0})), NewScan(c.Distribute(right, []int{0})),
+		[]int{0}, []int{0}, outs, "j", nil)
+	if r, b := CountMotions(p); r != 0 || b != 0 {
+		t.Fatalf("collocated plan has motions: %d redistribute, %d broadcast", r, b)
+	}
+
+	// Probe mis-keyed: one redistribute.
+	p = PlanJoin(NewScan(c.Distribute(left, []int{0})), NewScan(c.Distribute(right, []int{1})),
+		[]int{0}, []int{0}, outs, "j", nil)
+	if r, b := CountMotions(p); r != 1 || b != 0 {
+		t.Fatalf("mis-keyed probe: %d redistribute, %d broadcast; want 1, 0", r, b)
+	}
+
+	// Neither keyed: broadcast build.
+	p = PlanJoin(NewScan(c.Distribute(left, []int{1})), NewScan(c.Distribute(right, []int{1})),
+		[]int{0}, []int{0}, outs, "j", nil)
+	if r, b := CountMotions(p); r != 0 || b != 1 {
+		t.Fatalf("unkeyed join: %d redistribute, %d broadcast; want 0, 1", r, b)
+	}
+}
+
+func TestViewsEliminateMotions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := randomTable(rng, "T", 200, 10)
+	small := randomTable(rng, "M", 20, 10)
+	c := NewCluster(3)
+	dT := c.Distribute(base, []int{0})
+	dM := c.Distribute(small, []int{1})
+
+	views := NewViews(c)
+	views.Materialize(dT, []int{1})
+	if views.Count() != 1 {
+		t.Fatalf("views count = %d, want 1", views.Count())
+	}
+	if _, ok := views.Lookup("T", []int{1}); !ok {
+		t.Fatal("registered view not found")
+	}
+	if _, ok := views.Lookup("T", []int{0, 1}); ok {
+		t.Fatal("lookup found view with wrong key")
+	}
+
+	outs := []engine.JoinOut{engine.BuildCol("ma", 0), engine.ProbeCol("tb", 1)}
+	// Join M (build, keyed fine on col 1) against T on T.b: without views
+	// this needs a motion on T; with the view it does not.
+	noViews := PlanJoin(NewScan(dM), NewScan(dT), []int{1}, []int{1}, outs, "M.b = T.b", nil)
+	if r, b := CountMotions(noViews); r+b == 0 {
+		t.Fatal("expected a motion without views")
+	}
+	withViews := PlanJoin(NewScan(dM), NewScan(dT), []int{1}, []int{1}, outs, "M.b = T.b", views)
+	if r, b := CountMotions(withViews); r+b != 0 {
+		t.Fatalf("view plan still has motions: %d redistribute, %d broadcast", r, b)
+	}
+	// Both must compute the same result.
+	g1, err := noViews.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := withViews.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatEqual(sortedFlat(Gather(g1)), sortedFlat(Gather(g2))) {
+		t.Fatal("view-based plan computed a different join result")
+	}
+}
+
+func TestMaterializeRefresh(t *testing.T) {
+	base := twoColTable("T", []int32{1}, []int32{2})
+	c := NewCluster(2)
+	d := c.Distribute(base, []int{0})
+	views := NewViews(c)
+	views.Materialize(d, []int{1})
+	// Table grows; refresh replaces the old copy.
+	d.Segment(0).AppendRow(int32(9), int32(9))
+	views.Materialize(d, []int{1})
+	if views.Count() != 1 {
+		t.Fatalf("refresh duplicated the view: count = %d", views.Count())
+	}
+	v, _ := views.Lookup("T", []int{1})
+	if v.NumRows() != 2 {
+		t.Fatalf("refreshed view rows = %d, want 2", v.NumRows())
+	}
+}
+
+func TestHashJoinCollocationPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	left := randomTable(rng, "L", 10, 4)
+	right := randomTable(rng, "R", 10, 4)
+	c := NewCluster(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-collocated join did not panic")
+		}
+	}()
+	NewHashJoin(NewScan(c.Distribute(left, []int{1})), NewScan(c.Distribute(right, []int{1})),
+		[]int{0}, []int{0}, []engine.JoinOut{engine.BuildCol("a", 0)}, "bad")
+}
+
+func TestDistributedFilterProject(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomTable(rng, "T", 200, 10)
+	c := NewCluster(4)
+	d := c.Distribute(base, []int{0})
+
+	f := NewFilter(NewScan(d), "a > 4", func(t *engine.Table, r int) bool {
+		return t.Int32Col(0)[r] > 4
+	})
+	out, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dist().String() != "hashed[0]" {
+		t.Fatalf("filter changed distribution: %s", out.Dist())
+	}
+	gathered := Gather(out)
+	for r := 0; r < gathered.NumRows(); r++ {
+		if gathered.Int32Col(0)[r] <= 4 {
+			t.Fatal("filter kept a row it should drop")
+		}
+	}
+
+	// Projection keeping the key preserves hashing on the mapped column.
+	p := NewProject(NewScan(d), engine.ColExpr("b", 1), engine.ColExpr("a", 0))
+	if p.OutDist().String() != "hashed[1]" {
+		t.Fatalf("projected dist = %s, want hashed[1]", p.OutDist())
+	}
+	// Dropping the key degrades to random.
+	p2 := NewProject(NewScan(d), engine.ColExpr("b", 1))
+	if !p2.OutDist().Random() {
+		t.Fatalf("key-dropping projection dist = %s, want random", p2.OutDist())
+	}
+	pout, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pout.NumRows() != 200 {
+		t.Fatalf("project rows = %d, want 200", pout.NumRows())
+	}
+}
+
+func TestDistributedDistinctAndGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	base := randomTable(rng, "T", 400, 6)
+	c := NewCluster(4)
+	d := c.Distribute(base, []int{0})
+
+	// Distinct on (a, b): collocated because dist key {0} ⊆ {0,1}.
+	dn := NewDistinct(NewScan(d), []int{0, 1})
+	got, err := dn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.NewDistinct(engine.NewScan(base), []int{0, 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatEqual(sortedFlat(Gather(got)), sortedFlat(want)) {
+		t.Fatal("distributed distinct disagrees with single-node")
+	}
+
+	// GroupBy count on a.
+	gb := NewGroupBy(NewScan(d), []int{0}, []engine.AggSpec{{Kind: engine.AggCount, Name: "n"}})
+	gout, err := gb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG, err := engine.GroupByTable(base, []int{0}, []engine.AggSpec{{Kind: engine.AggCount, Name: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatEqual(sortedFlat(Gather(gout)), sortedFlat(wantG)) {
+		t.Fatal("distributed groupby disagrees with single-node")
+	}
+}
+
+func TestDistinctCollocationPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := randomTable(rng, "T", 20, 4)
+	c := NewCluster(2)
+	d := c.Distribute(base, []int{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("distinct on non-collocated keys did not panic")
+		}
+	}()
+	NewDistinct(NewScan(d), []int{1})
+}
+
+func TestEnsureDistributedBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	base := randomTable(rng, "T", 50, 5)
+	c := NewCluster(2)
+	d := c.Distribute(base, []int{0})
+
+	same := EnsureDistributedBy(NewScan(d), []int{0})
+	if _, ok := same.(*ScanNode); !ok {
+		t.Fatal("EnsureDistributedBy inserted a motion it did not need")
+	}
+	moved := EnsureDistributedBy(NewScan(d), []int{1})
+	if _, ok := moved.(*RedistributeNode); !ok {
+		t.Fatal("EnsureDistributedBy did not insert a redistribute")
+	}
+}
+
+func TestExplainShowsMotions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	left := randomTable(rng, "L", 30, 4)
+	right := randomTable(rng, "R", 30, 4)
+	c := NewCluster(2)
+	p := PlanJoin(NewScan(c.Distribute(left, []int{1})), NewScan(c.Distribute(right, []int{1})),
+		[]int{0}, []int{0}, []engine.JoinOut{engine.BuildCol("a", 0)}, "L.a = R.a", nil)
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	exp := Explain(p)
+	if !strings.Contains(exp, "Broadcast Motion") {
+		t.Fatalf("explain missing broadcast motion:\n%s", exp)
+	}
+	if !strings.Contains(exp, "Seq Scan on L") {
+		t.Fatalf("explain missing scans:\n%s", exp)
+	}
+}
+
+// TestRedistributePreservesMultiset: any chain of redistributions keeps
+// the exact row multiset and lands rows on their hash segments.
+func TestRedistributePreservesMultiset(t *testing.T) {
+	prop := func(seed int64, n uint8, segs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomTable(rng, "T", int(n)%60, 10)
+		c := NewCluster(1 + int(segs)%5)
+		var node Node = NewScan(c.Distribute(base, []int{0}))
+		keys := [][]int{{1}, {0, 1}, {0}}
+		for _, k := range keys {
+			node = NewRedistribute(node, k)
+		}
+		out, err := node.Run()
+		if err != nil {
+			return false
+		}
+		if !flatEqual(sortedFlat(Gather(out)), sortedFlat(base)) {
+			return false
+		}
+		for i := 0; i < c.NumSegments(); i++ {
+			seg := out.Segment(i)
+			for r := 0; r < seg.NumRows(); r++ {
+				if segmentOf(seg, r, []int{0}, c.NumSegments()) != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if HashedBy(1, 2).String() != "hashed[1 2]" {
+		t.Fatalf("HashedBy string = %s", HashedBy(1, 2))
+	}
+	if !ReplicatedDist().Replicated || ReplicatedDist().String() != "replicated" {
+		t.Fatal("ReplicatedDist wrong")
+	}
+	if !RandomDist().Random() || RandomDist().String() != "random" {
+		t.Fatal("RandomDist wrong")
+	}
+}
+
+func TestLabelsAndSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	base := randomTable(rng, "T", 20, 4)
+	c := NewCluster(2)
+	d := c.Distribute(base, []int{0})
+	if !d.Schema().Equal(base.Schema()) {
+		t.Fatal("DistTable schema wrong")
+	}
+	scan := NewScan(d)
+	f := NewFilter(scan, "x", func(*engine.Table, int) bool { return true })
+	p := NewProject(scan, engine.ColExpr("a", 0))
+	j := NewHashJoin(NewScan(c.Replicate(base)), scan, []int{0}, []int{0},
+		[]engine.JoinOut{engine.BuildCol("a", 0)}, "cond").
+		WithResidual("res", func(b *engine.Table, br int, pt *engine.Table, pr int) bool { return true })
+	dn := NewDistinct(scan, []int{0, 1})
+	gb := NewGroupBy(scan, []int{0}, []engine.AggSpec{{Kind: engine.AggCount, Name: "n"}})
+	re := NewRedistribute(scan, []int{1})
+	ga := NewGather(scan)
+	for _, n := range []Node{scan, f, p, j, dn, gb, re, ga} {
+		if n.Label() == "" {
+			t.Fatalf("%T has empty label", n)
+		}
+	}
+	if out, err := j.Run(); err != nil || out.NumRows() == 0 {
+		t.Fatalf("residual join: %v", err)
+	}
+}
+
+func TestDistTableAppendFrom(t *testing.T) {
+	base := twoColTable("T", []int32{1, 2, 3}, []int32{4, 5, 6})
+	c := NewCluster(3)
+	d := c.Distribute(base, []int{0})
+	rep := c.Replicate(base)
+
+	// Grow the master copy and ship only the delta.
+	base.AppendRow(int32(9), int32(9))
+	base.AppendRow(int32(10), int32(10))
+	d.AppendFrom(base, 3)
+	rep.AppendFrom(base, 3)
+	if d.NumRows() != 5 {
+		t.Fatalf("hashed append rows = %d, want 5", d.NumRows())
+	}
+	if !flatEqual(sortedFlat(Gather(d)), sortedFlat(base)) {
+		t.Fatal("hashed append changed contents")
+	}
+	for i := 0; i < 3; i++ {
+		if rep.Segment(i).NumRows() != 5 {
+			t.Fatalf("replicated append segment %d rows = %d", i, rep.Segment(i).NumRows())
+		}
+	}
+	// Empty delta is a no-op.
+	d.AppendFrom(base, base.NumRows())
+	if d.NumRows() != 5 {
+		t.Fatal("empty delta changed table")
+	}
+	// Appending into a random-dist table panics.
+	g, err := NewGather(NewScan(d)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendFrom into random dist did not panic")
+		}
+	}()
+	g.AppendFrom(base, 0)
+}
+
+func TestViewsAppendFrom(t *testing.T) {
+	base := twoColTable("T", []int32{1, 2}, []int32{3, 4})
+	c := NewCluster(2)
+	d := c.Distribute(base, []int{0})
+	views := NewViews(c)
+	views.Materialize(d, []int{1})
+	base.AppendRow(int32(7), int32(8))
+	views.AppendFrom("T", base, 2)
+	v, _ := views.Lookup("T", []int{1})
+	if v.NumRows() != 3 {
+		t.Fatalf("view rows after append = %d, want 3", v.NumRows())
+	}
+}
+
+func TestJoinReplicatedBothSides(t *testing.T) {
+	left := twoColTable("L", []int32{1, 2}, []int32{1, 2})
+	right := twoColTable("R", []int32{1, 3}, []int32{1, 3})
+	c := NewCluster(3)
+	j := NewHashJoin(NewScan(c.Replicate(left)), NewScan(c.Replicate(right)),
+		[]int{0}, []int{0}, []engine.JoinOut{engine.BuildCol("a", 0)}, "L.a = R.a")
+	out, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Replicated() {
+		t.Fatal("join of two replicated inputs should stay replicated")
+	}
+	if out.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", out.NumRows())
+	}
+}

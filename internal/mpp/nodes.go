@@ -1,0 +1,302 @@
+package mpp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"probkb/internal/engine"
+)
+
+// Node is one operator of a distributed query plan. As in the single-node
+// engine, Run fully materializes the operator's output — here a DistTable
+// — and records self time and row counts for Explain.
+type Node interface {
+	// OutSchema returns the output schema.
+	OutSchema() engine.Schema
+	// OutDist returns the output's distribution.
+	OutDist() Distribution
+	// Children returns the input operators.
+	Children() []Node
+	// Label describes the operator for Explain.
+	Label() string
+	// Run executes the subtree and returns the distributed output.
+	Run() (*DistTable, error)
+	// Stats returns row count, self time, and motion annotations from the
+	// most recent Run.
+	Stats() *engine.NodeStats
+}
+
+type dbase struct {
+	cluster *Cluster
+	schema  engine.Schema
+	dist    Distribution
+	stats   engine.NodeStats
+}
+
+func (b *dbase) OutSchema() engine.Schema { return b.schema }
+func (b *dbase) OutDist() Distribution    { return b.dist }
+func (b *dbase) Stats() *engine.NodeStats { return &b.stats }
+
+func timeRunD(st *engine.NodeStats, body func() (*DistTable, error)) (*DistTable, error) {
+	start := time.Now()
+	out, err := body()
+	st.Elapsed = time.Since(start)
+	if out != nil {
+		st.Rows = out.NumRows()
+	}
+	return out, err
+}
+
+func runChildrenD(n Node) ([]*DistTable, error) {
+	kids := n.Children()
+	outs := make([]*DistTable, len(kids))
+	for i, k := range kids {
+		t, err := k.Run()
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = t
+	}
+	return outs, nil
+}
+
+// Explain renders a distributed plan with per-node row counts, self times,
+// and motion annotations, in the style of Figure 4.
+func Explain(root Node) string {
+	var b strings.Builder
+	explainNode(&b, root, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n Node, depth int) {
+	st := n.Stats()
+	fmt.Fprintf(b, "%s-> %s  (rows=%d time=%s%s)\n",
+		strings.Repeat("  ", depth), n.Label(), st.Rows, st.Elapsed.Round(time.Microsecond), st.Extra)
+	for _, k := range n.Children() {
+		explainNode(b, k, depth+1)
+	}
+}
+
+// CountMotions returns how many motion operators (redistribute or
+// broadcast) the plan contains; tests and the Figure 4 harness use it to
+// characterize plan shapes.
+func CountMotions(root Node) (redistribute, broadcast int) {
+	switch root.(type) {
+	case *RedistributeNode:
+		redistribute++
+	case *BroadcastNode:
+		broadcast++
+	}
+	for _, k := range root.Children() {
+		r, b := CountMotions(k)
+		redistribute += r
+		broadcast += b
+	}
+	return
+}
+
+// MotionBytes sums the bytes shipped by every motion in the plan during
+// the most recent Run.
+func MotionBytes(root Node) int64 {
+	var total int64
+	switch n := root.(type) {
+	case *RedistributeNode:
+		total += n.movedBytes
+	case *BroadcastNode:
+		total += n.movedBytes
+	}
+	for _, k := range root.Children() {
+		total += MotionBytes(k)
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+// ScanNode produces an existing distributed table.
+type ScanNode struct {
+	dbase
+	d *DistTable
+}
+
+// NewScan returns a scan over d.
+func NewScan(d *DistTable) *ScanNode {
+	return &ScanNode{dbase: dbase{cluster: d.cluster, schema: d.schema, dist: d.dist}, d: d}
+}
+
+func (n *ScanNode) Children() []Node { return nil }
+
+func (n *ScanNode) Label() string {
+	return fmt.Sprintf("Seq Scan on %s [%s]", n.d.name, n.d.dist)
+}
+
+// Run returns the scanned table.
+func (n *ScanNode) Run() (*DistTable, error) {
+	return timeRunD(&n.stats, func() (*DistTable, error) { return n.d, nil })
+}
+
+// ---------------------------------------------------------------------------
+// Motions
+
+// RedistributeNode reshuffles its input so the output is hash-distributed
+// by the given key columns. Rows already on their target segment are not
+// shipped; the stats record how many rows and bytes crossed segments.
+type RedistributeNode struct {
+	dbase
+	child      Node
+	key        []int
+	movedBytes int64
+}
+
+// NewRedistribute returns a redistribute motion to the given key.
+func NewRedistribute(child Node, key []int) *RedistributeNode {
+	cl := clusterOf(child)
+	return &RedistributeNode{
+		dbase: dbase{cluster: cl, schema: child.OutSchema(), dist: HashedBy(append([]int(nil), key...)...)},
+		child: child,
+		key:   key,
+	}
+}
+
+func (n *RedistributeNode) Children() []Node { return []Node{n.child} }
+func (n *RedistributeNode) Label() string    { return fmt.Sprintf("Redistribute Motion [by %v]", n.key) }
+
+// Run reshuffles the child output.
+func (n *RedistributeNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("redist", n.schema, n.dist)
+		var movedRows int
+		n.movedBytes = 0
+		// A replicated input only needs one copy's worth of rows, taken
+		// from segment 0 (in a real system each segment would hash its
+		// slice; the result is the same placement).
+		if in.Replicated() {
+			perSeg := scatterInto(in.segs[0], out.segs, n.key)
+			for s, rows := range perSeg {
+				_ = s
+				movedRows += len(rows)
+			}
+			n.movedBytes = in.segs[0].ByteSize()
+		} else {
+			for src := 0; src < n.cluster.nseg; src++ {
+				seg := in.segs[src]
+				perSeg := scatterInto(seg, out.segs, n.key)
+				for dst, rows := range perSeg {
+					if dst != src {
+						movedRows += len(rows)
+						if seg.NumRows() > 0 {
+							n.movedBytes += int64(len(rows)) * (seg.ByteSize() / int64(seg.NumRows()))
+						}
+					}
+				}
+			}
+		}
+		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB)", movedRows, n.movedBytes)
+		return out, nil
+	})
+}
+
+// BroadcastNode replicates its input onto every segment. All rows ship to
+// all other segments, which is why the paper's unoptimized plan in
+// Figure 4 is slow.
+type BroadcastNode struct {
+	dbase
+	child      Node
+	movedBytes int64
+}
+
+// NewBroadcast returns a broadcast motion.
+func NewBroadcast(child Node) *BroadcastNode {
+	cl := clusterOf(child)
+	return &BroadcastNode{
+		dbase: dbase{cluster: cl, schema: child.OutSchema(), dist: ReplicatedDist()},
+		child: child,
+	}
+}
+
+func (n *BroadcastNode) Children() []Node { return []Node{n.child} }
+func (n *BroadcastNode) Label() string    { return "Broadcast Motion" }
+
+// Run replicates the child output.
+func (n *BroadcastNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("broadcast", n.schema, ReplicatedDist())
+		if in.Replicated() {
+			// Already everywhere; nothing moves.
+			for i := range out.segs {
+				out.segs[i].AppendTable(in.segs[0])
+			}
+			n.movedBytes = 0
+			n.stats.Extra = " moved=0 rows (0B)"
+			return out, nil
+		}
+		full := Gather(in)
+		for i := range out.segs {
+			out.segs[i].AppendTable(full)
+		}
+		// Every row is shipped to every segment but its own.
+		moved := full.NumRows() * (n.cluster.nseg - 1)
+		n.movedBytes = full.ByteSize() * int64(n.cluster.nseg-1)
+		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB)", moved, n.movedBytes)
+		return out, nil
+	})
+}
+
+// GatherNode collects all rows onto a single segment (the "master"),
+// modeled as segment 0 holding everything.
+type GatherNode struct {
+	dbase
+	child Node
+}
+
+// NewGather returns a gather motion.
+func NewGather(child Node) *GatherNode {
+	cl := clusterOf(child)
+	return &GatherNode{
+		dbase: dbase{cluster: cl, schema: child.OutSchema(), dist: RandomDist()},
+		child: child,
+	}
+}
+
+func (n *GatherNode) Children() []Node { return []Node{n.child} }
+func (n *GatherNode) Label() string    { return "Gather Motion" }
+
+// Run gathers the child output onto segment 0.
+func (n *GatherNode) Run() (*DistTable, error) {
+	ins, err := runChildrenD(n)
+	if err != nil {
+		return nil, err
+	}
+	in := ins[0]
+	return timeRunD(&n.stats, func() (*DistTable, error) {
+		out := n.cluster.newDistTable("gather", n.schema, RandomDist())
+		out.segs[0] = Gather(in)
+		return out, nil
+	})
+}
+
+// clusterOf extracts the cluster a plan runs on.
+func clusterOf(n Node) *Cluster {
+	for {
+		kids := n.Children()
+		if len(kids) == 0 {
+			if s, ok := n.(*ScanNode); ok {
+				return s.d.cluster
+			}
+			panic("mpp: plan has a leaf that is not a scan")
+		}
+		n = kids[0]
+	}
+}

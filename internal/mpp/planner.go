@@ -1,0 +1,147 @@
+package mpp
+
+import (
+	"fmt"
+	"strings"
+
+	"probkb/internal/engine"
+)
+
+// Views is the registry of redistributed materialized views (Section 4.4
+// of the paper). Each view is a full copy of a base distributed table,
+// hash-distributed by a different key tuple so that joins on that tuple
+// need no motion. The paper creates views of TΠ distributed by
+// (R,C1,C2), (R,C1,x,C2), (R,C1,C2,y), and (R,C1,x,C2,y); the grounder
+// registers exactly those.
+type Views struct {
+	cluster *Cluster
+	byBase  map[string][]*DistTable
+}
+
+// NewViews returns an empty view registry for the cluster.
+func NewViews(c *Cluster) *Views {
+	return &Views{cluster: c, byBase: make(map[string][]*DistTable)}
+}
+
+// Materialize creates (or refreshes) the view of base distributed by key
+// and registers it under base's name. Refreshing replaces the previous
+// copy for that key.
+func (v *Views) Materialize(base *DistTable, key []int) *DistTable {
+	full := Gather(base)
+	view := v.cluster.Distribute(full, key)
+	view.SetName(fmt.Sprintf("%s_by%s", base.Name(), keyString(key)))
+	list := v.byBase[base.Name()]
+	for i, old := range list {
+		if keysEqual(old.dist.Key, view.dist.Key) {
+			list[i] = view
+			v.byBase[base.Name()] = list
+			return view
+		}
+	}
+	v.byBase[base.Name()] = append(list, view)
+	return view
+}
+
+// Lookup returns the registered view of the named base table distributed
+// by key, if one exists.
+func (v *Views) Lookup(baseName string, key []int) (*DistTable, bool) {
+	for _, view := range v.byBase[baseName] {
+		if keysEqual(view.dist.Key, key) {
+			return view, true
+		}
+	}
+	return nil, false
+}
+
+// AppendFrom incrementally maintains every view of the named base table
+// with rows [from, t.NumRows()) of the master copy t.
+func (v *Views) AppendFrom(baseName string, t *engine.Table, from int) {
+	for _, view := range v.byBase[baseName] {
+		view.AppendFrom(t, from)
+	}
+}
+
+// Count returns the number of registered views.
+func (v *Views) Count() int {
+	n := 0
+	for _, l := range v.byBase {
+		n += len(l)
+	}
+	return n
+}
+
+func keyString(key []int) string {
+	parts := make([]string, len(key))
+	for i, k := range key {
+		parts[i] = fmt.Sprint(k)
+	}
+	return "_" + strings.Join(parts, "_")
+}
+
+// PlanJoin builds a distributed hash-join plan over build and probe,
+// inserting whatever motions (or view substitutions) are needed to make
+// the inputs collocated. It is the paper's Example 5 planner:
+//
+//  1. If an input is replicated, or both inputs are already hashed on the
+//     join keys, join directly — no motion.
+//  2. If an input is a base-table scan and views holds a copy of that
+//     table distributed by the join key, scan the view instead — no
+//     motion (the optimized plan of Figure 4).
+//  3. If one input is hashed on its join keys, redistribute the other.
+//  4. Otherwise broadcast the build side — by convention the grounding
+//     queries put the smaller input (rule table or intermediate result)
+//     on the build side, so this reproduces the expensive Broadcast
+//     Motion of Figure 4's unoptimized plan.
+//
+// views may be nil to disable view substitution (the ProbKB-pn
+// configuration in Figure 6(c)).
+func PlanJoin(build, probe Node, buildKeys, probeKeys []int, outs []engine.JoinOut, desc string, views *Views) Node {
+	bd, pd := build.OutDist(), probe.OutDist()
+
+	buildOK := bd.Replicated || keysEqual(bd.Key, buildKeys)
+	probeOK := pd.Replicated || keysEqual(pd.Key, probeKeys)
+
+	// Try view substitution before paying for a motion.
+	if !buildOK && views != nil {
+		if s, ok := build.(*ScanNode); ok {
+			if view, found := views.Lookup(s.d.Name(), buildKeys); found {
+				build = NewScan(view)
+				buildOK = true
+			}
+		}
+	}
+	if !probeOK && views != nil {
+		if s, ok := probe.(*ScanNode); ok {
+			if view, found := views.Lookup(s.d.Name(), probeKeys); found {
+				probe = NewScan(view)
+				probeOK = true
+			}
+		}
+	}
+
+	switch {
+	case buildOK && probeOK:
+		// Collocated (possibly via replication); join directly.
+	case buildOK:
+		probe = NewRedistribute(probe, probeKeys)
+	case probeOK:
+		build = NewRedistribute(build, buildKeys)
+	default:
+		// Neither side placed usefully: broadcast the (conventionally
+		// smaller) build side.
+		build = NewBroadcast(build)
+	}
+	return NewHashJoin(build, probe, buildKeys, probeKeys, outs, desc)
+}
+
+// EnsureDistributedBy returns a plan whose output is hash-distributed by
+// key, inserting a Redistribute motion if the input is not already placed
+// that way. Replicated inputs pass through unchanged (every segment
+// already has all rows).
+func EnsureDistributedBy(n Node, key []int) Node {
+	d := n.OutDist()
+	if d.Replicated || keysEqual(d.Key, key) {
+		return n
+	}
+	return NewRedistribute(n, key)
+}

@@ -1,0 +1,184 @@
+// Package quality implements the quality-control methods of Section 5 of
+// the paper: semantic (functional) constraints, ambiguity detection, and
+// rule cleaning. These are what keep a machine-constructed KB from
+// drowning in propagated errors during knowledge expansion.
+package quality
+
+import (
+	"fmt"
+
+	"probkb/internal/engine"
+	"probkb/internal/kb"
+)
+
+// Violation is one entity flagged by a functional constraint: Entity (in
+// class Class) participates in relation Rel with more distinct partners
+// than the constraint's degree allows. Type tells which argument position
+// the entity held.
+type Violation struct {
+	Entity int32
+	Class  int32
+	Rel    int32
+	Type   int // kb.TypeI or kb.TypeII
+	Count  int // distinct partners observed
+	Degree int // allowed degree δ
+}
+
+// Checker applies a KB's functional constraints to facts tables in
+// batches (Query 3 of the paper): one grouped join per constraint type
+// instead of one trigger per relation.
+type Checker struct {
+	fc *engine.Table
+}
+
+// NewChecker builds a checker from the KB's constraint set Ω.
+func NewChecker(k *kb.KB) *Checker {
+	return &Checker{fc: k.ConstraintsTable()}
+}
+
+// NumConstraints returns the number of constraints loaded.
+func (c *Checker) NumConstraints() int { return c.fc.NumRows() }
+
+// Violations computes, without deleting anything, every entity that
+// violates a functional constraint in tpi.
+func (c *Checker) Violations(tpi *engine.Table) []Violation {
+	var out []Violation
+	out = append(out, c.violationsOfType(tpi, kb.TypeI)...)
+	out = append(out, c.violationsOfType(tpi, kb.TypeII)...)
+	return out
+}
+
+// violationsOfType runs the grouped join for one functionality type.
+//
+// Type I groups by (R, x, C1, C2) and counts distinct y; Type II groups
+// by (R, y, C2, C1) and counts distinct x.
+func (c *Checker) violationsOfType(tpi *engine.Table, typ int) []Violation {
+	fcFiltered := engine.NewFilter(engine.NewScan(c.fc),
+		fmt.Sprintf("FC.arg = %d", typ),
+		func(t *engine.Table, r int) bool {
+			return t.Int32Col(kb.TOmegaType)[r] == int32(typ)
+		})
+
+	entCol, entClsCol, otherCol, otherClsCol := kb.TPiX, kb.TPiC1, kb.TPiY, kb.TPiC2
+	if typ == kb.TypeII {
+		entCol, entClsCol, otherCol, otherClsCol = kb.TPiY, kb.TPiC2, kb.TPiX, kb.TPiC1
+	}
+
+	// Join: T ⋈ FC on T.R = FC.R; output (R, ent, entCls, otherCls,
+	// other, deg).
+	join := engine.NewHashJoin(fcFiltered, engine.NewScan(tpi),
+		[]int{kb.TOmegaR}, []int{kb.TPiR},
+		[]engine.JoinOut{
+			engine.ProbeCol("R", kb.TPiR),
+			engine.ProbeCol("ent", entCol),
+			engine.ProbeCol("entCls", entClsCol),
+			engine.ProbeCol("otherCls", otherClsCol),
+			engine.ProbeCol("other", otherCol),
+			engine.BuildCol("deg", kb.TOmegaDeg),
+		},
+		"T.R = FC.R")
+
+	// GROUP BY R, ent, entCls, otherCls HAVING COUNT(DISTINCT other) >
+	// MIN(deg).
+	grouped := engine.NewGroupBy(join, []int{0, 1, 2, 3}, []engine.AggSpec{
+		{Kind: engine.AggCountDistinct, Col: 4, Name: "n"},
+		{Kind: engine.AggMinF64, Col: 5, Name: "deg"},
+	})
+	having := engine.NewFilter(grouped, "count(distinct) > min(deg)",
+		func(t *engine.Table, r int) bool {
+			return float64(t.Int32Col(4)[r]) > t.Float64Col(5)[r]
+		})
+
+	res, err := having.Run()
+	if err != nil {
+		// The plan is static program data; failures are programming
+		// errors, not runtime conditions.
+		panic(fmt.Sprintf("quality: constraint query failed: %v", err))
+	}
+
+	out := make([]Violation, 0, res.NumRows())
+	for r := 0; r < res.NumRows(); r++ {
+		out = append(out, Violation{
+			Rel:    res.Int32Col(0)[r],
+			Entity: res.Int32Col(1)[r],
+			Class:  res.Int32Col(2)[r],
+			Type:   typ,
+			Count:  int(res.Int32Col(4)[r]),
+			Degree: int(res.Float64Col(5)[r]),
+		})
+	}
+	return out
+}
+
+// Apply is Query 3: find every violating entity and greedily delete its
+// facts. Matching the paper's query exactly, deletion is by the
+// *violated position*: a Type I violator (x, C1) loses the facts where
+// it appears as the subject with that class; a Type II violator (y, C2)
+// those where it is the object. It returns the number of deleted rows.
+// This is the ConstraintHook the grounders call each iteration.
+func (c *Checker) Apply(tpi *engine.Table) int {
+	if c.fc.NumRows() == 0 {
+		return 0
+	}
+	viol := c.Violations(tpi)
+	if len(viol) == 0 {
+		return 0
+	}
+	type entCls struct{ e, c int32 }
+	badSubj := make(map[entCls]bool)
+	badObj := make(map[entCls]bool)
+	for _, v := range viol {
+		if v.Type == kb.TypeI {
+			badSubj[entCls{v.Entity, v.Class}] = true
+		} else {
+			badObj[entCls{v.Entity, v.Class}] = true
+		}
+	}
+	xs, c1s := tpi.Int32Col(kb.TPiX), tpi.Int32Col(kb.TPiC1)
+	ys, c2s := tpi.Int32Col(kb.TPiY), tpi.Int32Col(kb.TPiC2)
+	return tpi.DeleteWhere(func(r int) bool {
+		return badSubj[entCls{xs[r], c1s[r]}] || badObj[entCls{ys[r], c2s[r]}]
+	})
+}
+
+// Hook adapts the checker to ground.Options.ConstraintHook.
+func (c *Checker) Hook() func(*engine.Table) int {
+	return c.Apply
+}
+
+// PreClean runs Query 3 once over a KB's own fact set — the "run once
+// before inference starts" step of Section 6.1.1 — removing violating
+// entities' facts in place and returning how many facts were dropped.
+func PreClean(k *kb.KB) int {
+	checker := NewChecker(k)
+	tpi := k.FactsTable()
+	n := checker.Apply(tpi)
+	if n > 0 {
+		kept := make([]kb.Fact, 0, tpi.NumRows())
+		for r := 0; r < tpi.NumRows(); r++ {
+			kept = append(kept, kb.FactAtRow(tpi, r))
+		}
+		k.ReplaceFacts(kept)
+	}
+	return n
+}
+
+// AmbiguousEntities implements the ambiguity detection of Section 5.2:
+// entities flagged by functional-constraint violations, the dominant
+// symptom of one surface name covering several real-world entities. It
+// returns the distinct (entity, class) pairs.
+func (c *Checker) AmbiguousEntities(tpi *engine.Table) []Violation {
+	viol := c.Violations(tpi)
+	type entCls struct{ e, c int32 }
+	seen := make(map[entCls]bool)
+	out := make([]Violation, 0, len(viol))
+	for _, v := range viol {
+		k := entCls{v.Entity, v.Class}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package quality
+
+import "fmt"
+
+// ErrorSource is the taxonomy of Figure 7(b): why a constraint violation
+// (or an incorrect inferred fact) happened. The synthetic-KB oracle
+// (internal/synth) assigns these labels; real deployments would need the
+// human judging the paper used.
+type ErrorSource int
+
+// The error sources of Section 5 / Figure 7(b).
+const (
+	// SrcAmbiguousEntity: one surface name covering several real-world
+	// entities (E3), detected directly through its own violations.
+	SrcAmbiguousEntity ErrorSource = iota
+	// SrcAmbiguousJoinKey: an erroneous fact inferred *through* an
+	// ambiguous entity used as a join key.
+	SrcAmbiguousJoinKey
+	// SrcIncorrectRule: an erroneous fact produced by an unsound rule (E2).
+	SrcIncorrectRule
+	// SrcIncorrectExtraction: a wrong base fact from the extractor (E1).
+	SrcIncorrectExtraction
+	// SrcGeneralType: violations caused by legitimately general classes
+	// (both New York and U.S. are Places).
+	SrcGeneralType
+	// SrcSynonym: two names for the same real-world entity.
+	SrcSynonym
+	// SrcPropagated: an error derived from other erroneous facts (E4).
+	SrcPropagated
+	// NumErrorSources is the taxonomy size.
+	NumErrorSources
+)
+
+// String names the error source as in Figure 7(b).
+func (s ErrorSource) String() string {
+	switch s {
+	case SrcAmbiguousEntity:
+		return "Ambiguities (detected)"
+	case SrcAmbiguousJoinKey:
+		return "Ambiguous join keys"
+	case SrcIncorrectRule:
+		return "Incorrect rules"
+	case SrcIncorrectExtraction:
+		return "Incorrect extractions"
+	case SrcGeneralType:
+		return "General types"
+	case SrcSynonym:
+		return "Synonyms"
+	case SrcPropagated:
+		return "Propagated errors"
+	default:
+		return fmt.Sprintf("ErrorSource(%d)", int(s))
+	}
+}
+
+// Breakdown tallies error sources, the data behind Figure 7(b).
+type Breakdown [NumErrorSources]int
+
+// Total returns the number of categorized items.
+func (b Breakdown) Total() int {
+	t := 0
+	for _, n := range b {
+		t += n
+	}
+	return t
+}
+
+// Fraction returns source s's share, or 0 for an empty breakdown.
+func (b Breakdown) Fraction(s ErrorSource) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b[s]) / float64(t)
+}
+
+// String renders the breakdown as percentage lines.
+func (b Breakdown) String() string {
+	out := ""
+	for s := ErrorSource(0); s < NumErrorSources; s++ {
+		if b[s] == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-24s %5.1f%% (%d)\n", s.String(), 100*b.Fraction(s), b[s])
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package quality
+
+import (
+	"testing"
+
+	"probkb/internal/kb"
+)
+
+// feedbackKB: a wrong rule copies located_in into the functional
+// capital_of, creating violations; a sound rule with identical raw
+// support copies visited into liked (unconstrained).
+func feedbackKB(t *testing.T) *kb.KB {
+	t.Helper()
+	k := kb.New()
+	// located_in: one country, many cities.
+	k.InternFact("located_in", "Lyon", "City", "France", "Country", 0.9)
+	k.InternFact("located_in", "Nice", "City", "France", "Country", 0.9)
+	k.InternFact("capital_of", "Paris", "City", "France", "Country", 0.9)
+	// Equal-support benign pair.
+	k.InternFact("visited", "A", "Person", "X", "City", 0.9)
+	k.InternFact("visited", "B", "Person", "Y", "City", 0.9)
+
+	for _, line := range []string{
+		"0.9 capital_of(x:City, y:Country) :- located_in(x:City, y:Country)", // wrong: floods capital_of
+		"0.9 liked(x:Person, y:City) :- visited(x:Person, y:City)",           // benign
+	} {
+		c, err := k.ParseRule(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.AddRule(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capitalOf, _ := k.RelDict.Lookup("capital_of")
+	if err := k.AddConstraint(kb.Constraint{Rel: capitalOf, Type: kb.TypeII, Degree: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAttributeViolations(t *testing.T) {
+	k := feedbackKB(t)
+	fb, err := AttributeViolations(k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 2 {
+		t.Fatalf("feedback entries = %d", len(fb))
+	}
+	wrong, benign := fb[0], fb[1]
+	if wrong.Derived != 2 || wrong.Implicated != 2 {
+		t.Fatalf("wrong-rule attribution = %+v", wrong)
+	}
+	if benign.Implicated != 0 {
+		t.Fatalf("benign rule implicated: %+v", benign)
+	}
+	if wrong.Penalty <= benign.Penalty {
+		t.Fatalf("penalties: wrong %v vs benign %v", wrong.Penalty, benign.Penalty)
+	}
+}
+
+func TestCleanRulesWithConstraints(t *testing.T) {
+	k := feedbackKB(t)
+
+	// Raw score-based cleaning cannot separate the two rules (equal
+	// support: neither head is observed), so which one survives is a
+	// tie; constraint-informed cleaning must keep the benign one.
+	cleaned, err := CleanRulesWithConstraints(k, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleaned.Rules) != 1 {
+		t.Fatalf("kept %d rules", len(cleaned.Rules))
+	}
+	liked, _ := k.RelDict.Lookup("liked")
+	if cleaned.Rules[0].Head.Rel != liked {
+		t.Fatalf("kept the wrong rule: head %s", k.RelDict.Name(cleaned.Rules[0].Head.Rel))
+	}
+
+	// θ = 1 keeps everything and copies.
+	all, err := CleanRulesWithConstraints(k, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rules) != 2 {
+		t.Fatal("θ=1 should keep all rules")
+	}
+}

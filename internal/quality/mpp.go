@@ -1,0 +1,93 @@
+package quality
+
+import (
+	"fmt"
+
+	"probkb/internal/engine"
+	"probkb/internal/kb"
+	"probkb/internal/mpp"
+)
+
+// MPPChecker runs the functional-constraint check as a distributed plan
+// (Section 5.4: constraints are applied in batches like the MLN rules;
+// on Greenplum that means a distributed grouped join). The constraints
+// table is small and replicated; the facts probe is redistributed by the
+// grouped entity column so each segment can evaluate its groups locally.
+type MPPChecker struct {
+	cluster *mpp.Cluster
+	fc      *mpp.DistTable
+}
+
+// NewMPPChecker replicates the KB's constraint table across the cluster.
+func NewMPPChecker(k *kb.KB, cluster *mpp.Cluster) *MPPChecker {
+	return &MPPChecker{cluster: cluster, fc: cluster.Replicate(k.ConstraintsTable())}
+}
+
+// Violations computes every violating entity over a distributed facts
+// table, one grouped join per functionality type.
+func (c *MPPChecker) Violations(dT *mpp.DistTable) []Violation {
+	var out []Violation
+	out = append(out, c.violationsOfType(dT, kb.TypeI)...)
+	out = append(out, c.violationsOfType(dT, kb.TypeII)...)
+	return out
+}
+
+func (c *MPPChecker) violationsOfType(dT *mpp.DistTable, typ int) []Violation {
+	fcFiltered := mpp.NewFilter(mpp.NewScan(c.fc),
+		fmt.Sprintf("FC.arg = %d", typ),
+		func(t *engine.Table, r int) bool {
+			return t.Int32Col(kb.TOmegaType)[r] == int32(typ)
+		})
+
+	entCol, entClsCol, otherCol, otherClsCol := kb.TPiX, kb.TPiC1, kb.TPiY, kb.TPiC2
+	if typ == kb.TypeII {
+		entCol, entClsCol, otherCol, otherClsCol = kb.TPiY, kb.TPiC2, kb.TPiX, kb.TPiC1
+	}
+
+	// Build (small, replicated) = FC; probe = the distributed facts. The
+	// join needs no collocation work because the build side is
+	// replicated.
+	join := mpp.NewHashJoin(fcFiltered, mpp.NewScan(dT),
+		[]int{kb.TOmegaR}, []int{kb.TPiR},
+		[]engine.JoinOut{
+			engine.ProbeCol("R", kb.TPiR),
+			engine.ProbeCol("ent", entCol),
+			engine.ProbeCol("entCls", entClsCol),
+			engine.ProbeCol("otherCls", otherClsCol),
+			engine.ProbeCol("other", otherCol),
+			engine.BuildCol("deg", kb.TOmegaDeg),
+		},
+		"T.R = FC.R")
+
+	// Groups must be collocated: redistribute by the full group key
+	// before the segment-local aggregation.
+	groupKeys := []int{0, 1, 2, 3}
+	placed := mpp.EnsureDistributedBy(join, groupKeys)
+	grouped := mpp.NewGroupBy(placed, groupKeys, []engine.AggSpec{
+		{Kind: engine.AggCountDistinct, Col: 4, Name: "n"},
+		{Kind: engine.AggMinF64, Col: 5, Name: "deg"},
+	})
+	having := mpp.NewFilter(grouped, "count(distinct) > min(deg)",
+		func(t *engine.Table, r int) bool {
+			return float64(t.Int32Col(4)[r]) > t.Float64Col(5)[r]
+		})
+
+	dres, err := having.Run()
+	if err != nil {
+		panic(fmt.Sprintf("quality: distributed constraint query failed: %v", err))
+	}
+	res := mpp.Gather(dres)
+
+	out := make([]Violation, 0, res.NumRows())
+	for r := 0; r < res.NumRows(); r++ {
+		out = append(out, Violation{
+			Rel:    res.Int32Col(0)[r],
+			Entity: res.Int32Col(1)[r],
+			Class:  res.Int32Col(2)[r],
+			Type:   typ,
+			Count:  int(res.Int32Col(4)[r]),
+			Degree: int(res.Float64Col(5)[r]),
+		})
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package server exposes an expanded knowledge base over HTTP — the
+// "improving system responsivity" goal the paper gives for storing all
+// inferred results (Section 2.2): queries hit the materialized
+// expansion, never inference.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /healthz                         liveness probe
+//	GET  /stats                           expansion statistics
+//	GET  /facts?rel=&x=&y=&inferred=&limit=
+//	                                      facts, filterable by relation,
+//	                                      arguments, and inferred flag
+//	GET  /explain?rel=&x=&y=&depth=       derivation tree (text/plain)
+//	GET  /sql?q=SELECT...                 run a SQL query (see probkb.QuerySQL)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"probkb"
+)
+
+// Server serves one expansion.
+type Server struct {
+	kb  *probkb.KB
+	exp *probkb.Expansion
+	mux *http.ServeMux
+}
+
+// New builds the handler for an expanded KB.
+func New(kb *probkb.KB, exp *probkb.Expansion) *Server {
+	s := &Server{kb: kb, exp: exp, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /facts", s.handleFacts)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /sql", s.handleSQL)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before writing the header so an encoding failure can still
+	// become a proper 500 instead of an empty 200.
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	KB        probkb.Stats       `json:"kb"`
+	Expansion probkb.ExpandStats `json:"expansion"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{KB: s.kb.Stats(), Expansion: s.exp.Stats()})
+}
+
+// factJSON is one fact in API responses. Probability is null for
+// inferred facts when marginal inference was skipped (JSON has no NaN).
+type factJSON struct {
+	Rel         string   `json:"rel"`
+	X           string   `json:"x"`
+	XClass      string   `json:"xClass"`
+	Y           string   `json:"y"`
+	YClass      string   `json:"yClass"`
+	Probability *float64 `json:"probability"`
+	Inferred    bool     `json:"inferred"`
+}
+
+func toJSON(f probkb.Fact) factJSON {
+	out := factJSON{
+		Rel: f.Rel, X: f.X, XClass: f.XClass, Y: f.Y, YClass: f.YClass,
+		Inferred: f.Inferred,
+	}
+	if !math.IsNaN(f.Probability) {
+		p := f.Probability
+		out.Probability = &p
+	}
+	return out
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 100
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		limit = n
+	}
+	var inferredFilter *bool
+	if is := q.Get("inferred"); is != "" {
+		v, err := strconv.ParseBool(is)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad inferred %q", is))
+			return
+		}
+		inferredFilter = &v
+	}
+
+	matches := s.exp.Find(q.Get("rel"), q.Get("x"), q.Get("y"))
+	out := make([]factJSON, 0, limit)
+	total := 0
+	for _, f := range matches {
+		if inferredFilter != nil && f.Inferred != *inferredFilter {
+			continue
+		}
+		total++
+		if len(out) < limit {
+			out = append(out, toJSON(f))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "facts": out})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rel, x, y := q.Get("rel"), q.Get("x"), q.Get("y")
+	if rel == "" || x == "" || y == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("explain needs rel, x, y"))
+		return
+	}
+	depth := 4
+	if ds := q.Get("depth"); ds != "" {
+		n, err := strconv.Atoi(ds)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad depth %q", ds))
+			return
+		}
+		depth = n
+	}
+	text, err := s.exp.Explain(rel, x, y, depth)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	query := r.URL.Query().Get("q")
+	if query == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	res, err := s.kb.QuerySQL(query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": res.Columns,
+		"rows":    res.Rows,
+	})
+}

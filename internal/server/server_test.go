@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"probkb"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	k := probkb.New()
+	k.AddFact("born_in", "Ruth_Gruber", "Writer", "Brooklyn", "Place", 0.93)
+	k.AddFact("born_in", "Freud", "Writer", "Vienna", "Place", 0.9)
+	k.MustAddRule("1.40 live_in(x:Writer, y:Place) :- born_in(x:Writer, y:Place)")
+	exp, err := k.Expand(probkb.Config{Engine: probkb.SingleNode, RunInference: true, GibbsBurnin: 20, GibbsSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(k, exp))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	var out map[string]string
+	if code := getJSON(t, srv.URL+"/healthz", &out); code != 200 || out["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		KB struct {
+			Facts int `json:"Facts"`
+		} `json:"kb"`
+		Expansion struct {
+			InferredFacts int `json:"InferredFacts"`
+		} `json:"expansion"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &out); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if out.KB.Facts != 2 || out.Expansion.InferredFacts != 2 {
+		t.Fatalf("stats payload: %+v", out)
+	}
+}
+
+func TestFactsFilters(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Total int                       `json:"total"`
+		Facts []struct{ Rel, X string } `json:"facts"`
+	}
+	if code := getJSON(t, srv.URL+"/facts?rel=live_in", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.Total != 2 {
+		t.Fatalf("live_in total = %d", out.Total)
+	}
+	if code := getJSON(t, srv.URL+"/facts?inferred=true&x=Freud", &out); code != 200 || out.Total != 1 {
+		t.Fatalf("filtered total = %d", out.Total)
+	}
+	if code := getJSON(t, srv.URL+"/facts?limit=1", &out); code != 200 || len(out.Facts) != 1 || out.Total != 4 {
+		t.Fatalf("limit: total=%d len=%d", out.Total, len(out.Facts))
+	}
+	// Bad parameters.
+	var errOut map[string]string
+	if code := getJSON(t, srv.URL+"/facts?limit=x", &errOut); code != 400 {
+		t.Fatalf("bad limit status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/facts?inferred=maybe", &errOut); code != 400 {
+		t.Fatalf("bad inferred status %d", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/explain?rel=live_in&x=Freud&y=Vienna")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), "born_in(Freud:Writer, Vienna:Place)") {
+		t.Fatalf("explain body:\n%s", sb.String())
+	}
+
+	var errOut map[string]string
+	if code := getJSON(t, srv.URL+"/explain?rel=live_in&x=Nobody&y=Nowhere", &errOut); code != 404 {
+		t.Fatalf("missing fact status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/explain", &errOut); code != 400 {
+		t.Fatalf("missing params status %d", code)
+	}
+}
+
+func TestFactsWithoutInference(t *testing.T) {
+	// Inferred facts have NaN probabilities when inference is skipped;
+	// the API must render them as JSON null, not fail to encode
+	// (regression: empty 200 responses).
+	k := probkb.New()
+	k.AddFact("born_in", "RG", "Writer", "Brooklyn", "Place", 0.93)
+	k.MustAddRule("1.40 live_in(x:Writer, y:Place) :- born_in(x:Writer, y:Place)")
+	exp, err := k.Expand(probkb.Config{Engine: probkb.SingleNode, RunInference: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(k, exp))
+	defer srv.Close()
+
+	var out struct {
+		Facts []struct {
+			Probability *float64 `json:"probability"`
+			Inferred    bool     `json:"inferred"`
+		} `json:"facts"`
+	}
+	if code := getJSON(t, srv.URL+"/facts?inferred=true", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Facts) != 1 || out.Facts[0].Probability != nil {
+		t.Fatalf("payload: %+v", out)
+	}
+	// Observed facts keep their probability.
+	if code := getJSON(t, srv.URL+"/facts?inferred=false", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Facts) != 1 || out.Facts[0].Probability == nil || *out.Facts[0].Probability != 0.93 {
+		t.Fatalf("payload: %+v", out)
+	}
+}
+
+func TestSQLEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	q := "/sql?q=" + strings.ReplaceAll("SELECT T.R, COUNT(*) AS n FROM T GROUP BY T.R", " ", "+")
+	if code := getJSON(t, srv.URL+q, &out); code != 200 {
+		t.Fatalf("sql status %d", code)
+	}
+	if len(out.Columns) != 2 || len(out.Rows) == 0 {
+		t.Fatalf("sql payload: %+v", out)
+	}
+	var errOut map[string]string
+	if code := getJSON(t, srv.URL+"/sql", &errOut); code != 400 {
+		t.Fatalf("missing q status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/sql?q=NOT+SQL", &errOut); code != 400 {
+		t.Fatalf("bad sql status %d", code)
+	}
+}

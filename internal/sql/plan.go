@@ -1,0 +1,634 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"probkb/internal/engine"
+)
+
+// DB executes SQL statements against an engine catalog.
+type DB struct {
+	cat      *engine.Catalog
+	stats    map[*engine.Table]cachedStats
+	optimize bool
+}
+
+// NewDB wraps a catalog. The cost-based join-order optimizer is on by
+// default; SetOptimize(false) forces syntactic join order.
+func NewDB(cat *engine.Catalog) *DB { return &DB{cat: cat, optimize: true} }
+
+// SetOptimize toggles the join-order optimizer (useful for plan
+// comparisons and tests).
+func (db *DB) SetOptimize(on bool) { db.optimize = on }
+
+// Query parses, plans, and runs a SELECT; it returns the result table.
+func (db *DB) Query(text string) (*engine.Table, error) {
+	plan, err := db.Plan(text)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(plan, "result")
+}
+
+// Plan parses and plans a SELECT without running it (for EXPLAIN).
+func (db *DB) Plan(text string) (engine.Node, error) {
+	stmt, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Select == nil {
+		return nil, fmt.Errorf("sql: Plan requires a SELECT")
+	}
+	return db.planSelect(stmt.Select)
+}
+
+// Explain runs a SELECT and renders its annotated physical plan.
+func (db *DB) Explain(text string) (string, error) {
+	plan, err := db.Plan(text)
+	if err != nil {
+		return "", err
+	}
+	if _, err := plan.Run(); err != nil {
+		return "", err
+	}
+	return engine.Explain(plan), nil
+}
+
+// Exec runs a DELETE and reports how many rows it removed.
+func (db *DB) Exec(text string) (int, error) {
+	stmt, err := Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	if stmt.Delete == nil {
+		return 0, fmt.Errorf("sql: Exec requires a DELETE")
+	}
+	return db.execDelete(stmt.Delete)
+}
+
+// ---------------------------------------------------------------------------
+// Scope: column resolution over a physical layout
+
+// scopeCol describes one physical column of the current intermediate
+// result.
+type scopeCol struct {
+	binding string // table binding the column came from
+	name    string
+	typ     engine.ColType
+}
+
+type scope struct {
+	cols []scopeCol
+}
+
+// resolve finds a reference's physical column index.
+func (s *scope) resolve(ref ColRef) (int, error) {
+	found := -1
+	for i, c := range s.cols {
+		if c.name != ref.Col {
+			continue
+		}
+		if ref.Table != "" && c.binding != ref.Table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column reference %s", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %s", ref)
+	}
+	return found, nil
+}
+
+// has reports whether the reference resolves in this scope.
+func (s *scope) has(ref ColRef) bool {
+	_, err := s.resolve(ref)
+	return err == nil
+}
+
+// scopeOf builds the scope of a base table under a binding.
+func scopeOf(binding string, t *engine.Table) *scope {
+	sc := &scope{}
+	for _, c := range t.Schema().Cols {
+		sc.cols = append(sc.cols, scopeCol{binding: binding, name: c.Name, typ: c.Type})
+	}
+	return sc
+}
+
+// ---------------------------------------------------------------------------
+// SELECT planning
+
+func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
+	// Pool every conjunct; each is applied at the earliest join step
+	// where it resolves (standard inner-join pushdown).
+	var pool []Condition
+	for _, j := range s.Joins {
+		pool = append(pool, j.On...)
+	}
+	pool = append(pool, s.Where...)
+	used := make([]bool, len(pool))
+
+	// Resolve every source and pick the join order.
+	allRefs := append([]TableRef{s.From}, make([]TableRef, 0, len(s.Joins))...)
+	for _, j := range s.Joins {
+		allRefs = append(allRefs, j.Table)
+	}
+	seen := map[string]bool{}
+	infos := make([]refInfo, 0, len(allRefs))
+	for _, ref := range allRefs {
+		b := ref.Binding()
+		if seen[b] {
+			return nil, fmt.Errorf("sql: duplicate table binding %q", b)
+		}
+		seen[b] = true
+		t, err := db.cat.Get(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		st := db.statsOf(t)
+		infos = append(infos, refInfo{
+			ref: ref, table: t, stats: st,
+			card: filteredCard(t, st, b, pool),
+		})
+	}
+	var order []int
+	if db.optimize {
+		order = db.chooseJoinOrder(infos, pool)
+	} else {
+		order = make([]int, len(infos))
+		for i := range order {
+			order[i] = i
+		}
+	}
+
+	first := infos[order[0]]
+	var plan engine.Node = engine.NewScan(first.table)
+	sc := scopeOf(first.ref.Binding(), first.table)
+
+	applyFilters := func(plan engine.Node, sc *scope) (engine.Node, error) {
+		for i, c := range pool {
+			if used[i] {
+				continue
+			}
+			if !condResolves(c, sc) {
+				continue
+			}
+			pred, err := compileCondition(c, sc)
+			if err != nil {
+				return nil, err
+			}
+			plan = engine.NewFilter(plan, c.String(), pred)
+			used[i] = true
+		}
+		return plan, nil
+	}
+
+	var err error
+	// Join the remaining tables in the chosen order.
+	for _, oi := range order[1:] {
+		info := infos[oi]
+		b := info.ref.Binding()
+		t := info.table
+		tScope := scopeOf(b, t)
+
+		// Split the pool: equality conjuncts bridging current scope and
+		// the new table become hash keys.
+		var buildKeys, probeKeys []int
+		for i, c := range pool {
+			if used[i] || c.Op != "=" || c.Left.isLiteral() || c.Right.isLiteral() ||
+				c.Left.Agg != aggNone || c.Right.Agg != aggNone || c.IsNull || c.NotNul {
+				continue
+			}
+			var cur, next ColRef
+			switch {
+			case sc.has(c.Left.Col) && tScope.has(c.Right.Col):
+				cur, next = c.Left.Col, c.Right.Col
+			case sc.has(c.Right.Col) && tScope.has(c.Left.Col):
+				cur, next = c.Right.Col, c.Left.Col
+			default:
+				continue
+			}
+			bi, err := sc.resolve(cur)
+			if err != nil {
+				return nil, err
+			}
+			pi, err := tScope.resolve(next)
+			if err != nil {
+				return nil, err
+			}
+			if sc.cols[bi].typ != engine.Int32 || tScope.cols[pi].typ != engine.Int32 {
+				continue // only int columns hash; leave as a post-filter
+			}
+			buildKeys = append(buildKeys, bi)
+			probeKeys = append(probeKeys, pi)
+			used[i] = true
+		}
+
+		// Output layout: all current columns then all new columns, named
+		// by binding to stay unambiguous.
+		var outs []engine.JoinOut
+		newScope := &scope{}
+		for i, c := range sc.cols {
+			outs = append(outs, engine.BuildCol(c.binding+"."+c.name, i))
+			newScope.cols = append(newScope.cols, c)
+		}
+		for i, c := range tScope.cols {
+			outs = append(outs, engine.ProbeCol(c.binding+"."+c.name, i))
+			newScope.cols = append(newScope.cols, c)
+		}
+		desc := engine.JoinDesc("build", plan.OutSchema(), buildKeys, b, t.Schema(), probeKeys)
+		plan = engine.NewHashJoin(plan, engine.NewScan(t), buildKeys, probeKeys, outs, desc)
+		sc = newScope
+
+		// Apply every newly-resolvable conjunct.
+		if plan, err = applyFilters(plan, sc); err != nil {
+			return nil, err
+		}
+	}
+	// Base-table-only filters (single-table query).
+	if plan, err = applyFilters(plan, sc); err != nil {
+		return nil, err
+	}
+	for i, c := range pool {
+		if !used[i] {
+			return nil, fmt.Errorf("sql: condition %s does not resolve against the FROM tables", c)
+		}
+	}
+
+	// Aggregation.
+	hasAgg := len(s.GroupBy) > 0
+	for _, it := range s.Items {
+		if it.Expr.Agg != aggNone {
+			hasAgg = true
+		}
+	}
+	for _, h := range s.Having {
+		if h.Left.Agg != aggNone || h.Right.Agg != aggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		plan, sc, err = db.planAggregate(plan, sc, s)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(s.Having) > 0 {
+		return nil, fmt.Errorf("sql: HAVING without aggregation")
+	}
+
+	// Final projection.
+	var exprs []engine.OutExpr
+	for _, it := range s.Items {
+		name := it.OutName()
+		e := it.Expr
+		switch {
+		case e.IsNull:
+			exprs = append(exprs, engine.NullF64Expr(name))
+		case e.IsNumber:
+			exprs = append(exprs, engine.ConstF64Expr(name, e.Number))
+		case e.IsString:
+			exprs = append(exprs, engine.OutExpr{Name: name, Type: engine.String, Col: -1, Str: e.Str})
+		default:
+			ref := e.Col
+			if e.Agg != aggNone {
+				ref = ColRef{Col: aggColName(e)}
+			}
+			idx, err := sc.resolve(ref)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, engine.ColExpr(name, idx))
+		}
+	}
+	plan = engine.NewProject(plan, exprs...)
+
+	if s.Distinct {
+		keys := make([]int, 0, len(s.Items))
+		for i, cd := range plan.OutSchema().Cols {
+			if cd.Type != engine.Int32 {
+				return nil, fmt.Errorf("sql: DISTINCT requires integer output columns (column %s is %s)", cd.Name, cd.Type)
+			}
+			keys = append(keys, i)
+		}
+		plan = engine.NewDistinct(plan, keys)
+	}
+
+	// ORDER BY resolves against the output column names.
+	if len(s.OrderBy) > 0 {
+		outSchema := plan.OutSchema()
+		keys := make([]engine.SortKey, 0, len(s.OrderBy))
+		for _, o := range s.OrderBy {
+			if o.Col.Table != "" {
+				return nil, fmt.Errorf("sql: ORDER BY uses output column names, not %s", o.Col)
+			}
+			idx := outSchema.ColIndex(o.Col.Col)
+			if idx < 0 {
+				return nil, fmt.Errorf("sql: ORDER BY column %s is not in the select list", o.Col)
+			}
+			keys = append(keys, engine.SortKey{Col: idx, Desc: o.Desc})
+		}
+		plan = engine.NewSort(plan, keys...)
+	}
+	if s.Limit >= 0 {
+		plan = engine.NewLimit(plan, s.Limit)
+	}
+	return plan, nil
+}
+
+// aggColName is the internal column name an aggregate materializes as.
+func aggColName(e Expr) string { return "#" + e.String() }
+
+// planAggregate plans GROUP BY / HAVING, returning the new plan and a
+// scope over (group keys..., aggregates...).
+func (db *DB) planAggregate(plan engine.Node, sc *scope, s *SelectStmt) (engine.Node, *scope, error) {
+	// Collect the distinct aggregates from the select list and HAVING.
+	var aggExprs []Expr
+	addAgg := func(e Expr) {
+		if e.Agg == aggNone {
+			return
+		}
+		for _, a := range aggExprs {
+			if a.Agg == e.Agg && a.Col == e.Col {
+				return
+			}
+		}
+		aggExprs = append(aggExprs, e)
+	}
+	for _, it := range s.Items {
+		addAgg(it.Expr)
+	}
+	for _, h := range s.Having {
+		addAgg(h.Left)
+		addAgg(h.Right)
+	}
+
+	keys := make([]int, 0, len(s.GroupBy))
+	newScope := &scope{}
+	for _, g := range s.GroupBy {
+		idx, err := sc.resolve(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys = append(keys, idx)
+		newScope.cols = append(newScope.cols, sc.cols[idx])
+	}
+
+	specs := make([]engine.AggSpec, 0, len(aggExprs))
+	for _, e := range aggExprs {
+		spec := engine.AggSpec{Name: aggColName(e)}
+		switch e.Agg {
+		case aggCount:
+			spec.Kind = engine.AggCount
+		case aggCountDistinct:
+			spec.Kind = engine.AggCountDistinct
+		case aggMin:
+			spec.Kind = engine.AggMinF64
+		case aggMax:
+			spec.Kind = engine.AggMaxF64
+		case aggSum:
+			spec.Kind = engine.AggSumF64
+		}
+		if e.Agg != aggCount {
+			idx, err := sc.resolve(e.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			if e.Agg == aggCountDistinct && sc.cols[idx].typ != engine.Int32 {
+				return nil, nil, fmt.Errorf("sql: COUNT(DISTINCT) requires an integer column")
+			}
+			if e.Agg != aggCountDistinct && sc.cols[idx].typ != engine.Float64 {
+				return nil, nil, fmt.Errorf("sql: %s requires a float column", e)
+			}
+			spec.Col = idx
+		}
+		specs = append(specs, spec)
+		typ := engine.Int32
+		if e.Agg == aggMin || e.Agg == aggMax || e.Agg == aggSum {
+			typ = engine.Float64
+		}
+		newScope.cols = append(newScope.cols, scopeCol{name: aggColName(e), typ: typ})
+	}
+
+	plan = engine.NewGroupBy(plan, keys, specs)
+	sc = newScope
+
+	// HAVING over the aggregate scope: rewrite aggregate expressions to
+	// their materialized columns.
+	for _, h := range s.Having {
+		hh := h
+		if hh.Left.Agg != aggNone {
+			hh.Left = Expr{Col: ColRef{Col: aggColName(hh.Left)}}
+		}
+		if hh.Right.Agg != aggNone {
+			hh.Right = Expr{Col: ColRef{Col: aggColName(hh.Right)}}
+		}
+		pred, err := compileCondition(hh, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan = engine.NewFilter(plan, h.String(), pred)
+	}
+	return plan, sc, nil
+}
+
+// condResolves reports whether every column the condition mentions is in
+// scope.
+func condResolves(c Condition, sc *scope) bool {
+	check := func(e Expr) bool {
+		if e.isLiteral() || e.Agg != aggNone {
+			return e.Agg == aggNone // aggregates never resolve pre-grouping
+		}
+		return sc.has(e.Col)
+	}
+	if c.IsNull || c.NotNul {
+		return check(c.Left)
+	}
+	return check(c.Left) && check(c.Right)
+}
+
+// compileCondition builds the filter predicate for a resolvable condition.
+func compileCondition(c Condition, sc *scope) (func(t *engine.Table, row int) bool, error) {
+	if c.IsNull || c.NotNul {
+		get, typ, err := compileValue(c.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		wantNull := c.IsNull
+		return func(t *engine.Table, row int) bool {
+			_, isNull := get(t, row)
+			_ = typ
+			return isNull == wantNull
+		}, nil
+	}
+
+	// String equality is supported; everything else compares as float64.
+	if isStringOperand(c.Left, sc) || isStringOperand(c.Right, sc) {
+		if c.Op != "=" && c.Op != "<>" {
+			return nil, fmt.Errorf("sql: strings support only = and <>: %s", c)
+		}
+		ls, err := compileString(c.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := compileString(c.Right, sc)
+		if err != nil {
+			return nil, err
+		}
+		eq := c.Op == "="
+		return func(t *engine.Table, row int) bool {
+			return (ls(t, row) == rs(t, row)) == eq
+		}, nil
+	}
+
+	lv, _, err := compileValue(c.Left, sc)
+	if err != nil {
+		return nil, err
+	}
+	rv, _, err := compileValue(c.Right, sc)
+	if err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(t *engine.Table, row int) bool {
+		a, an := lv(t, row)
+		b, bn := rv(t, row)
+		if an || bn {
+			return false // SQL three-valued logic: NULL comparisons are not true
+		}
+		switch op {
+		case "=":
+			return a == b
+		case "<>":
+			return a != b
+		case "<":
+			return a < b
+		case "<=":
+			return a <= b
+		case ">":
+			return a > b
+		case ">=":
+			return a >= b
+		}
+		return false
+	}, nil
+}
+
+// compileValue builds a numeric accessor returning (value, isNull).
+func compileValue(e Expr, sc *scope) (func(t *engine.Table, row int) (float64, bool), engine.ColType, error) {
+	switch {
+	case e.IsNumber:
+		v := e.Number
+		return func(*engine.Table, int) (float64, bool) { return v, false }, engine.Float64, nil
+	case e.IsNull:
+		return func(*engine.Table, int) (float64, bool) { return math.NaN(), true }, engine.Float64, nil
+	case e.IsString:
+		return nil, 0, fmt.Errorf("sql: string literal in numeric comparison")
+	}
+	idx, err := sc.resolve(e.Col)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch sc.cols[idx].typ {
+	case engine.Int32:
+		return func(t *engine.Table, row int) (float64, bool) {
+			v := t.Int32Col(idx)[row]
+			return float64(v), v == engine.NullInt32
+		}, engine.Int32, nil
+	case engine.Float64:
+		return func(t *engine.Table, row int) (float64, bool) {
+			v := t.Float64Col(idx)[row]
+			return v, engine.IsNullFloat64(v)
+		}, engine.Float64, nil
+	default:
+		return nil, 0, fmt.Errorf("sql: column %s is not numeric", e.Col)
+	}
+}
+
+func isStringOperand(e Expr, sc *scope) bool {
+	if e.IsString {
+		return true
+	}
+	if e.isLiteral() || e.Agg != aggNone {
+		return false
+	}
+	idx, err := sc.resolve(e.Col)
+	return err == nil && sc.cols[idx].typ == engine.String
+}
+
+func compileString(e Expr, sc *scope) (func(t *engine.Table, row int) string, error) {
+	if e.IsString {
+		s := e.Str
+		return func(*engine.Table, int) string { return s }, nil
+	}
+	idx, err := sc.resolve(e.Col)
+	if err != nil {
+		return nil, err
+	}
+	if sc.cols[idx].typ != engine.String {
+		return nil, fmt.Errorf("sql: column %s is not text", e.Col)
+	}
+	return func(t *engine.Table, row int) string { return t.StringCol(idx)[row] }, nil
+}
+
+// ---------------------------------------------------------------------------
+// DELETE
+
+func (db *DB) execDelete(d *DeleteStmt) (int, error) {
+	t, err := db.cat.Get(d.Table.Name)
+	if err != nil {
+		return 0, err
+	}
+	sc := scopeOf(d.Table.Binding(), t)
+
+	if d.InSelect != nil {
+		sub, err := db.planSelect(d.InSelect)
+		if err != nil {
+			return 0, err
+		}
+		result, err := engine.Run(sub, "in_subquery")
+		if err != nil {
+			return 0, err
+		}
+		// Match columns must all be Int32 on both sides.
+		outerCols := make([]int, len(d.InCols))
+		subCols := make([]int, len(d.InCols))
+		for i, ref := range d.InCols {
+			idx, err := sc.resolve(ref)
+			if err != nil {
+				return 0, err
+			}
+			if sc.cols[idx].typ != engine.Int32 {
+				return 0, fmt.Errorf("sql: IN requires integer columns (%s)", ref)
+			}
+			outerCols[i] = idx
+			if result.Schema().Cols[i].Type != engine.Int32 {
+				return 0, fmt.Errorf("sql: IN subquery column %d is not integer", i)
+			}
+			subCols[i] = i
+		}
+		set := engine.NewRowSet(result, subCols)
+		return t.DeleteWhere(func(row int) bool {
+			return set.Contains(t, row, outerCols)
+		}), nil
+	}
+
+	preds := make([]func(*engine.Table, int) bool, 0, len(d.Where))
+	for _, c := range d.Where {
+		p, err := compileCondition(c, sc)
+		if err != nil {
+			return 0, err
+		}
+		preds = append(preds, p)
+	}
+	return t.DeleteWhere(func(row int) bool {
+		for _, p := range preds {
+			if !p(t, row) {
+				return false
+			}
+		}
+		return true
+	}), nil
+}

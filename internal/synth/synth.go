@@ -1,0 +1,733 @@
+// Package synth generates the synthetic evaluation datasets.
+//
+// The paper evaluates on the ReVerb-Sherlock KB (407K web-extracted
+// facts, 30,912 learned Horn rules, 10,374 Leibniz functional
+// constraints) plus two synthetic families S1 (rule-count sweep) and S2
+// (fact-count sweep). Those corpora cannot be redistributed, so this
+// package builds a *generative replacement with a planted ground truth*:
+//
+//  1. A hidden "true world" is constructed over true entities: a class
+//     taxonomy, typed relations organized into derivation levels, seed
+//     facts that respect the functional constraints, and sound rules
+//     whose closure (computed with the repo's own grounder) defines what
+//     is true.
+//  2. The observed KB is an *extraction* of that world: a sample of true
+//     facts rendered through surface names, corrupted with the paper's
+//     four error sources — E1 extraction errors, E2 wrong rules, E3
+//     ambiguous names (one surface form covering several true entities)
+//     plus synonyms and general-type objects, and E4 propagated errors
+//     (which emerge on their own once grounding runs).
+//  3. An Oracle retains the mapping and judges any symbolic fact, so the
+//     precision/recall curves of Figure 7(a) and the violation taxonomy
+//     of Figure 7(b) are measured exactly instead of by sampled human
+//     judgment.
+//
+// All generation is deterministic in Options.Seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"probkb/internal/kb"
+	"probkb/internal/mln"
+)
+
+// sortInts sorts an int slice ascending.
+func sortInts(s []int) { sort.Ints(s) }
+
+// sortTrueKeys orders world keys by (rel, x, y).
+func sortTrueKeys(keys []trueKey) {
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].rel != keys[b].rel {
+			return keys[a].rel < keys[b].rel
+		}
+		if keys[a].x != keys[b].x {
+			return keys[a].x < keys[b].x
+		}
+		return keys[a].y < keys[b].y
+	})
+}
+
+// Paper-scale constants (Table 2 plus the Leibniz repository size); a
+// corpus at Scale = 1 matches them.
+const (
+	PaperRelations   = 82768
+	PaperRules       = 30912
+	PaperEntities    = 277216
+	PaperFacts       = 407247
+	PaperConstraints = 10374
+)
+
+// Options configures the ReVerb-Sherlock-like generator.
+type Options struct {
+	// Scale multiplies the paper-scale counts; the default 0.02 yields a
+	// corpus a laptop grounds in well under a second.
+	Scale float64
+	Seed  int64
+
+	// Error-source rates.
+	ExtractionErrorRate float64 // E1: fraction of observed facts that are fabrications
+	WrongRuleRate       float64 // E2: fraction of rules that are unsound
+	AmbiguousNameRate   float64 // E3: fraction of entities sharing a surface name
+	SynonymRate         float64 // entities with two surface names
+	GeneralTypeRate     float64 // geo facts duplicated at coarser granularity
+
+	// ObservedBase is the fraction of true level-0 facts the extractor
+	// saw; ObservedDerived the fraction of true derived facts it saw
+	// (these give sound rules their statistical support).
+	ObservedBase    float64
+	ObservedDerived float64
+
+	// FunctionalFraction of relations carry a functional constraint.
+	FunctionalFraction float64
+
+	// Levels is the derivation depth of the true world (relations are
+	// stratified so the closure converges in at most Levels iterations).
+	Levels int
+}
+
+// DefaultOptions returns the configuration used throughout the
+// experiments unless a sweep overrides a field.
+func DefaultOptions() Options {
+	return Options{
+		Scale:               0.02,
+		Seed:                42,
+		ExtractionErrorRate: 0.06,
+		WrongRuleRate:       0.33,
+		AmbiguousNameRate:   0.05,
+		SynonymRate:         0.012,
+		GeneralTypeRate:     0.02,
+		ObservedBase:        0.85,
+		ObservedDerived:     0.30,
+		FunctionalFraction:  float64(PaperConstraints) / float64(PaperRelations),
+		Levels:              4,
+	}
+}
+
+// Corpus is a generated dataset: the observed KB handed to ProbKB, and
+// the oracle that knows the planted truth.
+type Corpus struct {
+	KB     *kb.KB
+	Oracle *Oracle
+	// TrueWorldSize is the number of facts in the hidden closure.
+	TrueWorldSize int
+	// SoundRules and WrongRules partition KB.Rules by index.
+	SoundRules []int
+	WrongRules []int
+}
+
+// taxonomy is the fixed class vocabulary. City and Country are
+// subclasses of Place; Writer and Politician of Person — the general-
+// type error source needs the Place umbrella.
+var (
+	classNames = []string{
+		"Person", "Writer", "Politician", "Place", "City", "Country",
+		"Organization", "Company", "University", "Book", "Food", "Disease",
+	}
+	superClass = map[string]string{
+		"City": "Place", "Country": "Place",
+		"Writer": "Person", "Politician": "Person",
+		"Company": "Organization", "University": "Organization",
+	}
+)
+
+// relation is the generator's internal view of one typed relation.
+type relation struct {
+	name     string
+	dom, rng string // class names
+	level    int
+	// functional marks a Type I constraint with the given degree (0 = none).
+	funcDeg int
+	geo     bool // range is Place: eligible for general-type planting
+}
+
+// trueEntity is one real-world object.
+type trueEntity struct {
+	id    int32
+	class string
+	// syms are the surface names the extractor uses for this entity
+	// (usually one; two for synonym plants; a shared one for ambiguity
+	// plants).
+	syms []string
+	// container: for City entities, the Country that contains them
+	// (general-type planting).
+	container int32
+}
+
+// trueFact is one fact of the hidden world, over true entity IDs.
+type trueFact struct {
+	rel  int // index into relations
+	x, y int32
+}
+
+// generator carries all intermediate state.
+type generator struct {
+	opts Options
+	rng  *rand.Rand
+
+	relations []relation
+	relIndex  map[string]int // name → index
+	// byLevelSig[level]["dom/rng"] lists relation indices;
+	// byLevelSigFunc only the functional ones.
+	byLevelSig     []map[string][]int
+	byLevelSigFunc []map[string][]int
+
+	entities []trueEntity
+	// pool[class] lists entity IDs whose class is class or a subclass.
+	pool map[string][]int32
+
+	soundRules []ruleSpec
+	wrongRules []ruleSpec
+
+	world map[trueKey]bool
+}
+
+// ruleSpec is a generated rule before symbol interning.
+type ruleSpec struct {
+	shape   int // mln.P1..P6
+	headRel int
+	bodyRel [2]int
+	weight  float64
+}
+
+// trueKey identifies a world fact.
+type trueKey struct {
+	rel  int
+	x, y int32
+}
+
+// Generate builds a ReVerb-Sherlock-like corpus.
+func Generate(opts Options) (*Corpus, error) {
+	if opts.Scale <= 0 {
+		return nil, fmt.Errorf("synth: scale must be positive, got %v", opts.Scale)
+	}
+	if opts.Levels < 1 {
+		return nil, fmt.Errorf("synth: need at least one level, got %d", opts.Levels)
+	}
+	g := &generator{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	g.makeRelations()
+	g.makeEntities()
+	if err := g.makeRules(); err != nil {
+		return nil, err
+	}
+	seeds := g.makeSeedFacts()
+	if err := g.closeWorld(seeds); err != nil {
+		return nil, err
+	}
+	g.plantAmbiguity()
+	return g.emit()
+}
+
+func (g *generator) scaled(paper int, min int) int {
+	n := int(float64(paper) * g.opts.Scale)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+func sigOf(dom, rng string) string { return dom + "/" + rng }
+
+// makeRelations creates the typed relation vocabulary, stratified into
+// derivation levels (level-0 relations get seed facts; level ℓ+1
+// relations are rule heads over level-ℓ bodies).
+func (g *generator) makeRelations() {
+	n := g.scaled(PaperRelations, 24)
+	g.relIndex = make(map[string]int, n)
+	g.byLevelSig = make([]map[string][]int, g.opts.Levels+1)
+	g.byLevelSigFunc = make([]map[string][]int, g.opts.Levels+1)
+	for i := range g.byLevelSig {
+		g.byLevelSig[i] = make(map[string][]int)
+		g.byLevelSigFunc[i] = make(map[string][]int)
+	}
+	// Level share: most relations are base extractions.
+	levelOf := func(i int) int {
+		f := float64(i) / float64(n)
+		switch {
+		case f < 0.60:
+			return 0
+		case f < 0.80:
+			return 1
+		case f < 0.92:
+			return 2
+		default:
+			lv := 3
+			if lv > g.opts.Levels {
+				lv = g.opts.Levels
+			}
+			return lv
+		}
+	}
+	for i := 0; i < n; i++ {
+		dom := classNames[g.rng.Intn(len(classNames))]
+		rng := classNames[g.rng.Intn(len(classNames))]
+		r := relation{
+			name:  fmt.Sprintf("rel%d_%s_%s", i, dom, rng),
+			dom:   dom,
+			rng:   rng,
+			level: levelOf(i),
+			geo:   rng == "Place",
+		}
+		if g.rng.Float64() < g.opts.FunctionalFraction {
+			// Mostly strictly functional, some pseudo-functional.
+			r.funcDeg = 1
+			if g.rng.Float64() < 0.25 {
+				r.funcDeg = 2 + g.rng.Intn(2)
+			}
+		}
+		g.relIndex[r.name] = len(g.relations)
+		g.relations = append(g.relations, r)
+		g.byLevelSig[r.level][sigOf(dom, rng)] = append(g.byLevelSig[r.level][sigOf(dom, rng)], i)
+		if r.funcDeg > 0 {
+			g.byLevelSigFunc[r.level][sigOf(dom, rng)] = append(g.byLevelSigFunc[r.level][sigOf(dom, rng)], i)
+		}
+	}
+}
+
+// makeEntities creates the true entities and their surface names,
+// planting ambiguity and synonym pairs.
+func (g *generator) makeEntities() {
+	n := g.scaled(PaperEntities, 120)
+	g.pool = make(map[string][]int32)
+	g.entities = make([]trueEntity, n)
+
+	addToPools := func(id int32, class string) {
+		g.pool[class] = append(g.pool[class], id)
+		for c := class; ; {
+			sup, ok := superClass[c]
+			if !ok {
+				break
+			}
+			g.pool[sup] = append(g.pool[sup], id)
+			c = sup
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		class := classNames[g.rng.Intn(len(classNames))]
+		e := trueEntity{id: int32(i), class: class, container: -1}
+		e.syms = []string{fmt.Sprintf("%s_%d", class, i)}
+		g.entities[i] = e
+		addToPools(int32(i), class)
+	}
+
+	// Synonym plants: one entity, two names.
+	nSyn := int(float64(n) * g.opts.SynonymRate)
+	for s := 0; s < nSyn; s++ {
+		e := int32(g.rng.Intn(n))
+		if len(g.entities[e].syms) != 1 {
+			continue
+		}
+		g.entities[e].syms = append(g.entities[e].syms, g.entities[e].syms[0]+"_aka")
+	}
+
+	// Containment: every City gets a Country (general-type planting).
+	countries := g.pool["Country"]
+	if len(countries) > 0 {
+		for _, c := range g.pool["City"] {
+			if g.entities[c].class == "City" {
+				g.entities[c].container = countries[g.rng.Intn(len(countries))]
+			}
+		}
+	}
+}
+
+// makeRules generates the rule set: sound rules connect level-ℓ bodies to
+// level-(ℓ+1) heads and participate in the world closure; wrong rules
+// have the same structural distribution but are excluded from the truth.
+func (g *generator) makeRules() error {
+	n := g.scaled(PaperRules, 30)
+	nWrong := int(float64(n) * g.opts.WrongRuleRate)
+	nSound := n - nWrong
+
+	gen := func(count int, wrong bool) ([]ruleSpec, error) {
+		var out []ruleSpec
+		attempts := 0
+		for len(out) < count {
+			attempts++
+			if attempts > count*200 {
+				return nil, fmt.Errorf("synth: could not generate %d rules (got %d); vocabulary too sparse", count, len(out))
+			}
+			var (
+				spec ruleSpec
+				ok   bool
+			)
+			// Unsound rules strongly prefer functional head relations:
+			// learned junk rules like "located_in(x,y) → capital_of(x,y)"
+			// (the paper's Figure 5 example) write into relations that
+			// carry constraints, which is exactly why semantic
+			// constraints catch their output.
+			funcPref := 0.4
+			if wrong {
+				funcPref = 0.85
+			}
+			if wrong && g.rng.Intn(2) == 0 {
+				// Half the unsound rules are *cascade* rules: copy-shaped
+				// clauses whose head level is arbitrary, so the junk they
+				// derive feeds other rules (and other cascade rules) —
+				// the error-propagation chains of Figure 5(a). Sound
+				// rules are level-stratified, so only errors cascade.
+				spec, ok = g.tryCascadeRule(funcPref)
+			} else {
+				shape := mln.P1 + g.rng.Intn(mln.NumPartitions)
+				level := g.rng.Intn(g.opts.Levels) // body level
+				spec, ok = g.tryRule(shape, level, funcPref)
+			}
+			if !ok {
+				continue
+			}
+			out = append(out, spec)
+		}
+		return out, nil
+	}
+
+	sound, err := gen(nSound, false)
+	if err != nil {
+		return err
+	}
+	wrong, err := gen(nWrong, true)
+	if err != nil {
+		return err
+	}
+	g.soundRules, g.wrongRules = sound, wrong
+	return nil
+}
+
+// tryCascadeRule builds a P1/P2 wrong rule between arbitrary levels,
+// preferring functional heads (which is what makes its junk detectable).
+// Unlike tryRule, the head is drawn first — straight from the functional
+// pool when the preference fires — and the classes follow from it, so
+// the preference is not defeated by sparse signatures.
+func (g *generator) tryCascadeRule(funcPref float64) (ruleSpec, bool) {
+	shape := mln.P1
+	if g.rng.Intn(2) == 0 {
+		shape = mln.P2
+	}
+	bodyLevel := g.rng.Intn(g.opts.Levels + 1)
+	headLevel := g.rng.Intn(g.opts.Levels + 1)
+	spec := ruleSpec{shape: shape, weight: 0.2 + g.rng.Float64()*1.6}
+
+	var head int
+	if g.rng.Float64() < funcPref {
+		// Any functional relation at the head level.
+		var pool []int
+		for _, ids := range g.byLevelSigFunc[headLevel] {
+			pool = append(pool, ids...)
+		}
+		if len(pool) == 0 {
+			return spec, false
+		}
+		sortInts(pool)
+		head = pool[g.rng.Intn(len(pool))]
+	} else {
+		cls := func() string { return classNames[g.rng.Intn(len(classNames))] }
+		pool := g.byLevelSig[headLevel][sigOf(cls(), cls())]
+		if len(pool) == 0 {
+			return spec, false
+		}
+		head = pool[g.rng.Intn(len(pool))]
+	}
+	spec.headRel = head
+	c1, c2 := g.relations[head].dom, g.relations[head].rng
+
+	bodySig := sigOf(c1, c2)
+	if shape == mln.P2 {
+		bodySig = sigOf(c2, c1)
+	}
+	bodyPool := g.byLevelSig[bodyLevel][bodySig]
+	if len(bodyPool) == 0 {
+		return spec, false
+	}
+	spec.bodyRel[0] = bodyPool[g.rng.Intn(len(bodyPool))]
+	if spec.bodyRel[0] == spec.headRel {
+		return spec, false
+	}
+	return spec, true
+}
+
+// tryRule attempts to instantiate one rule of the given shape with body
+// relations at the given level; funcPref is the probability of selecting
+// a functional head relation when one fits.
+func (g *generator) tryRule(shape, level int, funcPref float64) (ruleSpec, bool) {
+	pick := func(level int, dom, rng string) (int, bool) {
+		ids := g.byLevelSig[level][sigOf(dom, rng)]
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[g.rng.Intn(len(ids))], true
+	}
+	cls := func() string { return classNames[g.rng.Intn(len(classNames))] }
+
+	c1, c2, c3 := cls(), cls(), cls()
+	spec := ruleSpec{shape: shape, weight: 0.2 + g.rng.Float64()*1.6}
+
+	// Rules over functional head relations are common in web rule sets
+	// (born_in, capital_of, ...); prefer one 40% of the time. This is
+	// also what makes bad derivations *detectable*: junk flowing into a
+	// functional relation violates its constraint.
+	var (
+		head int
+		ok   bool
+	)
+	if fn := g.byLevelSigFunc[level+1][sigOf(c1, c2)]; len(fn) > 0 && g.rng.Float64() < funcPref {
+		head, ok = fn[g.rng.Intn(len(fn))], true
+	} else {
+		head, ok = pick(level+1, c1, c2)
+	}
+	if !ok {
+		return spec, false
+	}
+	spec.headRel = head
+
+	switch shape {
+	case mln.P1: // p(x,y) ← q(x,y)
+		b, ok := pick(level, c1, c2)
+		if !ok {
+			return spec, false
+		}
+		spec.bodyRel[0] = b
+	case mln.P2: // p(x,y) ← q(y,x)
+		b, ok := pick(level, c2, c1)
+		if !ok {
+			return spec, false
+		}
+		spec.bodyRel[0] = b
+	case mln.P3: // q(z,x), r(z,y)
+		b0, ok0 := pick(level, c3, c1)
+		b1, ok1 := pick(level, c3, c2)
+		if !ok0 || !ok1 {
+			return spec, false
+		}
+		spec.bodyRel = [2]int{b0, b1}
+	case mln.P4: // q(x,z), r(z,y)
+		b0, ok0 := pick(level, c1, c3)
+		b1, ok1 := pick(level, c3, c2)
+		if !ok0 || !ok1 {
+			return spec, false
+		}
+		spec.bodyRel = [2]int{b0, b1}
+	case mln.P5: // q(z,x), r(y,z)
+		b0, ok0 := pick(level, c3, c1)
+		b1, ok1 := pick(level, c2, c3)
+		if !ok0 || !ok1 {
+			return spec, false
+		}
+		spec.bodyRel = [2]int{b0, b1}
+	case mln.P6: // q(x,z), r(y,z)
+		b0, ok0 := pick(level, c1, c3)
+		b1, ok1 := pick(level, c2, c3)
+		if !ok0 || !ok1 {
+			return spec, false
+		}
+		spec.bodyRel = [2]int{b0, b1}
+	}
+	return spec, true
+}
+
+// plantAmbiguity merges surface names *after* the world is known, the
+// way real name collisions work: prominent entities (ones with facts in
+// the same functional relation) end up sharing a name, which is exactly
+// what produces the Figure 5(b) violations. Runs after closeWorld so the
+// fact distribution is visible.
+func (g *generator) plantAmbiguity() {
+	// subjectsOf[funcRel] lists the distinct true subjects with a world
+	// fact under that functional relation, in deterministic order.
+	// degree counts every world fact an entity participates in: merging
+	// *prominent* entities is what makes ambiguity both detectable (they
+	// violate functional constraints) and damaging (their junk flows
+	// through many join keys) — the paper's "Jack" problem.
+	subjectsOf := make(map[int][]int32)
+	degree := make(map[int32]int)
+	seen := make(map[[2]int32]bool)
+	keys := g.sortedWorldKeys()
+	for _, k := range keys {
+		degree[k.x]++
+		degree[k.y]++
+		if g.relations[k.rel].funcDeg == 0 {
+			continue
+		}
+		sk := [2]int32{int32(k.rel), k.x}
+		if seen[sk] {
+			continue
+		}
+		seen[sk] = true
+		subjectsOf[k.rel] = append(subjectsOf[k.rel], k.x)
+	}
+	var funcRels []int
+	for ri := range subjectsOf {
+		if len(subjectsOf[ri]) >= 2 {
+			funcRels = append(funcRels, ri)
+		}
+	}
+	sortInts(funcRels)
+	// Bias each relation's subject list toward high-degree entities.
+	for _, ri := range funcRels {
+		subs := subjectsOf[ri]
+		sortByDegreeDesc(subs, degree)
+	}
+
+	// Merge groups of 2-4 entities per shared name (the paper's "Mandel"
+	// covers three different people), drawing from the prominent half of
+	// each relation's subjects.
+	budget := int(float64(len(g.entities)) * g.opts.AmbiguousNameRate)
+	merged := make(map[int32]bool)
+	attempts := 0
+	for group := 0; budget > 1 && len(funcRels) > 0; group++ {
+		attempts++
+		if attempts > budget*200 {
+			break
+		}
+		ri := funcRels[g.rng.Intn(len(funcRels))]
+		subs := subjectsOf[ri]
+		half := (len(subs) + 1) / 2
+		// Group sizes follow the common-name pattern: most collisions
+		// cover 2-3 entities, but a few "Jack"-like names cover many —
+		// and junk from z-joins through a merged name grows with the
+		// *square* of its group size, which is what drives the paper's
+		// error explosion.
+		want := 2 + g.rng.Intn(3)
+		if g.rng.Intn(4) == 0 {
+			want = 4 + g.rng.Intn(5)
+		}
+		var members []int32
+		var class string
+		for try := 0; try < 20 && len(members) < want; try++ {
+			var e int32
+			if len(members) == 0 {
+				e = subs[g.rng.Intn(half)]
+			} else {
+				e = subs[g.rng.Intn(len(subs))]
+			}
+			if merged[e] {
+				continue
+			}
+			if len(members) == 0 {
+				class = g.entities[e].class
+			} else if g.entities[e].class != class {
+				continue
+			}
+			dup := false
+			for _, m := range members {
+				if m == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				members = append(members, e)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		shared := fmt.Sprintf("amb_%s_%d", class, group)
+		for _, e := range members {
+			g.entities[e].syms = []string{shared}
+			merged[e] = true
+		}
+		budget -= len(members)
+	}
+}
+
+// sortByDegreeDesc orders entity IDs by descending degree (ties by ID,
+// keeping the order deterministic).
+func sortByDegreeDesc(ids []int32, degree map[int32]int) {
+	sort.SliceStable(ids, func(a, b int) bool {
+		da, db := degree[ids[a]], degree[ids[b]]
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+}
+
+// funcSubject is one (functional relation, subject) pair with a world
+// fact — the anchor for Figure 5(b)-style extraction errors.
+type funcSubject struct {
+	rel  int
+	subj int32
+}
+
+// functionalSubjects lists the (functional relation, subject) pairs that
+// already have a true partner, deterministically ordered.
+func (g *generator) functionalSubjects() []funcSubject {
+	var out []funcSubject
+	seen := make(map[funcSubject]bool)
+	for _, k := range g.sortedWorldKeys() {
+		if g.relations[k.rel].funcDeg == 0 {
+			continue
+		}
+		fs := funcSubject{k.rel, k.x}
+		if !seen[fs] {
+			seen[fs] = true
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
+// sortedWorldKeys returns the world facts in a deterministic order, so
+// that generation does not depend on map iteration order.
+func (g *generator) sortedWorldKeys() []trueKey {
+	keys := make([]trueKey, 0, len(g.world))
+	for k := range g.world {
+		keys = append(keys, k)
+	}
+	sortTrueKeys(keys)
+	return keys
+}
+
+// pickSkewed draws an index in [0, n) with a Zipf-like skew: web
+// extractions concentrate heavily on prominent entities, and that skew is
+// what gives grounding joins their high fan-out (and error propagation
+// its multiplier).
+func (g *generator) pickSkewed(n int) int {
+	// Inverse-power sampling: index ∝ u^k spreads mass toward low
+	// indices. k = 3 gives a heavy head without degenerate repetition.
+	u := g.rng.Float64()
+	return int(u * u * u * float64(n))
+}
+
+// makeSeedFacts draws the level-0 true facts, respecting functional
+// degrees in the true world. Subjects and objects are degree-skewed (see
+// pickSkewed).
+func (g *generator) makeSeedFacts() []trueFact {
+	target := g.scaled(PaperFacts, 200)
+	var seeds []trueFact
+	partner := make(map[[2]int32]int) // (rel, x) → partner count
+
+	level0 := []int{}
+	for i, r := range g.relations {
+		if r.level == 0 {
+			level0 = append(level0, i)
+		}
+	}
+	attempts := 0
+	for len(seeds) < target && attempts < target*20 {
+		attempts++
+		ri := level0[g.rng.Intn(len(level0))]
+		r := g.relations[ri]
+		domPool, rngPool := g.pool[r.dom], g.pool[r.rng]
+		if len(domPool) == 0 || len(rngPool) == 0 {
+			continue
+		}
+		x := domPool[g.pickSkewed(len(domPool))]
+		y := rngPool[g.pickSkewed(len(rngPool))]
+		if r.funcDeg > 0 && partner[[2]int32{int32(ri), x}] >= r.funcDeg {
+			continue
+		}
+		k := trueKey{ri, x, y}
+		if g.world == nil {
+			g.world = make(map[trueKey]bool, target*2)
+		}
+		if g.world[k] {
+			continue
+		}
+		g.world[k] = true
+		partner[[2]int32{int32(ri), x}]++
+		seeds = append(seeds, trueFact{ri, x, y})
+	}
+	return seeds
+}

@@ -1,0 +1,354 @@
+// Package probkb is a probabilistic knowledge base with scalable
+// knowledge expansion, reproducing the ProbKB system of
+//
+//	Yang Chen, Daisy Zhe Wang.
+//	"Knowledge Expansion over Probabilistic Knowledge Bases." SIGMOD 2014.
+//
+// A KB holds weighted facts, weighted Horn rules (a Markov logic
+// network), and functional constraints. Expand grounds the MLN with the
+// paper's batched relational algorithm — all rules of a structural
+// partition applied by one join — on either a single-node engine or a
+// simulated shared-nothing MPP cluster, applies the paper's quality-
+// control methods (rule cleaning, semantic constraints, ambiguity
+// removal), and runs Gibbs marginal inference over the resulting ground
+// factor graph so every inferred fact carries a probability.
+//
+// Quick start:
+//
+//	k := probkb.New()
+//	k.AddFact("rich_in", "kale", "Food", "calcium", "Nutrient", 0.9)
+//	k.AddFact("prevents", "calcium", "Nutrient", "osteoporosis", "Disease", 0.8)
+//	k.MustAddRule("1.1 prevents(x:Food, y:Disease) :- rich_in(x:Food, z:Nutrient), prevents(z:Nutrient, y:Disease)")
+//	exp, err := k.Expand(probkb.DefaultConfig())
+//	// exp.Facts() now contains prevents(kale, osteoporosis) with its probability.
+package probkb
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"probkb/internal/engine"
+	"probkb/internal/ground"
+	"probkb/internal/kb"
+	"probkb/internal/mpp"
+	"probkb/internal/quality"
+)
+
+// Engine selects the execution substrate for grounding.
+type Engine int
+
+const (
+	// SingleNode runs the batched grounding queries on the in-process
+	// relational engine (the paper's "ProbKB" configuration on
+	// PostgreSQL).
+	SingleNode Engine = iota
+	// MPP runs on the shared-nothing cluster simulator with
+	// redistributed materialized views ("ProbKB-p" on Greenplum).
+	MPP
+	// MPPNoViews is MPP without the view optimization ("ProbKB-pn");
+	// exists mainly for the Figure 6(c) comparison.
+	MPPNoViews
+	// Baseline runs the Tuffy-T per-rule grounder — O(#rules) queries
+	// per iteration. It exists for comparison benchmarks.
+	Baseline
+)
+
+// String names the engine as in the paper.
+func (e Engine) String() string {
+	switch e {
+	case SingleNode:
+		return "ProbKB"
+	case MPP:
+		return "ProbKB-p"
+	case MPPNoViews:
+		return "ProbKB-pn"
+	case Baseline:
+		return "Tuffy-T"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ConstraintType mirrors Definition 9: TypeI means the subject determines
+// the object (a person is born in one place); TypeII the converse (a
+// country has one capital).
+type ConstraintType int
+
+// Functional-constraint argument positions.
+const (
+	TypeI  ConstraintType = kb.TypeI
+	TypeII ConstraintType = kb.TypeII
+)
+
+// Config controls Expand.
+type Config struct {
+	// Engine picks the substrate; Segments sizes the MPP cluster
+	// (ignored for SingleNode; 0 means 4).
+	Engine   Engine
+	Segments int
+
+	// MaxIterations caps the grounding fixpoint loop; 0 runs to
+	// convergence. Machine-built KBs without constraints can blow up
+	// (Section 6.1.1), so runs with ApplyConstraints=false should set a
+	// cap.
+	MaxIterations int
+
+	// ApplyConstraints enables semantic constraints: Query 3 runs once
+	// up front and again after every grounding iteration, greedily
+	// removing entities that violate functional constraints.
+	ApplyConstraints bool
+
+	// RuleCleanTheta keeps the top-θ fraction of rules by statistical
+	// significance before grounding; 1 (or 0, the zero value) disables
+	// cleaning.
+	RuleCleanTheta float64
+	// ConstraintInformedCleaning ranks rules by constraint-adjusted
+	// significance instead: rules whose conclusions concentrate on
+	// functional-constraint violators sink in the ranking (the paper's
+	// §6.2.3 suggestion of feeding constraint violations back into the
+	// rule learner). Only meaningful with RuleCleanTheta < 1.
+	ConstraintInformedCleaning bool
+
+	// RunInference runs Gibbs marginal inference after grounding and
+	// writes each inferred fact's probability into the result. Without
+	// it, inferred facts carry probability NaN.
+	RunInference bool
+	// GibbsBurnin and GibbsSamples size the sampling run (defaults 100
+	// and 500); GibbsParallel uses the chromatic parallel sampler.
+	GibbsBurnin   int
+	GibbsSamples  int
+	GibbsParallel bool
+	// Seed makes inference reproducible.
+	Seed int64
+}
+
+// DefaultConstrainedIterations caps grounding when semantic constraints
+// are active and no explicit MaxIterations is set (the paper grounds its
+// constrained runs in 15 iterations). Without constraints the closure is
+// monotone and always terminates, so no implicit cap applies.
+const DefaultConstrainedIterations = 15
+
+// DefaultConfig enables the full pipeline on the single-node engine:
+// constraints on, no rule cleaning, inference on.
+func DefaultConfig() Config {
+	return Config{
+		Engine:           SingleNode,
+		ApplyConstraints: true,
+		RunInference:     true,
+	}
+}
+
+// KB is a probabilistic knowledge base Γ = (E, C, R, Π, L).
+type KB struct {
+	inner *kb.KB
+}
+
+// New returns an empty knowledge base.
+func New() *KB { return &KB{inner: kb.New()} }
+
+// Load reads a KB from disk: a directory of text files (see Save), or a
+// binary snapshot file written by SaveSnapshot.
+func Load(path string) (*KB, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var inner *kb.KB
+	if info.IsDir() {
+		inner, err = kb.LoadDir(path)
+	} else {
+		inner, err = kb.LoadBinary(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &KB{inner: inner}, nil
+}
+
+// Save writes the KB as a directory of text files: relations.tsv,
+// facts.tsv, rules.txt, constraints.tsv, members.tsv, taxonomy.tsv.
+func (k *KB) Save(dir string) error { return k.inner.SaveDir(dir) }
+
+// SaveSnapshot writes the KB as a single binary snapshot file — the
+// fast bulkload path: loads are ID-stable (unlike the text directory,
+// which re-interns symbols) and roughly twice as fast. Load() accepts
+// either format.
+func (k *KB) SaveSnapshot(path string) error { return k.inner.SaveBinary(path) }
+
+// AddFact records the weighted fact rel(x, y) with the arguments' classes.
+// Re-adding an existing fact keeps the maximum weight. It reports whether
+// the fact was new.
+func (k *KB) AddFact(rel, x, xClass, y, yClass string, weight float64) bool {
+	_, fresh := k.inner.InternFact(rel, x, xClass, y, yClass, weight)
+	return fresh
+}
+
+// AddRule parses and adds a weighted Horn rule, e.g.
+//
+//	1.40 live_in(x:Writer, y:Place) :- born_in(x:Writer, y:Place)
+//
+// Bodies may have one or two atoms over at most three variables; every
+// variable needs a class annotation on at least one occurrence.
+func (k *KB) AddRule(line string) error {
+	c, err := k.inner.ParseRule(line)
+	if err != nil {
+		return err
+	}
+	return k.inner.AddRule(c)
+}
+
+// MustAddRule is AddRule, panicking on error; for statically known rules.
+func (k *KB) MustAddRule(line string) {
+	if err := k.AddRule(line); err != nil {
+		panic(err)
+	}
+}
+
+// AddConstraint declares relation rel functional: each subject (TypeI) or
+// object (TypeII) has at most degree partners. Violating entities are
+// treated as errors or ambiguous names and removed during expansion when
+// Config.ApplyConstraints is set.
+func (k *KB) AddConstraint(rel string, typ ConstraintType, degree int) error {
+	id, ok := k.inner.RelDict.Lookup(rel)
+	if !ok {
+		return fmt.Errorf("probkb: constraint over unknown relation %q", rel)
+	}
+	return k.inner.AddConstraint(kb.Constraint{Rel: id, Type: int(typ), Degree: degree})
+}
+
+// Stats summarizes the KB (Table 2 of the paper).
+type Stats struct {
+	Relations   int
+	Rules       int
+	Entities    int
+	Facts       int
+	Classes     int
+	Constraints int
+}
+
+// Stats returns the KB's summary statistics.
+func (k *KB) Stats() Stats {
+	s := k.inner.Stats()
+	return Stats{
+		Relations: s.Relations, Rules: s.Rules, Entities: s.Entities,
+		Facts: s.Facts, Classes: s.Classes, Constraints: s.Constraints,
+	}
+}
+
+// DeclareSubclass records sub ⊆ super in the class hierarchy (Remark 1
+// of the paper's Definition 1): members of sub automatically become
+// members of super. Cycles are rejected.
+func (k *KB) DeclareSubclass(sub, super string) error {
+	return k.inner.DeclareSubclass(k.inner.Classes.Intern(sub), k.inner.Classes.Intern(super))
+}
+
+// Validate checks the KB's internal consistency (fact signatures, class
+// memberships, rule shapes, constraint sanity) and returns every problem
+// found; nil means clean.
+func (k *KB) Validate() []error { return k.inner.Validate() }
+
+// RuleScore reports one rule's statistical significance (Section 5.3):
+// the smoothed conditional probability of the head given the body,
+// estimated from the observed facts.
+type RuleScore struct {
+	Rule    string // the rule in rules.txt syntax
+	Matches int    // body groundings found among the facts
+	Hits    int    // of those, with the head also present
+	Score   float64
+}
+
+// RuleScores scores every rule; Expand's RuleCleanTheta keeps the top-θ
+// fraction of this ranking.
+func (k *KB) RuleScores() []RuleScore {
+	scores := quality.ScoreRules(k.inner)
+	out := make([]RuleScore, len(scores))
+	for i, s := range scores {
+		out[i] = RuleScore{
+			Rule:    k.inner.FormatRule(k.inner.Rules[s.Index]),
+			Matches: s.Matches,
+			Hits:    s.Hits,
+			Score:   s.Score,
+		}
+	}
+	return out
+}
+
+// Expand performs knowledge expansion: quality control, batched MLN
+// grounding, and (optionally) marginal inference. The receiver is not
+// modified; the returned Expansion holds the enlarged fact set.
+func (k *KB) Expand(cfg Config) (*Expansion, error) {
+	work := k.inner
+	switch {
+	case cfg.RuleCleanTheta > 0 && cfg.RuleCleanTheta < 1 && cfg.ConstraintInformedCleaning:
+		cleaned, err := quality.CleanRulesWithConstraints(work, cfg.RuleCleanTheta, 4)
+		if err != nil {
+			return nil, err
+		}
+		work = cleaned
+	case cfg.RuleCleanTheta > 0 && cfg.RuleCleanTheta < 1:
+		work = quality.CleanRules(work, cfg.RuleCleanTheta)
+	default:
+		work = work.Clone()
+	}
+
+	opts := ground.Options{MaxIterations: cfg.MaxIterations}
+	if cfg.ApplyConstraints {
+		// Query 3 runs once before inference starts (Section 6.1.1), and
+		// again after every grounding iteration (Algorithm 1).
+		quality.PreClean(work)
+		opts.ConstraintHook = quality.NewChecker(work).Hook()
+		// Greedy constraint deletion can oscillate (delete a violating
+		// fact, re-derive it, delete it again...), so a constrained run
+		// without an explicit cap gets the paper's 15 iterations instead
+		// of running to a fixpoint that may not exist.
+		if opts.MaxIterations == 0 {
+			opts.MaxIterations = DefaultConstrainedIterations
+		}
+	}
+
+	var (
+		res *ground.Result
+		err error
+	)
+	switch cfg.Engine {
+	case SingleNode:
+		res, err = ground.Ground(work, opts)
+	case Baseline:
+		var g *ground.TuffyGrounder
+		if g, err = ground.NewTuffy(work, opts); err == nil {
+			res, err = g.Ground()
+		}
+	case MPP, MPPNoViews:
+		segs := cfg.Segments
+		if segs <= 0 {
+			segs = 4
+		}
+		var g *ground.MPPGrounder
+		if g, err = ground.NewMPP(work, opts, mpp.NewCluster(segs), cfg.Engine == MPP); err == nil {
+			res, err = g.Ground()
+		}
+	default:
+		return nil, fmt.Errorf("probkb: unknown engine %v", cfg.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	exp := &Expansion{kb: work, res: res, cfg: cfg}
+	if cfg.RunInference {
+		if err := exp.runInference(); err != nil {
+			return nil, err
+		}
+	}
+	return exp, nil
+}
+
+// probability converts a stored weight to the exported probability:
+// observed weights pass through, NULL becomes NaN.
+func probability(w float64) float64 {
+	if engine.IsNullFloat64(w) {
+		return math.NaN()
+	}
+	return w
+}

@@ -1,0 +1,123 @@
+package probkb
+
+import (
+	"fmt"
+
+	"probkb/internal/engine"
+	"probkb/internal/mln"
+	"probkb/internal/sql"
+)
+
+// sqlDB builds the relational catalog of Section 4.2 — T (facts), TC
+// (class membership), TR (relation signatures), FC (functional
+// constraints), the MLN partition tables M1..M6, and the dictionary
+// tables DE/DC/DR — and wraps it in a SQL executor.
+func (k *KB) sqlDB() (*sql.DB, error) {
+	parts, err := k.inner.MLNPartitions()
+	if err != nil {
+		return nil, err
+	}
+	cat := engine.NewCatalog()
+	cat.Put(k.inner.FactsTable())
+	cat.Put(k.inner.ClassTable())
+	cat.Put(k.inner.RelationTable())
+	cat.Put(k.inner.ConstraintsTable())
+	for i := mln.P1; i <= mln.P6; i++ {
+		cat.Put(parts.Table(i))
+	}
+	cat.Put(dictTable("DE", k.inner.Entities.Names()))
+	cat.Put(dictTable("DC", k.inner.Classes.Names()))
+	cat.Put(dictTable("DR", k.inner.RelDict.Names()))
+	return sql.NewDB(cat), nil
+}
+
+func dictTable(name string, names []string) *engine.Table {
+	t := engine.NewTable(name, engine.NewSchema(
+		engine.C("id", engine.Int32),
+		engine.C("name", engine.String),
+	))
+	for id, s := range names {
+		t.AppendRow(int32(id), s)
+	}
+	return t
+}
+
+// QueryResult is a SQL result rendered for display.
+type QueryResult struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// QuerySQL runs a SELECT against the KB's relational representation
+// (Section 4.2 of the paper): tables T, TC, TR, FC, M1..M6, DE. The
+// paper's grounding queries run verbatim. Results render as strings;
+// this entry point exists for exploration and tooling, not hot paths.
+func (k *KB) QuerySQL(query string) (*QueryResult, error) {
+	db, err := k.sqlDB()
+	if err != nil {
+		return nil, err
+	}
+	out, err := db.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{}
+	for _, c := range out.Schema().Cols {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	for r := 0; r < out.NumRows(); r++ {
+		row := make([]string, len(res.Columns))
+		for c := range res.Columns {
+			row[c] = out.ValueString(r, c)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ExplainSQL plans and runs a SELECT, returning the annotated physical
+// plan (operator tree with per-node rows and self time).
+func (k *KB) ExplainSQL(query string) (string, error) {
+	db, err := k.sqlDB()
+	if err != nil {
+		return "", err
+	}
+	return db.Explain(query)
+}
+
+// String renders a result as an aligned table.
+func (r *QueryResult) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var b []byte
+	appendRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b = append(b, ' ', '|', ' ')
+			}
+			b = append(b, fmt.Sprintf("%-*s", widths[i], v)...)
+		}
+		b = append(b, '\n')
+	}
+	appendRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	appendRow(sep)
+	for _, row := range r.Rows {
+		appendRow(row)
+	}
+	return string(b)
+}

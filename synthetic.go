@@ -1,0 +1,71 @@
+package probkb
+
+import (
+	"probkb/internal/kb"
+	"probkb/internal/synth"
+)
+
+// Synthesize generates a ReVerb-Sherlock-like knowledge base with a
+// planted ground truth (see DESIGN.md for the construction): web-scale
+// extraction noise — wrong facts, unsound rules, ambiguous names — over
+// a hidden true world. scale multiplies the paper's corpus sizes (407K
+// facts at scale 1); runs are deterministic in seed.
+//
+// The returned Truth judges any fact against the hidden world, replacing
+// the paper's human evaluators.
+func Synthesize(scale float64, seed int64) (*KB, *Truth, error) {
+	c, err := synth.ReVerbSherlock(scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &KB{inner: c.KB}, &Truth{corpus: c}, nil
+}
+
+// Truth is the oracle over a synthesized KB's hidden world.
+type Truth struct {
+	corpus *synth.Corpus
+}
+
+// Judge reports whether a symbolic fact is true in the hidden world.
+func (t *Truth) Judge(f Fact) bool {
+	k := t.corpus.KB
+	rel, ok := k.RelDict.Lookup(f.Rel)
+	if !ok {
+		return false
+	}
+	x, ok := k.Entities.Lookup(f.X)
+	if !ok {
+		return false
+	}
+	y, ok := k.Entities.Lookup(f.Y)
+	if !ok {
+		return false
+	}
+	xc, ok := k.Classes.Lookup(f.XClass)
+	if !ok {
+		return false
+	}
+	yc, ok := k.Classes.Lookup(f.YClass)
+	if !ok {
+		return false
+	}
+	return t.corpus.Oracle.Judge(kb.Key{Rel: rel, X: x, XClass: xc, Y: y, YClass: yc})
+}
+
+// Precision judges an expansion's inferred facts and returns the
+// fraction that are true, with the counts.
+func (t *Truth) Precision(e *Expansion) (precision float64, correct, total int) {
+	for _, f := range e.InferredFacts() {
+		total++
+		if t.Judge(f) {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(correct) / float64(total), correct, total
+}
+
+// WorldSize returns the number of facts in the hidden true world.
+func (t *Truth) WorldSize() int { return t.corpus.TrueWorldSize }
