@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test race check bench fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The standard verify loop: what CI (and every PR) should run.
+check: build vet race
+
+bench:
+	$(GO) run ./cmd/probkb-bench -exp all
+
+fmt:
+	gofmt -l -w .

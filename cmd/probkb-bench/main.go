@@ -4,25 +4,52 @@
 // Usage:
 //
 //	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|all
-//	             [-scale 0.02] [-seed 42] [-segments 4]
+//	             [-scale 0.02] [-seed 42] [-segments 4] [-json PATH]
+//
+// Besides the human-readable tables on stdout, the run's structured
+// results and per-experiment wall times are written to BENCH_<date>.json
+// (override the path with -json, disable with -json "") so the perf
+// trajectory across commits stays machine-readable.
 //
 // Absolute times depend on the machine and scale; EXPERIMENTS.md records
 // a reference run and compares shapes against the paper.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"probkb/internal/bench"
 )
+
+// report is the BENCH_<date>.json document.
+type report struct {
+	Date        string             `json:"date"`
+	Scale       float64            `json:"scale"`
+	Seed        int64              `json:"seed"`
+	Segments    int                `json:"segments"`
+	Experiments []experimentResult `json:"experiments"`
+}
+
+type experimentResult struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	// Result carries the experiment's typed rows when it returns them
+	// (table3, fig6*, fig7*, growth); table-only experiments leave it null.
+	Result any `json:"result,omitempty"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, all)")
 	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	segments := flag.Int("segments", 4, "MPP cluster segments")
+	now := time.Now()
+	jsonPath := flag.String("json", fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02")),
+		`also write results as JSON to this path ("" disables)`)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Segments: *segments}
@@ -30,22 +57,25 @@ func main() {
 
 	type experiment struct {
 		id  string
-		run func() error
+		run func() (any, error)
 	}
 	experiments := []experiment{
-		{"table2", func() error { return bench.Table2(cfg, w) }},
-		{"table3", func() error { _, err := bench.Table3(cfg, w); return err }},
-		{"table4", func() error { return bench.Table4(cfg, w) }},
-		{"fig4", func() error { return bench.Fig4(cfg, w) }},
-		{"fig6a", func() error { _, err := bench.Fig6a(cfg, w); return err }},
-		{"fig6b", func() error { _, err := bench.Fig6b(cfg, w); return err }},
-		{"fig6c", func() error { _, err := bench.Fig6c(cfg, w); return err }},
-		{"fig7a", func() error { _, err := bench.Fig7a(cfg, w); return err }},
-		{"fig7b", func() error { _, err := bench.Fig7b(cfg, w); return err }},
-		{"growth", func() error { _, err := bench.Growth(cfg, w); return err }},
-		{"feedback", func() error { return bench.Feedback(cfg, w) }},
+		{"table2", func() (any, error) { return nil, bench.Table2(cfg, w) }},
+		{"table3", func() (any, error) { return bench.Table3(cfg, w) }},
+		{"table4", func() (any, error) { return nil, bench.Table4(cfg, w) }},
+		{"fig4", func() (any, error) { return nil, bench.Fig4(cfg, w) }},
+		{"fig6a", func() (any, error) { return bench.Fig6a(cfg, w) }},
+		{"fig6b", func() (any, error) { return bench.Fig6b(cfg, w) }},
+		{"fig6c", func() (any, error) { return bench.Fig6c(cfg, w) }},
+		{"fig7a", func() (any, error) { return bench.Fig7a(cfg, w) }},
+		{"fig7b", func() (any, error) { return bench.Fig7b(cfg, w) }},
+		{"growth", func() (any, error) { return bench.Growth(cfg, w) }},
+		{"feedback", func() (any, error) { return nil, bench.Feedback(cfg, w) }},
 	}
 
+	rep := report{
+		Date: now.Format(time.RFC3339), Scale: *scale, Seed: *seed, Segments: *segments,
+	}
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.id {
@@ -55,14 +85,32 @@ func main() {
 		if *exp == "all" {
 			fmt.Fprintf(w, "==================== %s ====================\n", e.id)
 		}
-		if err := e.run(); err != nil {
+		start := time.Now()
+		result, err := e.run()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "probkb-bench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		rep.Experiments = append(rep.Experiments, experimentResult{
+			ID: e.id, Seconds: time.Since(start).Seconds(), Result: result,
+		})
 		fmt.Fprintln(w)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "probkb-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		body, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "probkb-bench: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(body, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "probkb-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "results written to %s\n", *jsonPath)
 	}
 }

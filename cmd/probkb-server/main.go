@@ -10,11 +10,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 
 	"probkb"
+	"probkb/internal/obs"
 	"probkb/internal/server"
 )
 
@@ -26,16 +27,27 @@ func main() {
 	theta := flag.Float64("theta", 1, "rule cleaning: keep top θ of rules (1 = off)")
 	noInference := flag.Bool("no-inference", false, "skip Gibbs marginal inference")
 	seed := flag.Int64("seed", 0, "inference seed")
+	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewTextLogger(os.Stderr, level)
+
 	if *dir == "" {
-		log.Fatal("probkb-server: missing -kb DIR")
+		logger.Error("missing -kb DIR")
+		os.Exit(1)
 	}
 	k, err := probkb.Load(*dir)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("load failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("loaded KB: %+v", k.Stats())
+	st := k.Stats()
+	logger.Info("loaded KB", "facts", st.Facts, "rules", st.Rules,
+		"entities", st.Entities, "constraints", st.Constraints)
 
 	exp, err := k.Expand(probkb.Config{
 		Engine:           probkb.SingleNode,
@@ -45,16 +57,23 @@ func main() {
 		RunInference:     !*noInference,
 		GibbsParallel:    true,
 		Seed:             *seed,
+		OnIteration: func(it probkb.IterationStats) {
+			logger.Debug("grounding iteration", "iter", it.Iteration,
+				"new_facts", it.NewFacts, "deleted", it.Deleted, "queries", it.Queries)
+		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("expansion failed", "err", err)
+		os.Exit(1)
 	}
-	st := exp.Stats()
-	log.Printf("expanded: %d base + %d inferred facts, %d factors (grounding %s, inference %s)",
-		st.BaseFacts, st.InferredFacts, st.Factors, st.GroundingTime, st.InferenceTime)
+	est := exp.Stats()
+	logger.Info("expanded",
+		"base_facts", est.BaseFacts, "inferred_facts", est.InferredFacts,
+		"factors", est.Factors, "grounding", est.GroundingTime, "inference", est.InferenceTime)
 
-	log.Printf("serving on %s", *addr)
+	logger.Info("serving", "addr", *addr)
 	if err := http.ListenAndServe(*addr, server.New(k, exp)); err != nil {
-		log.Fatal(fmt.Errorf("probkb-server: %w", err))
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
 	}
 }

@@ -7,7 +7,7 @@
 //
 //	probkb expand  -kb DIR [-out DIR] [-engine probkb|probkb-p|probkb-pn|tuffy]
 //	               [-segments N] [-iters N] [-no-constraints] [-theta F]
-//	               [-no-inference] [-burnin N] [-samples N] [-seed N] [-v]
+//	               [-no-inference] [-burnin N] [-samples N] [-seed N] [-v] [-trace]
 //	    Expand the KB: quality control, batched grounding, Gibbs
 //	    marginals. Writes the expanded KB to -out if given; prints a
 //	    summary and the top inferred facts.
@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"probkb"
+	"probkb/internal/obs"
 )
 
 func main() {
@@ -115,6 +116,7 @@ func cmdExpand(args []string) {
 	samples := fs.Int("samples", 500, "Gibbs sample sweeps")
 	seed := fs.Int64("seed", 0, "inference seed")
 	verbose := fs.Bool("v", false, "print per-iteration progress and top inferred facts")
+	trace := fs.Bool("trace", false, "print the expansion's span tree (per-stage timings)")
 	factorsDir := fs.String("factors", "", "export the ground factor graph (variables.tsv, factors.tsv) to this directory")
 	fs.Parse(args)
 
@@ -148,6 +150,13 @@ func cmdExpand(args []string) {
 	fmt.Printf("queries        %d grounding + %d factor\n", st.AtomQueries, st.FactorQueries)
 	fmt.Printf("time           load %s, grounding %s, factors %s, inference %s\n",
 		st.LoadTime, st.GroundingTime, st.FactorTime, st.InferenceTime)
+
+	if *trace {
+		if tr := obs.LastTrace(); tr != nil {
+			fmt.Println("trace:")
+			fmt.Print(tr.Render())
+		}
+	}
 
 	if *verbose {
 		for _, it := range exp.PerIteration() {

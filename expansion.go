@@ -1,6 +1,7 @@
 package probkb
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"probkb/internal/ground"
 	"probkb/internal/infer"
 	"probkb/internal/kb"
+	"probkb/internal/obs"
 	"probkb/internal/quality"
 )
 
@@ -64,23 +66,28 @@ type Expansion struct {
 
 // runInference builds the factor graph and fills inferred facts'
 // probabilities with Gibbs marginals.
-func (e *Expansion) runInference() error {
+func (e *Expansion) runInference(ctx context.Context) error {
 	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "infer")
+	defer span.End()
+
+	_, fgSpan := obs.StartSpan(ctx, "factor-graph")
 	g, err := factor.FromResult(e.res)
 	if err != nil {
+		fgSpan.End()
 		return err
 	}
 	e.graph = g
-	probs := infer.Marginals(g, infer.Options{
-		Burnin:   e.cfg.GibbsBurnin,
-		Samples:  e.cfg.GibbsSamples,
-		Seed:     e.cfg.Seed,
-		Parallel: e.cfg.GibbsParallel,
-	})
+	fgSpan.SetAttr("vars", g.NumVars())
+	fgSpan.End()
+
+	probs := infer.Marginals(g, inferOptions(e.cfg))
 	if err := infer.ApplyMarginals(g, e.res.Facts, probs); err != nil {
 		return err
 	}
 	e.inferenceTime = time.Since(start)
+	span.SetAttr("vars", g.NumVars())
+	observeStage("infer", start)
 	return nil
 }
 
@@ -242,12 +249,7 @@ func (e *Expansion) ConvergenceDiagnostics(chains int) (maxRHat float64, converg
 	if err := e.ensureGraph(); err != nil {
 		return 0, false, err
 	}
-	d := infer.MarginalsWithDiagnostics(e.graph, infer.Options{
-		Burnin:   e.cfg.GibbsBurnin,
-		Samples:  e.cfg.GibbsSamples,
-		Seed:     e.cfg.Seed,
-		Parallel: e.cfg.GibbsParallel,
-	}, chains)
+	d := infer.MarginalsWithDiagnostics(e.graph, inferOptions(e.cfg), chains)
 	return d.MaxRHat, d.Converged(1.1), nil
 }
 
@@ -298,7 +300,12 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 		})
 	}
 
-	opts := ground.Options{MaxIterations: e.cfg.MaxIterations, SemiNaive: true}
+	ctx, root := obs.StartSpan(context.Background(), "extend")
+	defer root.End()
+	root.SetAttr("new_facts", len(newFacts))
+
+	opts := groundOptions(ctx, e.cfg)
+	opts.SemiNaive = true
 	if e.cfg.ApplyConstraints {
 		opts.ConstraintHook = quality.NewChecker(e.kb).Hook()
 	}
@@ -308,7 +315,7 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 	}
 	next := &Expansion{kb: e.kb, res: res, cfg: e.cfg}
 	if e.cfg.RunInference {
-		if err := next.runInference(); err != nil {
+		if err := next.runInference(ctx); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"strings"
+
+	"probkb/internal/obs"
+)
+
+// Bridge from per-plan NodeStats to the obs metrics registry: one Run's
+// operator timings are ephemeral (overwritten by the next Run), so this
+// walks a just-executed plan and accumulates its numbers into counters
+// and histograms, letting plan timings aggregate across queries the way
+// a DBMS's cumulative statistics views do.
+
+func init() {
+	obs.Default.Help("probkb_engine_plan_seconds", "Total self time of executed query plans, by query site.")
+	obs.Default.Help("probkb_engine_operator_seconds", "Per-operator self time of executed plan nodes.")
+	obs.Default.Help("probkb_engine_operator_rows_total", "Rows produced by executed plan nodes, by operator kind.")
+}
+
+// PlanLike is the shape ObserveTree needs from a plan node; both
+// engine.Node and mpp.Node satisfy it.
+type PlanLike[N any] interface {
+	Stats() *NodeStats
+	Label() string
+	Children() []N
+}
+
+// ObservePlan records a just-run single-node plan into the default
+// registry under the given query site label (e.g. "ground-atoms").
+func ObservePlan(query string, root Node) {
+	obs.Default.Histogram("probkb_engine_plan_seconds", nil, obs.L("query", query)).
+		Observe(TotalTime(root).Seconds())
+	ObserveTree[Node](root)
+}
+
+// ObserveTree walks any plan tree (single-node or distributed) and
+// accumulates per-operator self times and row counts.
+func ObserveTree[N PlanLike[N]](root N) {
+	st := root.Stats()
+	op := opKind(root.Label())
+	obs.Default.Histogram("probkb_engine_operator_seconds", nil, obs.L("op", op)).
+		Observe(st.Elapsed.Seconds())
+	obs.Default.Counter("probkb_engine_operator_rows_total", obs.L("op", op)).Add(int64(st.Rows))
+	for _, k := range root.Children() {
+		ObserveTree(k)
+	}
+}
+
+// opKind reduces an operator label like "Hash Join (T.R = M1.R2)" to its
+// bounded-cardinality kind ("Hash Join") for metric labels.
+func opKind(label string) string {
+	if i := strings.IndexAny(label, "(["); i > 0 {
+		label = label[:i]
+	}
+	if i := strings.Index(label, " on "); i > 0 {
+		label = label[:i]
+	}
+	return strings.TrimSpace(label)
+}

@@ -111,6 +111,10 @@ type ProjectNode struct {
 // NewProject returns a projection of child through exprs.
 func NewProject(child Node, exprs ...OutExpr) *ProjectNode {
 	cs := child.OutSchema()
+	// Copy before resolving column types below: callers (e.g. the MPP
+	// project, once per segment in parallel) may share one exprs slice
+	// across concurrent NewProject calls.
+	exprs = append([]OutExpr(nil), exprs...)
 	sch := Schema{Cols: make([]ColDef, len(exprs))}
 	for i, e := range exprs {
 		typ := e.Type

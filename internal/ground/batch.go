@@ -7,6 +7,7 @@ import (
 	"probkb/internal/engine"
 	"probkb/internal/kb"
 	"probkb/internal/mln"
+	"probkb/internal/obs"
 )
 
 // BatchGrounder is the ProbKB grounder: Algorithm 1 over the relational
@@ -44,15 +45,19 @@ func (g *BatchGrounder) Ground() (*Result, error) {
 // delta at that row offset (the incremental-expansion path); -1 starts
 // naive.
 func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom int, res *Result) (*Result, error) {
+	ctx, span := obs.StartSpan(g.opts.ctxOf(), "ground")
+	defer span.End()
 	active := g.parts.NonEmpty()
 
 	// Phase 1: transitive closure (groundAtoms until fixpoint or cap).
 	atomStart := time.Now()
+	atomsCtx, atomsSpan := obs.StartSpan(ctx, "ground.atoms")
 	maxIters := g.opts.MaxIterations
 	// Semi-naive bookkeeping: deltaFrom marks where the previous
 	// iteration's new rows start; -1 forces a full (naive) join.
 	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
 		iterStart := time.Now()
+		_, iterSpan := obs.StartSpan(atomsCtx, "iteration")
 		st := IterStats{Iteration: iter}
 
 		var delta *engine.Table
@@ -68,15 +73,22 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 		candidates := make([]*engine.Table, 0, len(active))
 		for _, p := range active {
 			for _, plan := range g.atomsPlans(p, tpi, delta) {
+				planStart := time.Now()
 				out, err := plan.Run()
 				if err != nil {
+					iterSpan.End()
+					atomsSpan.End()
 					return nil, fmt.Errorf("ground: partition %d atoms query: %w", p, err)
 				}
+				observePartition("atoms", p, time.Since(planStart))
+				engine.ObservePlan("ground-atoms", plan)
 				st.Queries++
 				candidates = append(candidates, out)
 			}
 		}
+		candRows := 0
 		for _, c := range candidates {
+			candRows += c.NumRows()
 			st.NewFacts += ix.merge(c)
 		}
 		if g.opts.ConstraintHook != nil {
@@ -95,6 +107,12 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 		res.PerIteration = append(res.PerIteration, st)
 		res.Iterations = iter
 		res.AtomQueries += st.Queries
+		observeIteration(st, candRows-st.NewFacts)
+		iterSpan.SetAttr("iter", iter)
+		iterSpan.SetAttr("new_facts", st.NewFacts)
+		iterSpan.SetAttr("deleted", st.Deleted)
+		iterSpan.SetAttr("queries", st.Queries)
+		iterSpan.End()
 		if g.opts.OnIteration != nil {
 			g.opts.OnIteration(st)
 		}
@@ -108,6 +126,12 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 	}
 	res.AtomTime = time.Since(atomStart)
 	res.Facts = tpi
+	atomsSpan.SetAttr("iterations", res.Iterations)
+	atomsSpan.SetAttr("facts", tpi.NumRows())
+	atomsSpan.SetAttr("queries", res.AtomQueries)
+	atomsSpan.End()
+	span.SetAttr("base_facts", res.BaseFacts)
+	span.SetAttr("inferred_facts", res.InferredFacts())
 
 	if g.opts.SkipFactors {
 		return res, nil
@@ -115,20 +139,29 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 
 	// Phase 2: ground factors (Algorithm 1 lines 8-10).
 	factorStart := time.Now()
+	_, factorsSpan := obs.StartSpan(ctx, "ground.factors")
 	factors := engine.NewTable("TPhi", FactorSchema())
 	for _, p := range active {
 		plan := g.factorsPlan(p, tpi)
+		planStart := time.Now()
 		out, err := plan.Run()
 		if err != nil {
+			factorsSpan.End()
 			return nil, fmt.Errorf("ground: partition %d factors query: %w", p, err)
 		}
+		observePartition("factors", p, time.Since(planStart))
+		engine.ObservePlan("ground-factors", plan)
 		res.FactorQueries++
 		factors.AppendTable(out) // bag union (Proposition 1)
 	}
 	appendSingletonFactors(factors, tpi)
 	res.FactorQueries++
+	obs.Default.Counter("probkb_ground_queries_total", obs.L("phase", "factors")).Add(int64(res.FactorQueries))
 	res.Factors = factors
 	res.FactorTime = time.Since(factorStart)
+	factorsSpan.SetAttr("factors", factors.NumRows())
+	factorsSpan.SetAttr("queries", res.FactorQueries)
+	factorsSpan.End()
 	return res, nil
 }
 

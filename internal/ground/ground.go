@@ -21,13 +21,50 @@
 package ground
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"probkb/internal/engine"
 	"probkb/internal/kb"
 	"probkb/internal/mln"
+	"probkb/internal/obs"
 )
+
+// Grounding metrics, accumulated across runs by every grounder
+// (batch, MPP, and the Tuffy baseline).
+func init() {
+	obs.Default.Help("probkb_ground_iterations_total", "Grounding closure iterations executed.")
+	obs.Default.Help("probkb_ground_facts_total", "New facts produced by grounding iterations.")
+	obs.Default.Help("probkb_ground_facts_deduped_total", "Candidate facts dropped as duplicates during merge.")
+	obs.Default.Help("probkb_ground_facts_deleted_total", "Facts removed by the constraint hook during grounding.")
+	obs.Default.Help("probkb_ground_queries_total", "Join queries issued, by grounding phase.")
+	obs.Default.Help("probkb_ground_partition_seconds", "Per-rule-partition batch query time, by phase.")
+}
+
+// ctxOf returns the options' tracing context, defaulting to background.
+func (o Options) ctxOf() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// observeIteration accumulates one closure iteration's counters.
+func observeIteration(st IterStats, deduped int) {
+	obs.Default.Counter("probkb_ground_iterations_total").Inc()
+	obs.Default.Counter("probkb_ground_facts_total").Add(int64(st.NewFacts))
+	obs.Default.Counter("probkb_ground_facts_deduped_total").Add(int64(deduped))
+	obs.Default.Counter("probkb_ground_facts_deleted_total").Add(int64(st.Deleted))
+	obs.Default.Counter("probkb_ground_queries_total", obs.L("phase", "atoms")).Add(int64(st.Queries))
+}
+
+// observePartition records one partition batch query's wall time.
+func observePartition(phase string, partition int, elapsed time.Duration) {
+	obs.Default.Histogram("probkb_ground_partition_seconds", nil,
+		obs.L("phase", phase), obs.L("partition", fmt.Sprintf("P%d", partition))).
+		Observe(elapsed.Seconds())
+}
 
 // Factor-table column indices (Definition 7): a row (I1, I2, I3, w) is a
 // weighted ground rule I1 ← I2 [, I3]; I2 and I3 are NULL for factors of
@@ -91,6 +128,10 @@ func (r *Result) InferredFacts() int {
 
 // Options configures a grounding run.
 type Options struct {
+	// Ctx carries the caller's tracing context; grounders attach their
+	// "ground" span tree beneath the span it carries (see internal/obs).
+	// nil means context.Background().
+	Ctx context.Context
 	// MaxIterations caps the closure loop; 0 means run to fixpoint.
 	MaxIterations int
 	// ConstraintHook, when non-nil, is invoked on TΠ after each

@@ -8,6 +8,7 @@ import (
 	"probkb/internal/kb"
 	"probkb/internal/mln"
 	"probkb/internal/mpp"
+	"probkb/internal/obs"
 )
 
 // The four distribution keys of Section 4.4: the paper materializes
@@ -109,32 +110,47 @@ func (g *MPPGrounder) appendDelta() {
 
 // Ground runs the distributed Algorithm 1.
 func (g *MPPGrounder) Ground() (*Result, error) {
+	ctx, span := obs.StartSpan(g.opts.ctxOf(), "ground")
+	defer span.End()
+	span.SetAttr("segments", g.cluster.NumSegments())
+	span.SetAttr("views", g.useViews)
 	res := &Result{}
 
 	loadStart := time.Now()
+	_, loadSpan := obs.StartSpan(ctx, "ground.load")
 	g.load()
+	loadSpan.End()
 	res.LoadTime = time.Since(loadStart)
 	res.BaseFacts = g.tpi.NumRows()
 
 	active := g.parts.NonEmpty()
 
 	atomStart := time.Now()
+	atomsCtx, atomsSpan := obs.StartSpan(ctx, "ground.atoms")
 	maxIters := g.opts.MaxIterations
 	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
 		iterStart := time.Now()
+		_, iterSpan := obs.StartSpan(atomsCtx, "iteration")
 		st := IterStats{Iteration: iter}
 
 		candidates := make([]*engine.Table, 0, len(active))
+		candRows := 0
 		for _, p := range active {
 			plan := g.atomsPlanMPP(p)
+			planStart := time.Now()
 			out, err := plan.Run()
 			if err != nil {
+				iterSpan.End()
+				atomsSpan.End()
 				return nil, fmt.Errorf("ground: mpp partition %d atoms query: %w", p, err)
 			}
+			observePartition("atoms", p, time.Since(planStart))
+			mpp.ObservePlan("mpp-atoms", plan)
 			st.Queries++
 			candidates = append(candidates, mpp.Gather(out))
 		}
 		for _, c := range candidates {
+			candRows += c.NumRows()
 			st.NewFacts += g.ix.merge(c)
 		}
 		if g.opts.ConstraintHook != nil {
@@ -165,6 +181,12 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 		res.PerIteration = append(res.PerIteration, st)
 		res.Iterations = iter
 		res.AtomQueries += st.Queries
+		observeIteration(st, candRows-st.NewFacts)
+		iterSpan.SetAttr("iter", iter)
+		iterSpan.SetAttr("new_facts", st.NewFacts)
+		iterSpan.SetAttr("deleted", st.Deleted)
+		iterSpan.SetAttr("queries", st.Queries)
+		iterSpan.End()
 		if g.opts.OnIteration != nil {
 			g.opts.OnIteration(st)
 		}
@@ -175,27 +197,40 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 	}
 	res.AtomTime = time.Since(atomStart)
 	res.Facts = g.tpi
+	atomsSpan.SetAttr("iterations", res.Iterations)
+	atomsSpan.SetAttr("facts", g.tpi.NumRows())
+	atomsSpan.End()
+	span.SetAttr("base_facts", res.BaseFacts)
+	span.SetAttr("inferred_facts", res.InferredFacts())
 
 	if g.opts.SkipFactors {
 		return res, nil
 	}
 
 	factorStart := time.Now()
+	_, factorsSpan := obs.StartSpan(ctx, "ground.factors")
 	g.ensureHeadView()
 	factors := engine.NewTable("TPhi", FactorSchema())
 	for _, p := range active {
 		plan := g.factorsPlanMPP(p)
+		planStart := time.Now()
 		out, err := plan.Run()
 		if err != nil {
+			factorsSpan.End()
 			return nil, fmt.Errorf("ground: mpp partition %d factors query: %w", p, err)
 		}
+		observePartition("factors", p, time.Since(planStart))
+		mpp.ObservePlan("mpp-factors", plan)
 		res.FactorQueries++
 		factors.AppendTable(mpp.Gather(out))
 	}
 	appendSingletonFactors(factors, g.tpi)
 	res.FactorQueries++
+	obs.Default.Counter("probkb_ground_queries_total", obs.L("phase", "factors")).Add(int64(res.FactorQueries))
 	res.Factors = factors
 	res.FactorTime = time.Since(factorStart)
+	factorsSpan.SetAttr("factors", factors.NumRows())
+	factorsSpan.End()
 	return res, nil
 }
 

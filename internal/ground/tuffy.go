@@ -7,6 +7,7 @@ import (
 	"probkb/internal/engine"
 	"probkb/internal/kb"
 	"probkb/internal/mln"
+	"probkb/internal/obs"
 )
 
 // TuffyGrounder re-implements the Tuffy-T baseline of Section 6.1: one
@@ -73,6 +74,9 @@ func (g *TuffyGrounder) rebuildRelTables() {
 
 // Ground runs the per-rule grounding loop.
 func (g *TuffyGrounder) Ground() (*Result, error) {
+	ctx, span := obs.StartSpan(g.opts.ctxOf(), "ground")
+	defer span.End()
+	span.SetAttr("grounder", "tuffy")
 	res := &Result{}
 
 	loadStart := time.Now()
@@ -81,9 +85,11 @@ func (g *TuffyGrounder) Ground() (*Result, error) {
 	res.BaseFacts = g.tpi.NumRows()
 
 	atomStart := time.Now()
+	atomsCtx, atomsSpan := obs.StartSpan(ctx, "ground.atoms")
 	maxIters := g.opts.MaxIterations
 	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
 		iterStart := time.Now()
+		_, iterSpan := obs.StartSpan(atomsCtx, "iteration")
 		st := IterStats{Iteration: iter}
 
 		// One query per rule against this iteration's snapshot; results
@@ -95,12 +101,17 @@ func (g *TuffyGrounder) Ground() (*Result, error) {
 			plan := g.ruleAtomsPlan(&g.kb.Rules[i])
 			out, err := plan.Run()
 			if err != nil {
+				iterSpan.End()
+				atomsSpan.End()
 				return nil, fmt.Errorf("ground: tuffy rule %d: %w", i, err)
 			}
+			engine.ObservePlan("tuffy-atoms", plan)
 			st.Queries++
 			outs = append(outs, ruleOut{out: out})
 		}
+		candRows := 0
 		for _, ro := range outs {
+			candRows += ro.out.NumRows()
 			st.NewFacts += g.ix.merge(ro.out)
 		}
 		g.scatterFacts(snapshotLen)
@@ -116,6 +127,11 @@ func (g *TuffyGrounder) Ground() (*Result, error) {
 		res.PerIteration = append(res.PerIteration, st)
 		res.Iterations = iter
 		res.AtomQueries += st.Queries
+		observeIteration(st, candRows-st.NewFacts)
+		iterSpan.SetAttr("iter", iter)
+		iterSpan.SetAttr("new_facts", st.NewFacts)
+		iterSpan.SetAttr("queries", st.Queries)
+		iterSpan.End()
 		if g.opts.OnIteration != nil {
 			g.opts.OnIteration(st)
 		}
@@ -126,19 +142,24 @@ func (g *TuffyGrounder) Ground() (*Result, error) {
 	}
 	res.AtomTime = time.Since(atomStart)
 	res.Facts = g.tpi
+	atomsSpan.SetAttr("iterations", res.Iterations)
+	atomsSpan.End()
 
 	if g.opts.SkipFactors {
 		return res, nil
 	}
 
 	factorStart := time.Now()
+	_, factorsSpan := obs.StartSpan(ctx, "ground.factors")
 	factors := engine.NewTable("TPhi", FactorSchema())
 	for i := range g.kb.Rules {
 		plan := g.ruleFactorsPlan(&g.kb.Rules[i])
 		out, err := plan.Run()
 		if err != nil {
+			factorsSpan.End()
 			return nil, fmt.Errorf("ground: tuffy rule %d factors: %w", i, err)
 		}
+		engine.ObservePlan("tuffy-factors", plan)
 		res.FactorQueries++
 		factors.AppendTable(out)
 	}
@@ -146,6 +167,8 @@ func (g *TuffyGrounder) Ground() (*Result, error) {
 	res.FactorQueries++
 	res.Factors = factors
 	res.FactorTime = time.Since(factorStart)
+	factorsSpan.SetAttr("factors", factors.NumRows())
+	factorsSpan.End()
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"probkb/internal/factor"
+	"probkb/internal/obs"
 )
 
 // Convergence diagnostics for the Gibbs samplers: the split-chain
@@ -54,6 +55,7 @@ func MarginalsWithDiagnostics(g *factor.Graph, opts Options, chains int) Diagnos
 	for c := 0; c < chains; c++ {
 		chainOpts := opts
 		chainOpts.Seed = opts.Seed + int64(c)*1_000_003
+		chainOpts.Chain = c + 1 // label each chain's metrics series
 		est[c] = Marginals(g, chainOpts)
 	}
 
@@ -103,5 +105,9 @@ func MarginalsWithDiagnostics(g *factor.Graph, opts Options, chains int) Diagnos
 			d.MaxRHat = d.RHat[v]
 		}
 	}
+	// Record the convergence trajectory: each diagnostics run leaves its
+	// worst R̂ in the registry so a live server shows whether inference
+	// has actually mixed.
+	obs.Default.Gauge("probkb_infer_rhat_max").Set(d.MaxRHat)
 	return d
 }

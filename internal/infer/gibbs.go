@@ -20,12 +20,40 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"probkb/internal/engine"
 	"probkb/internal/factor"
 	"probkb/internal/kb"
+	"probkb/internal/obs"
 )
+
+func init() {
+	obs.Default.Help("probkb_infer_sweeps_total", "Gibbs sweeps executed, by chain.")
+	obs.Default.Help("probkb_infer_flips_total", "Variable value flips across Gibbs sweeps, by chain.")
+	obs.Default.Help("probkb_infer_samples_per_second", "Live variable-resample throughput of the running Gibbs chain.")
+	obs.Default.Help("probkb_infer_rhat_max", "Worst split-chain Gelman-Rubin R-hat of the latest diagnostics run.")
+}
+
+// SweepStats reports one Gibbs sweep's progress — the live view of a
+// long-running stochastic process: the MCMC analogue of a grounding
+// iteration's IterStats.
+type SweepStats struct {
+	// Sweep is 1-based and counts burn-in sweeps too.
+	Sweep int
+	// Burnin reports whether the sweep was discarded.
+	Burnin bool
+	// Vars is the number of variables resampled per sweep.
+	Vars int
+	// Flips is how many variables changed value in this sweep; the flip
+	// rate falling toward its stationary level is the cheapest mixing
+	// signal available.
+	Flips int
+	// Elapsed is wall time since the run started.
+	Elapsed time.Duration
+}
 
 // Options configures a sampling run.
 type Options struct {
@@ -39,6 +67,13 @@ type Options struct {
 	Parallel bool
 	// Workers bounds the goroutines per color; 0 means NumCPU.
 	Workers int
+	// OnIteration, when non-nil, observes every sweep as it completes —
+	// progress without polling after the fact. It runs on the sampling
+	// goroutine; keep it cheap.
+	OnIteration func(SweepStats)
+	// Chain labels this run's metrics series (MarginalsWithDiagnostics
+	// runs several chains and numbers them); single runs leave it 0.
+	Chain int
 }
 
 func (o Options) withDefaults() Options {
@@ -69,10 +104,11 @@ func Marginals(g *factor.Graph, opts Options) []float64 {
 	}
 
 	counts := make([]int64, n)
+	ob := newSweepObserver(assign, opts)
 	if opts.Parallel {
-		runChromatic(g, assign, counts, opts)
+		runChromatic(g, assign, counts, opts, ob)
 	} else {
-		runSequential(g, assign, counts, opts, rng)
+		runSequential(g, assign, counts, opts, rng, ob)
 	}
 
 	probs := make([]float64, n)
@@ -117,7 +153,7 @@ func sigmoid(x float64) float64 {
 	return e / (1 + e)
 }
 
-func runSequential(g *factor.Graph, assign []bool, counts []int64, opts Options, rng *rand.Rand) {
+func runSequential(g *factor.Graph, assign []bool, counts []int64, opts Options, rng *rand.Rand, ob *sweepObserver) {
 	n := g.NumVars()
 	for sweep := 0; sweep < opts.Burnin+opts.Samples; sweep++ {
 		for v := 0; v < n; v++ {
@@ -130,6 +166,57 @@ func runSequential(g *factor.Graph, assign []bool, counts []int64, opts Options,
 				}
 			}
 		}
+		ob.observe(sweep+1, assign)
+	}
+}
+
+// sweepObserver tracks per-sweep progress: flip counts (by diffing the
+// previous sweep's assignment), cumulative sweep/flip counters, a live
+// samples-per-second gauge, and the caller's OnIteration callback.
+type sweepObserver struct {
+	prev   []bool
+	start  time.Time
+	opts   Options
+	sweeps *obs.Counter
+	flips  *obs.Counter
+	sps    *obs.Gauge
+}
+
+func newSweepObserver(assign []bool, opts Options) *sweepObserver {
+	chain := strconv.Itoa(opts.Chain)
+	return &sweepObserver{
+		prev:   append([]bool(nil), assign...),
+		start:  time.Now(),
+		opts:   opts,
+		sweeps: obs.Default.Counter("probkb_infer_sweeps_total", obs.L("chain", chain)),
+		flips:  obs.Default.Counter("probkb_infer_flips_total", obs.L("chain", chain)),
+		sps:    obs.Default.Gauge("probkb_infer_samples_per_second"),
+	}
+}
+
+// observe runs after each sweep (1-based), on the sampling goroutine.
+func (o *sweepObserver) observe(sweep int, assign []bool) {
+	flips := 0
+	for v := range assign {
+		if assign[v] != o.prev[v] {
+			flips++
+		}
+		o.prev[v] = assign[v]
+	}
+	o.sweeps.Inc()
+	o.flips.Add(int64(flips))
+	elapsed := time.Since(o.start)
+	if secs := elapsed.Seconds(); secs > 0 {
+		o.sps.Set(float64(sweep*len(assign)) / secs)
+	}
+	if o.opts.OnIteration != nil {
+		o.opts.OnIteration(SweepStats{
+			Sweep:   sweep,
+			Burnin:  sweep <= o.opts.Burnin,
+			Vars:    len(assign),
+			Flips:   flips,
+			Elapsed: elapsed,
+		})
 	}
 }
 
@@ -205,7 +292,7 @@ func splitmix64(state *uint64) float64 {
 	return float64(z>>11) / (1 << 53)
 }
 
-func runChromatic(g *factor.Graph, assign []bool, counts []int64, opts Options) {
+func runChromatic(g *factor.Graph, assign []bool, counts []int64, opts Options, ob *sweepObserver) {
 	coloring := ColorGraph(g)
 	n := g.NumVars()
 
@@ -244,6 +331,7 @@ func runChromatic(g *factor.Graph, assign []bool, counts []int64, opts Options) 
 				}
 			}
 		}
+		ob.observe(sweep+1, assign)
 	}
 }
 

@@ -24,10 +24,31 @@ package mpp
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"probkb/internal/engine"
+	"probkb/internal/obs"
 )
+
+// Cluster metrics: per-segment task wall times (the skew view Figure 6
+// cares about) and motion volumes; see nodes.go for the motion side.
+func init() {
+	obs.Default.Help("probkb_mpp_segment_seconds", "Per-segment task wall time across distributed operators.")
+	obs.Default.Help("probkb_mpp_motion_rows_total", "Rows shipped across segments, by motion kind.")
+	obs.Default.Help("probkb_mpp_motion_bytes_total", "Bytes shipped across segments, by motion kind.")
+	obs.Default.Help("probkb_mpp_motion_bytes", "Per-motion shipped byte volume distribution.")
+}
+
+// ObservePlan records a just-run distributed plan into the default
+// registry under the given query site label; the distributed analogue of
+// engine.ObservePlan.
+func ObservePlan(query string, root Node) {
+	obs.Default.Histogram("probkb_engine_plan_seconds", nil, obs.L("query", query)).
+		Observe(engine.TotalTimeOf[Node](root).Seconds())
+	engine.ObserveTree[Node](root)
+}
 
 // Cluster models a shared-nothing MPP database with a fixed segment count.
 type Cluster struct {
@@ -224,7 +245,8 @@ func Gather(d *DistTable) *engine.Table {
 }
 
 // forEachSegment runs f(i) for every segment index concurrently and
-// returns the first error.
+// returns the first error. Each segment task's wall time is recorded, so
+// /metrics shows the per-segment skew a straggler would cause.
 func (c *Cluster) forEachSegment(f func(i int) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, c.nseg)
@@ -232,7 +254,10 @@ func (c *Cluster) forEachSegment(f func(i int) error) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			start := time.Now()
 			errs[i] = f(i)
+			obs.Default.Histogram("probkb_mpp_segment_seconds", nil,
+				obs.L("segment", strconv.Itoa(i))).Observe(time.Since(start).Seconds())
 		}(i)
 	}
 	wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"probkb/internal/engine"
+	"probkb/internal/obs"
 )
 
 // Node is one operator of a distributed query plan. As in the single-node
@@ -199,8 +200,18 @@ func (n *RedistributeNode) Run() (*DistTable, error) {
 			}
 		}
 		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB)", movedRows, n.movedBytes)
+		observeMotion("redistribute", movedRows, n.movedBytes)
 		return out, nil
 	})
+}
+
+// observeMotion accumulates one motion's shipped volume into the
+// registry (rows/bytes counters plus a byte-volume histogram).
+func observeMotion(kind string, rows int, bytes int64) {
+	obs.Default.Counter("probkb_mpp_motion_rows_total", obs.L("motion", kind)).Add(int64(rows))
+	obs.Default.Counter("probkb_mpp_motion_bytes_total", obs.L("motion", kind)).Add(bytes)
+	obs.Default.Histogram("probkb_mpp_motion_bytes", obs.SizeBuckets, obs.L("motion", kind)).
+		Observe(float64(bytes))
 }
 
 // BroadcastNode replicates its input onto every segment. All rows ship to
@@ -250,6 +261,7 @@ func (n *BroadcastNode) Run() (*DistTable, error) {
 		moved := full.NumRows() * (n.cluster.nseg - 1)
 		n.movedBytes = full.ByteSize() * int64(n.cluster.nseg-1)
 		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB)", moved, n.movedBytes)
+		observeMotion("broadcast", moved, n.movedBytes)
 		return out, nil
 	})
 }

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Structured logging. The pipeline shares one slog.Logger; Log(ctx)
+// stamps records with the trace and span ids of the span carried by
+// ctx, so a server log line can be correlated with the trace that
+// produced it in /debug/traces.
+
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.Default())
+}
+
+// SetLogger replaces the shared logger (e.g. with a JSON handler at a
+// chosen level). Safe for concurrent use.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		logger.Store(l)
+	}
+}
+
+// NewTextLogger builds a slog text logger writing to w at the given
+// level and installs it as the shared logger.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	SetLogger(l)
+	return l
+}
+
+// Logger returns the shared logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// Log returns the shared logger annotated with ctx's trace and span ids
+// (unannotated when ctx carries no span).
+func Log(ctx context.Context) *slog.Logger {
+	l := logger.Load()
+	if s := SpanFrom(ctx); s != nil {
+		return l.With("trace_id", s.TraceID(), "span_id", s.SpanID())
+	}
+	return l
+}

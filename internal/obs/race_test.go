@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistryAndSpans exercises counters, gauges, histograms,
+// span starts, and exposition rendering from many goroutines at once; it
+// exists to fail under -race if any path loses its synchronization.
+func TestConcurrentRegistryAndSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(16)
+	const workers, iters = 8, 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, root := StartSpanIn(context.Background(), tr, "worker")
+			for i := 0; i < iters; i++ {
+				r.Counter("race_ops_total", L("worker", "w")).Inc()
+				r.Gauge("race_depth").Add(1)
+				r.Histogram("race_seconds", nil).Observe(float64(i) * 1e-6)
+				_, child := StartSpanIn(ctx, tr, "op")
+				child.SetAttr("i", i)
+				child.End()
+			}
+			root.End()
+		}(w)
+	}
+	// Render concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.WritePrometheus(io.Discard)
+			for _, s := range tr.Traces() {
+				_ = s.Render()
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := r.Counter("race_ops_total", L("worker", "w")).Value(); got != workers*iters {
+		t.Fatalf("lost increments: %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("race_seconds", nil).Count(); got != workers*iters {
+		t.Fatalf("lost observations: %d, want %d", got, workers*iters)
+	}
+}

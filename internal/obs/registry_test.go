@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("test_requests_total", "requests served")
+	r.Counter("test_requests_total", L("path", "/facts")).Add(3)
+	r.Counter("test_requests_total", L("path", "/stats")).Inc()
+	r.Gauge("test_in_flight").Set(2)
+	r.Gauge("test_temperature").Set(36.6)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total requests served\n",
+		"# TYPE test_requests_total counter\n",
+		`test_requests_total{path="/facts"} 3` + "\n",
+		`test_requests_total{path="/stats"} 1` + "\n",
+		"# TYPE test_in_flight gauge\n",
+		"test_in_flight 2\n",
+		"test_temperature 36.6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram\n",
+		`test_latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`test_latency_seconds_bucket{le="1"} 3` + "\n",
+		`test_latency_seconds_bucket{le="10"} 4` + "\n",
+		`test_latency_seconds_bucket{le="+Inf"} 5` + "\n",
+		"test_latency_seconds_sum 56.05\n",
+		"test_latency_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", L("q", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaping: missing %q in:\n%s", want, b.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_c_total").Add(7)
+	r.Gauge("test_g", L("k", "v")).Set(1.5)
+	r.Histogram("test_h", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap["test_c_total"] != 7 {
+		t.Errorf("counter snapshot = %v, want 7", snap["test_c_total"])
+	}
+	if snap[`test_g{k="v"}`] != 1.5 {
+		t.Errorf("gauge snapshot = %v, want 1.5", snap[`test_g{k="v"}`])
+	}
+	if snap["test_h_count"] != 1 || snap["test_h_sum"] != 0.5 {
+		t.Errorf("histogram snapshot = count %v sum %v, want 1 / 0.5",
+			snap["test_h_count"], snap["test_h_sum"])
+	}
+}
+
+func TestSameSeriesIsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_same_total", L("x", "1"), L("y", "2"))
+	b := r.Counter("test_same_total", L("y", "2"), L("x", "1")) // label order is irrelevant
+	a.Inc()
+	b.Inc()
+	if a != b {
+		t.Fatal("same name+labels produced distinct counters")
+	}
+	if a.Value() != 2 {
+		t.Fatalf("value = %d, want 2", a.Value())
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_mono_total")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter went backwards: %d", c.Value())
+	}
+}

@@ -9,7 +9,13 @@ import (
 
 	"probkb/internal/engine"
 	"probkb/internal/kb"
+	"probkb/internal/obs"
 )
+
+func init() {
+	obs.Default.Help("probkb_quality_violations_total", "Functional-constraint violations found by Query 3 runs.")
+	obs.Default.Help("probkb_quality_facts_deleted_total", "Facts deleted to repair constraint violations.")
+}
 
 // Violation is one entity flagged by a functional constraint: Entity (in
 // class Class) participates in relation Rel with more distinct partners
@@ -136,9 +142,12 @@ func (c *Checker) Apply(tpi *engine.Table) int {
 	}
 	xs, c1s := tpi.Int32Col(kb.TPiX), tpi.Int32Col(kb.TPiC1)
 	ys, c2s := tpi.Int32Col(kb.TPiY), tpi.Int32Col(kb.TPiC2)
-	return tpi.DeleteWhere(func(r int) bool {
+	deleted := tpi.DeleteWhere(func(r int) bool {
 		return badSubj[entCls{xs[r], c1s[r]}] || badObj[entCls{ys[r], c2s[r]}]
 	})
+	obs.Default.Counter("probkb_quality_violations_total").Add(int64(len(viol)))
+	obs.Default.Counter("probkb_quality_facts_deleted_total").Add(int64(deleted))
+	return deleted
 }
 
 // Hook adapts the checker to ground.Options.ConstraintHook.

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"probkb/internal/obs"
+)
+
+func init() {
+	obs.Default.Help("probkb_http_requests_total", "HTTP requests served, by endpoint and status code.")
+	obs.Default.Help("probkb_http_request_seconds", "HTTP request latency, by endpoint.")
+	obs.Default.Help("probkb_http_in_flight", "HTTP requests currently being served.")
+	obs.Default.Help("probkb_http_panics_total", "Handler panics recovered by the server middleware.")
+}
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label its metrics and decide whether a recovered panic
+// still owns the response.
+type statusRecorder struct {
+	http.ResponseWriter
+	code    int
+	written bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.written {
+		r.code = code
+		r.written = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.written {
+		r.code = http.StatusOK
+		r.written = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the server's observability middleware:
+// a request span, per-endpoint latency histogram and request counter, an
+// in-flight gauge, panic recovery, and structured request logging. The
+// path label is passed statically (not taken from the URL) so metric
+// cardinality stays bounded.
+func instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	inFlight := obs.Default.Gauge("probkb_http_in_flight")
+	latency := obs.Default.Histogram("probkb_http_request_seconds", obs.DurationBuckets, obs.L("path", path))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+
+		ctx, span := obs.StartSpan(r.Context(), "http "+path)
+		defer span.End()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+
+		defer func() {
+			if p := recover(); p != nil {
+				obs.Default.Counter("probkb_http_panics_total", obs.L("path", path)).Inc()
+				obs.Log(ctx).Error("handler panic",
+					"path", path, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if !rec.written {
+					writeError(rec, http.StatusInternalServerError,
+						fmt.Errorf("internal error: %v", p))
+				}
+				rec.code = http.StatusInternalServerError
+			}
+			elapsed := time.Since(start)
+			latency.Observe(elapsed.Seconds())
+			obs.Default.Counter("probkb_http_requests_total",
+				obs.L("path", path), obs.L("code", strconv.Itoa(rec.code))).Inc()
+			span.SetAttr("code", rec.code)
+			obs.Log(ctx).Info("request",
+				"method", r.Method, "path", path, "query", r.URL.RawQuery,
+				"code", rec.code, "elapsed", elapsed)
+		}()
+
+		h(rec, r.WithContext(ctx))
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
+// handleTraces dumps the recent span trees, most recent first.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	traces := obs.DefaultTracer.Traces()
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "no traces recorded yet")
+		return
+	}
+	for i, tr := range traces {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprint(w, tr.Render())
+	}
+}
+
+// registerDebug wires the pprof handlers onto the mux. They are grouped
+// under one static metrics label so profile names don't blow up
+// cardinality.
+func (s *Server) registerDebug() {
+	s.mux.HandleFunc("GET /debug/pprof/", instrument("/debug/pprof", pprof.Index))
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", instrument("/debug/pprof", pprof.Cmdline))
+	s.mux.HandleFunc("GET /debug/pprof/profile", instrument("/debug/pprof", pprof.Profile))
+	s.mux.HandleFunc("GET /debug/pprof/symbol", instrument("/debug/pprof", pprof.Symbol))
+	s.mux.HandleFunc("GET /debug/pprof/trace", instrument("/debug/pprof", pprof.Trace))
+}

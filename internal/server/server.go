@@ -12,6 +12,14 @@
 //	                                      arguments, and inferred flag
 //	GET  /explain?rel=&x=&y=&depth=       derivation tree (text/plain)
 //	GET  /sql?q=SELECT...                 run a SQL query (see probkb.QuerySQL)
+//	GET  /metrics                         Prometheus text exposition (text/plain)
+//	GET  /debug/traces                    recent pipeline span trees (text/plain)
+//	GET  /debug/pprof/*                   Go runtime profiles
+//
+// Every endpoint runs behind middleware that records per-endpoint
+// request counts and latency histograms, an in-flight gauge, recovers
+// handler panics into logged 500s, and emits a structured log line per
+// request (see internal/obs).
 package server
 
 import (
@@ -34,11 +42,14 @@ type Server struct {
 // New builds the handler for an expanded KB.
 func New(kb *probkb.KB, exp *probkb.Expansion) *Server {
 	s := &Server{kb: kb, exp: exp, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /facts", s.handleFacts)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
-	s.mux.HandleFunc("GET /sql", s.handleSQL)
+	s.mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /stats", instrument("/stats", s.handleStats))
+	s.mux.HandleFunc("GET /facts", instrument("/facts", s.handleFacts))
+	s.mux.HandleFunc("GET /explain", instrument("/explain", s.handleExplain))
+	s.mux.HandleFunc("GET /sql", instrument("/sql", s.handleSQL))
+	s.mux.HandleFunc("GET /metrics", instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/traces", instrument("/debug/traces", s.handleTraces))
+	s.registerDebug()
 	return s
 }
 
@@ -50,14 +61,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	// Marshal before writing the header so an encoding failure can still
 	// become a proper 500 instead of an empty 200.
+	w.Header().Set("Content-Type", "application/json")
 	body, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		fmt.Fprintf(w, `{"error":%q}`, err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))
 }

@@ -2,12 +2,15 @@ package server
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"probkb"
+	"probkb/internal/obs"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -178,5 +181,112 @@ func TestSQLEndpoint(t *testing.T) {
 	}
 	if code := getJSON(t, srv.URL+"/sql?q=NOT+SQL", &errOut); code != 400 {
 		t.Fatalf("bad sql status %d", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Warm the request-path metrics with one ordinary request.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	// The test server ran a real expansion, so the exposition must carry
+	// at least one counter, one gauge, and one histogram from it, plus
+	// the HTTP middleware's own series.
+	for _, want := range []string{
+		"# TYPE probkb_expand_total counter",
+		`probkb_expand_total{engine="ProbKB"}`,
+		"# TYPE probkb_infer_samples_per_second gauge",
+		"# TYPE probkb_expand_stage_seconds histogram",
+		`probkb_expand_stage_seconds_bucket{stage="ground",le="+Inf"}`,
+		`probkb_http_requests_total{code="200",path="/healthz"}`,
+		`probkb_http_request_seconds_bucket{path="/healthz",le="+Inf"}`,
+		"probkb_http_in_flight",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q", want)
+		}
+	}
+}
+
+func TestDebugTraces(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("traces status %d", resp.StatusCode)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	// The expansion behind the test server left an "expand" trace with
+	// its stage children.
+	body := sb.String()
+	for _, want := range []string{"-> expand", "-> quality", "-> ground", "-> infer"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("traces body missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	obs.NewTextLogger(io.Discard, slog.LevelError+4) // silence the panic log
+	defer obs.SetLogger(slog.Default())
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /boom", instrument("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	before := obs.Default.Snapshot()[`probkb_http_panics_total{path="/boom"}`]
+	var out map[string]string
+	if code := getJSON(t, srv.URL+"/boom", &out); code != 500 {
+		t.Fatalf("panic status %d", code)
+	}
+	if !strings.Contains(out["error"], "kaboom") {
+		t.Fatalf("panic body: %v", out)
+	}
+	after := obs.Default.Snapshot()[`probkb_http_panics_total{path="/boom"}`]
+	if after != before+1 {
+		t.Fatalf("panics_total %v -> %v", before, after)
+	}
+	if obs.Default.Snapshot()[`probkb_http_requests_total{code="500",path="/boom"}`] < 1 {
+		t.Fatal("panic not counted as a 500 request")
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof status %d", resp.StatusCode)
 	}
 }

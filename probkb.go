@@ -24,16 +24,25 @@
 package probkb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"probkb/internal/engine"
 	"probkb/internal/ground"
+	"probkb/internal/infer"
 	"probkb/internal/kb"
 	"probkb/internal/mpp"
+	"probkb/internal/obs"
 	"probkb/internal/quality"
 )
+
+func init() {
+	obs.Default.Help("probkb_expand_total", "Knowledge-expansion runs completed, by engine.")
+	obs.Default.Help("probkb_expand_stage_seconds", "Per-stage wall time of expansion runs.")
+}
 
 // Engine selects the execution substrate for grounding.
 type Engine int
@@ -121,6 +130,29 @@ type Config struct {
 	GibbsParallel bool
 	// Seed makes inference reproducible.
 	Seed int64
+
+	// OnIteration, when non-nil, observes each grounding iteration as it
+	// completes — live progress instead of polling PerIteration after
+	// the fact.
+	OnIteration func(IterationStats)
+	// OnGibbsSweep, when non-nil, observes every Gibbs sweep of marginal
+	// inference as it completes. It runs on the sampling goroutine; keep
+	// it cheap.
+	OnGibbsSweep func(GibbsSweep)
+}
+
+// GibbsSweep is one Gibbs sweep's progress report (see Config.OnGibbsSweep).
+type GibbsSweep struct {
+	// Sweep is 1-based and counts burn-in sweeps.
+	Sweep int
+	// Burnin reports whether the sweep was discarded.
+	Burnin bool
+	// Vars is the number of variables resampled per sweep.
+	Vars int
+	// Flips is how many variables changed value in this sweep.
+	Flips int
+	// Elapsed is wall time since inference started.
+	Elapsed time.Duration
 }
 
 // DefaultConstrainedIterations caps grounding when semantic constraints
@@ -278,11 +310,28 @@ func (k *KB) RuleScores() []RuleScore {
 // grounding, and (optionally) marginal inference. The receiver is not
 // modified; the returned Expansion holds the enlarged fact set.
 func (k *KB) Expand(cfg Config) (*Expansion, error) {
+	return k.ExpandContext(context.Background(), cfg)
+}
+
+// ExpandContext is Expand under the caller's tracing context: the run
+// records an "expand" span tree — quality control, grounding (with
+// per-iteration children), factor-graph construction, and inference —
+// into the obs tracer, visible via `probkb --trace` on the CLI and
+// GET /debug/traces on a running server.
+func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) {
+	ctx, root := obs.StartSpan(ctx, "expand")
+	defer root.End()
+	root.SetAttr("engine", cfg.Engine.String())
+
+	// Quality control: rule cleaning, then the up-front Query 3 pass.
+	qualityStart := time.Now()
+	_, qualitySpan := obs.StartSpan(ctx, "quality")
 	work := k.inner
 	switch {
 	case cfg.RuleCleanTheta > 0 && cfg.RuleCleanTheta < 1 && cfg.ConstraintInformedCleaning:
 		cleaned, err := quality.CleanRulesWithConstraints(work, cfg.RuleCleanTheta, 4)
 		if err != nil {
+			qualitySpan.End()
 			return nil, err
 		}
 		work = cleaned
@@ -292,11 +341,12 @@ func (k *KB) Expand(cfg Config) (*Expansion, error) {
 		work = work.Clone()
 	}
 
-	opts := ground.Options{MaxIterations: cfg.MaxIterations}
+	opts := groundOptions(ctx, cfg)
 	if cfg.ApplyConstraints {
 		// Query 3 runs once before inference starts (Section 6.1.1), and
 		// again after every grounding iteration (Algorithm 1).
-		quality.PreClean(work)
+		precleaned := quality.PreClean(work)
+		qualitySpan.SetAttr("precleaned", precleaned)
 		opts.ConstraintHook = quality.NewChecker(work).Hook()
 		// Greedy constraint deletion can oscillate (delete a violating
 		// fact, re-derive it, delete it again...), so a constrained run
@@ -306,7 +356,11 @@ func (k *KB) Expand(cfg Config) (*Expansion, error) {
 			opts.MaxIterations = DefaultConstrainedIterations
 		}
 	}
+	qualitySpan.SetAttr("rules", len(work.Rules))
+	qualitySpan.End()
+	observeStage("quality", qualityStart)
 
+	groundStart := time.Now()
 	var (
 		res *ground.Result
 		err error
@@ -334,14 +388,66 @@ func (k *KB) Expand(cfg Config) (*Expansion, error) {
 	if err != nil {
 		return nil, err
 	}
+	observeStage("ground", groundStart)
 
 	exp := &Expansion{kb: work, res: res, cfg: cfg}
 	if cfg.RunInference {
-		if err := exp.runInference(); err != nil {
+		if err := exp.runInference(ctx); err != nil {
 			return nil, err
 		}
 	}
+	root.SetAttr("facts", res.Facts.NumRows())
+	obs.Default.Counter("probkb_expand_total", obs.L("engine", cfg.Engine.String())).Inc()
 	return exp, nil
+}
+
+// groundOptions builds the grounding options shared by ExpandContext and
+// ExtendWith: the tracing context plus the progress-callback bridge.
+func groundOptions(ctx context.Context, cfg Config) ground.Options {
+	opts := ground.Options{MaxIterations: cfg.MaxIterations, Ctx: ctx}
+	if cfg.OnIteration != nil {
+		cb := cfg.OnIteration
+		opts.OnIteration = func(st ground.IterStats) {
+			cb(IterationStats{
+				Iteration: st.Iteration,
+				NewFacts:  st.NewFacts,
+				Deleted:   st.Deleted,
+				Queries:   st.Queries,
+				Elapsed:   st.Elapsed,
+			})
+		}
+	}
+	return opts
+}
+
+// inferOptions builds the sampling options for cfg, bridging the
+// OnGibbsSweep callback.
+func inferOptions(cfg Config) infer.Options {
+	opts := infer.Options{
+		Burnin:   cfg.GibbsBurnin,
+		Samples:  cfg.GibbsSamples,
+		Seed:     cfg.Seed,
+		Parallel: cfg.GibbsParallel,
+	}
+	if cfg.OnGibbsSweep != nil {
+		cb := cfg.OnGibbsSweep
+		opts.OnIteration = func(st infer.SweepStats) {
+			cb(GibbsSweep{
+				Sweep:   st.Sweep,
+				Burnin:  st.Burnin,
+				Vars:    st.Vars,
+				Flips:   st.Flips,
+				Elapsed: st.Elapsed,
+			})
+		}
+	}
+	return opts
+}
+
+// observeStage records one expansion stage's wall time.
+func observeStage(stage string, start time.Time) {
+	obs.Default.Histogram("probkb_expand_stage_seconds", nil, obs.L("stage", stage)).
+		Observe(time.Since(start).Seconds())
 }
 
 // probability converts a stored weight to the exported probability:
