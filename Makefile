@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build vet test race check bench fmt
+# Baseline for bench-diff (write one with `make bench-baseline`).
+BENCH_BASE ?= BENCH_baseline.json
+
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -15,10 +18,35 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet race
+check: build vet race report-smoke
 
 bench:
 	$(GO) run ./cmd/probkb-bench -exp all
+
+# Record the current commit's bench times as the regression baseline.
+bench-baseline:
+	$(GO) run ./cmd/probkb-bench -exp all -json $(BENCH_BASE)
+
+# Re-run the bench and fail (exit nonzero) if any experiment regressed
+# >20% (and >5ms absolute) against $(BENCH_BASE).
+bench-diff:
+	@test -f $(BENCH_BASE) || { echo "bench-diff: no baseline $(BENCH_BASE); run 'make bench-baseline' first" >&2; exit 2; }
+	$(GO) run ./cmd/probkb-bench -exp all -json "" -compare $(BENCH_BASE)
+
+# End-to-end smoke test of the run journal: expand a tiny KB with
+# journaling on a 2-segment MPP cluster, then assert the report renders
+# its key sections (phase breakdown, skew table, convergence timeline).
+report-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/kbgen -out "$$tmp/kb" -scale 0.002 >/dev/null && \
+	$(GO) run ./cmd/probkb expand -kb "$$tmp/kb" -engine probkb-p -segments 2 \
+		-burnin 50 -samples 100 -journal "$$tmp/run.jsonl" >/dev/null && \
+	$(GO) run ./cmd/probkb report "$$tmp/run.jsonl" > "$$tmp/report.txt" && \
+	grep -q "Phase breakdown" "$$tmp/report.txt" && \
+	grep -q "Per-segment skew" "$$tmp/report.txt" && \
+	grep -q "Gibbs convergence timeline" "$$tmp/report.txt" && \
+	grep -q "Top operators" "$$tmp/report.txt" && \
+	echo "report-smoke: ok"
 
 fmt:
 	gofmt -l -w .

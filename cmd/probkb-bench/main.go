@@ -5,11 +5,17 @@
 //
 //	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|all
 //	             [-scale 0.02] [-seed 42] [-segments 4] [-json PATH]
+//	             [-compare BENCH_old.json]
 //
 // Besides the human-readable tables on stdout, the run's structured
 // results and per-experiment wall times are written to BENCH_<date>.json
 // (override the path with -json, disable with -json "") so the perf
 // trajectory across commits stays machine-readable.
+//
+// -compare diffs this run's per-experiment wall times against an older
+// BENCH_<date>.json and exits nonzero when any experiment regressed by
+// more than 20% (and more than 5ms absolute, so noise-level experiments
+// can't trip the gate). `make bench-diff` wraps this mode.
 //
 // Absolute times depend on the machine and scale; EXPERIMENTS.md records
 // a reference run and compares shapes against the paper.
@@ -25,23 +31,6 @@ import (
 	"probkb/internal/bench"
 )
 
-// report is the BENCH_<date>.json document.
-type report struct {
-	Date        string             `json:"date"`
-	Scale       float64            `json:"scale"`
-	Seed        int64              `json:"seed"`
-	Segments    int                `json:"segments"`
-	Experiments []experimentResult `json:"experiments"`
-}
-
-type experimentResult struct {
-	ID      string  `json:"id"`
-	Seconds float64 `json:"seconds"`
-	// Result carries the experiment's typed rows when it returns them
-	// (table3, fig6*, fig7*, growth); table-only experiments leave it null.
-	Result any `json:"result,omitempty"`
-}
-
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, all)")
 	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
@@ -50,6 +39,8 @@ func main() {
 	now := time.Now()
 	jsonPath := flag.String("json", fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02")),
 		`also write results as JSON to this path ("" disables)`)
+	comparePath := flag.String("compare", "",
+		"diff this run against an older BENCH_<date>.json; exit nonzero on >20% regression")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Segments: *segments}
@@ -73,7 +64,7 @@ func main() {
 		{"feedback", func() (any, error) { return nil, bench.Feedback(cfg, w) }},
 	}
 
-	rep := report{
+	rep := bench.Report{
 		Date: now.Format(time.RFC3339), Scale: *scale, Seed: *seed, Segments: *segments,
 	}
 	ran := false
@@ -91,7 +82,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "probkb-bench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		rep.Experiments = append(rep.Experiments, experimentResult{
+		rep.Experiments = append(rep.Experiments, bench.ExperimentResult{
 			ID: e.id, Seconds: time.Since(start).Seconds(), Result: result,
 		})
 		fmt.Fprintln(w)
@@ -112,5 +103,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "results written to %s\n", *jsonPath)
+	}
+
+	if *comparePath != "" {
+		base, err := bench.LoadReport(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "probkb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		cmp, err := bench.CompareReports(base, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "probkb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "comparison vs %s:\n", *comparePath)
+		if n := bench.WriteComparison(w, cmp); n > 0 {
+			fmt.Fprintf(os.Stderr, "probkb-bench: %d experiment(s) regressed >%.0f%% vs %s\n",
+				n, (bench.RegressionRatio-1)*100, *comparePath)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, "no regressions")
 	}
 }

@@ -8,9 +8,18 @@
 //	probkb expand  -kb DIR [-out DIR] [-engine probkb|probkb-p|probkb-pn|tuffy]
 //	               [-segments N] [-iters N] [-no-constraints] [-theta F]
 //	               [-no-inference] [-burnin N] [-samples N] [-seed N] [-v] [-trace]
+//	               [-journal FILE]
 //	    Expand the KB: quality control, batched grounding, Gibbs
 //	    marginals. Writes the expanded KB to -out if given; prints a
-//	    summary and the top inferred facts.
+//	    summary and the top inferred facts. -journal streams the run
+//	    journal (JSONL events) to FILE for probkb report.
+//
+//	probkb report  [-top N] [-skew N] [-json] JOURNAL
+//	    Analyze a run journal written by expand -journal: per-phase time
+//	    breakdown, grounding iterations, top-k slowest operators, the
+//	    per-segment skew/straggler table, motion volumes, and the Gibbs
+//	    convergence timeline. -json emits the analyzed profile as JSON
+//	    (the same payload as the server's /debug/profile).
 //
 //	probkb explain -kb DIR -fact "rel(x, y)" [-depth N]
 //	    Expand, then print the derivation tree of one fact.
@@ -26,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +44,7 @@ import (
 
 	"probkb"
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 )
 
 func main() {
@@ -45,6 +56,8 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "expand":
 		cmdExpand(os.Args[2:])
+	case "report":
+		cmdReport(os.Args[2:])
 	case "explain":
 		cmdExplain(os.Args[2:])
 	case "rules":
@@ -57,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|explain|rules} [flags]; see -h of each subcommand")
+	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|report|explain|rules|sql} [flags]; see -h of each subcommand")
 	os.Exit(2)
 }
 
@@ -118,6 +131,7 @@ func cmdExpand(args []string) {
 	verbose := fs.Bool("v", false, "print per-iteration progress and top inferred facts")
 	trace := fs.Bool("trace", false, "print the expansion's span tree (per-stage timings)")
 	factorsDir := fs.String("factors", "", "export the ground factor graph (variables.tsv, factors.tsv) to this directory")
+	journalPath := fs.String("journal", "", "stream the run journal (JSONL events) to this file; analyze with probkb report")
 	fs.Parse(args)
 
 	k := loadKB(*dir)
@@ -136,6 +150,7 @@ func cmdExpand(args []string) {
 		GibbsSamples:     *samples,
 		GibbsParallel:    true,
 		Seed:             *seed,
+		JournalPath:      *journalPath,
 	}
 	exp, err := k.Expand(cfg)
 	if err != nil {
@@ -189,6 +204,32 @@ func cmdExpand(args []string) {
 		}
 		fmt.Printf("expanded KB written to %s\n", *out)
 	}
+}
+
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	top := fs.Int("top", 10, "operators to show in the top-operators table")
+	skew := fs.Int("skew", 10, "rows to show in the per-segment skew table")
+	asJSON := fs.Bool("json", false, "emit the analyzed profile as JSON instead of text")
+	fs.Parse(args)
+	path := fs.Arg(0)
+	if path == "" {
+		die(fmt.Errorf("missing journal file: probkb report [-top N] [-skew N] [-json] JOURNAL"))
+	}
+	run, err := journal.ReadFile(path)
+	if err != nil {
+		die(err)
+	}
+	prof := journal.Analyze(run)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(prof); err != nil {
+			die(err)
+		}
+		return
+	}
+	fmt.Print(journal.Render(prof, journal.ReportOptions{TopOperators: *top, TopSkew: *skew}))
 }
 
 func cmdExplain(args []string) {

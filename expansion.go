@@ -13,6 +13,7 @@ import (
 	"probkb/internal/infer"
 	"probkb/internal/kb"
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 	"probkb/internal/quality"
 )
 
@@ -59,9 +60,35 @@ type Expansion struct {
 	kb  *kb.KB
 	res *ground.Result
 	cfg Config
+	jr  *journal.Writer
 
 	graph         *factor.Graph
 	inferenceTime time.Duration
+}
+
+// Journal returns the run's journal writer — the bounded in-memory
+// event record every expansion keeps (and, when Config.JournalPath was
+// set, also streamed to disk). The server's /debug/journal and
+// /debug/profile endpoints read it; journal.FromEvents + journal.
+// Analyze turn it into a workload profile.
+func (e *Expansion) Journal() *journal.Writer { return e.jr }
+
+// emitRunEnd closes the journal's event stream with the run summary.
+func (e *Expansion) emitRunEnd() {
+	st := e.Stats()
+	e.jr.Emit(journal.TypeRunEnd, journal.RunEnd{
+		Iterations:    st.Iterations,
+		Converged:     st.Converged,
+		BaseFacts:     st.BaseFacts,
+		InferredFacts: st.InferredFacts,
+		TotalFacts:    st.TotalFacts,
+		Factors:       st.Factors,
+		LoadSeconds:   st.LoadTime.Seconds(),
+		GroundSeconds: st.GroundingTime.Seconds(),
+		FactorSeconds: st.FactorTime.Seconds(),
+		InferSeconds:  st.InferenceTime.Seconds(),
+		DroppedEvents: e.jr.Dropped(),
+	})
 }
 
 // runInference builds the factor graph and fills inferred facts'
@@ -81,7 +108,31 @@ func (e *Expansion) runInference(ctx context.Context) error {
 	fgSpan.SetAttr("vars", g.NumVars())
 	fgSpan.End()
 
-	probs := infer.Marginals(g, inferOptions(e.cfg))
+	iopts := inferOptions(e.cfg)
+	if e.jr != nil {
+		// Journal the convergence timeline: periodic checkpoints with
+		// split-half R-hat and ESS over tracked atoms, labeled by fact ID.
+		iopts.OnCheckpoint = func(cp infer.Checkpoint) {
+			jcp := journal.GibbsCheckpoint{
+				Sweep:         cp.Sweep,
+				Burnin:        cp.Burnin,
+				Vars:          cp.Vars,
+				Flips:         cp.Flips,
+				Seconds:       cp.Elapsed.Seconds(),
+				SamplesPerSec: cp.SamplesPerSec,
+				RHatMax:       cp.RHatMax,
+				ESSMin:        cp.ESSMin,
+			}
+			for _, d := range cp.Tracked {
+				jcp.Tracked = append(jcp.Tracked, journal.VarDiagnostic{
+					Var: d.Var, FactID: g.FactID(int32(d.Var)),
+					Mean: d.Mean, RHat: d.RHat, ESS: d.ESS,
+				})
+			}
+			e.jr.Emit(journal.TypeGibbsCheckpoint, jcp)
+		}
+	}
+	probs := infer.Marginals(g, iopts)
 	if err := infer.ApplyMarginals(g, e.res.Facts, probs); err != nil {
 		return err
 	}
@@ -304,21 +355,33 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 	defer root.End()
 	root.SetAttr("new_facts", len(newFacts))
 
+	// Each incremental round keeps its own in-memory journal (no file
+	// sink: the original JournalPath belongs to the prior run's record).
+	jr := journal.New()
+	jr.Emit(journal.TypeRunStart, journal.Header{
+		Engine:     e.cfg.Engine.String(),
+		Seed:       e.cfg.Seed,
+		ConfigHash: e.cfg.Hash(),
+		Start:      time.Now().UTC().Format(time.RFC3339),
+	})
+
 	opts := groundOptions(ctx, e.cfg)
 	opts.SemiNaive = true
+	opts.Journal = jr
 	if e.cfg.ApplyConstraints {
-		opts.ConstraintHook = quality.NewChecker(e.kb).Hook()
+		opts.ConstraintHook = journaledHook(jr, quality.NewChecker(e.kb))
 	}
 	res, err := ground.Extend(e.kb, e.res, interned, opts)
 	if err != nil {
 		return nil, err
 	}
-	next := &Expansion{kb: e.kb, res: res, cfg: e.cfg}
+	next := &Expansion{kb: e.kb, res: res, cfg: e.cfg, jr: jr}
 	if e.cfg.RunInference {
 		if err := next.runInference(ctx); err != nil {
 			return nil, err
 		}
 	}
+	next.emitRunEnd()
 	return next, nil
 }
 

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Report is the BENCH_<date>.json document probkb-bench writes: one
+// entry per experiment with its wall time and typed result rows.
+type Report struct {
+	Date        string             `json:"date"`
+	Scale       float64            `json:"scale"`
+	Seed        int64              `json:"seed"`
+	Segments    int                `json:"segments"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's record in a Report.
+type ExperimentResult struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	// Result carries the experiment's typed rows when it returns them
+	// (table3, fig6*, fig7*, growth); table-only experiments leave it null.
+	Result any `json:"result,omitempty"`
+}
+
+// LoadReport reads a BENCH_<date>.json file.
+func LoadReport(path string) (Report, error) {
+	var r Report
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("bench: %w", err)
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		return r, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Regression thresholds: a metric regresses when it is both relatively
+// slower (>20%) and absolutely slower (>5ms) than the baseline, so
+// micro-experiments whose times sit in scheduler noise can't trip the
+// gate.
+const (
+	RegressionRatio    = 1.20
+	RegressionAbsFloor = 0.005 // seconds
+)
+
+// Delta compares one experiment's recorded wall time across two runs.
+type Delta struct {
+	ID         string  `json:"id"`
+	OldSeconds float64 `json:"old_seconds"`
+	NewSeconds float64 `json:"new_seconds"`
+	Ratio      float64 `json:"ratio"`
+	Regressed  bool    `json:"regressed"`
+}
+
+// Comparison is the result of CompareReports.
+type Comparison struct {
+	Deltas []Delta `json:"deltas"`
+	// OnlyOld / OnlyNew list experiment IDs present in one run but not
+	// the other (no timing comparison is possible for those).
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+}
+
+// Regressions returns the deltas flagged as regressed.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CompareReports diffs the per-experiment wall times of two bench runs.
+// A comparison is only meaningful between runs at the same scale/seed/
+// segments; mismatches are reported as an error rather than a silently
+// wrong verdict.
+func CompareReports(old, new Report) (Comparison, error) {
+	var c Comparison
+	if old.Scale != new.Scale || old.Seed != new.Seed || old.Segments != new.Segments {
+		return c, fmt.Errorf(
+			"bench: incomparable runs: baseline scale=%g seed=%d segments=%d vs scale=%g seed=%d segments=%d",
+			old.Scale, old.Seed, old.Segments, new.Scale, new.Seed, new.Segments)
+	}
+	oldByID := make(map[string]ExperimentResult, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldByID[e.ID] = e
+	}
+	newIDs := make(map[string]bool, len(new.Experiments))
+	for _, e := range new.Experiments {
+		newIDs[e.ID] = true
+		o, ok := oldByID[e.ID]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, e.ID)
+			continue
+		}
+		d := Delta{ID: e.ID, OldSeconds: o.Seconds, NewSeconds: e.Seconds}
+		if o.Seconds > 0 {
+			d.Ratio = e.Seconds / o.Seconds
+		}
+		d.Regressed = d.Ratio > RegressionRatio && e.Seconds-o.Seconds > RegressionAbsFloor
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, e := range old.Experiments {
+		if !newIDs[e.ID] {
+			c.OnlyOld = append(c.OnlyOld, e.ID)
+		}
+	}
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	return c, nil
+}
+
+// WriteComparison renders the comparison as a fixed-width table and
+// returns how many deltas regressed.
+func WriteComparison(w io.Writer, c Comparison) int {
+	fmt.Fprintf(w, "%-10s %12s %12s %8s  %s\n", "experiment", "old (s)", "new (s)", "ratio", "verdict")
+	regressed := 0
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%-10s %12.4f %12.4f %8.2f  %s\n", d.ID, d.OldSeconds, d.NewSeconds, d.Ratio, verdict)
+	}
+	for _, id := range c.OnlyOld {
+		fmt.Fprintf(w, "%-10s only in baseline\n", id)
+	}
+	for _, id := range c.OnlyNew {
+		fmt.Fprintf(w, "%-10s only in new run (no baseline)\n", id)
+	}
+	return regressed
+}

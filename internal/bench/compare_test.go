@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestReport(path string, r Report) error {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, body, 0o644)
+}
+
+func sampleReport(times map[string]float64) Report {
+	r := Report{Date: "2026-01-01T00:00:00Z", Scale: 0.02, Seed: 42, Segments: 4}
+	for _, id := range []string{"table2", "table3", "fig6a"} {
+		if s, ok := times[id]; ok {
+			r.Experiments = append(r.Experiments, ExperimentResult{ID: id, Seconds: s})
+		}
+	}
+	return r
+}
+
+// TestCompareFlagsInjectedRegression injects a 2x slowdown on one
+// experiment and checks exactly that one regresses — the bench-diff
+// gate's contract.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	old := sampleReport(map[string]float64{"table2": 1.0, "table3": 2.0, "fig6a": 0.5})
+	new := sampleReport(map[string]float64{"table2": 1.05, "table3": 4.0, "fig6a": 0.5})
+
+	c, err := CompareReports(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].ID != "table3" {
+		t.Fatalf("regressions = %+v, want exactly table3", regs)
+	}
+	if regs[0].Ratio < 1.99 || regs[0].Ratio > 2.01 {
+		t.Fatalf("ratio = %g, want 2.0", regs[0].Ratio)
+	}
+
+	var sb strings.Builder
+	if n := WriteComparison(&sb, c); n != 1 {
+		t.Fatalf("WriteComparison counted %d regressions, want 1", n)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Fatalf("table missing REGRESSED verdict:\n%s", sb.String())
+	}
+}
+
+// TestCompareNoiseFloor: a big relative slowdown below the 5ms absolute
+// floor must not regress — micro-experiment times sit in scheduler noise.
+func TestCompareNoiseFloor(t *testing.T) {
+	old := sampleReport(map[string]float64{"table2": 0.001})
+	new := sampleReport(map[string]float64{"table2": 0.003}) // 3x, but +2ms
+
+	c, err := CompareReports(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("noise-level delta regressed: %+v", regs)
+	}
+}
+
+// TestCompareRejectsMismatchedRuns: different scale/seed/segments make
+// wall times incomparable; the gate must error, not mis-judge.
+func TestCompareRejectsMismatchedRuns(t *testing.T) {
+	old := sampleReport(map[string]float64{"table2": 1.0})
+	new := sampleReport(map[string]float64{"table2": 1.0})
+	new.Scale = 0.05
+	if _, err := CompareReports(old, new); err == nil {
+		t.Fatal("mismatched scales compared without error")
+	}
+}
+
+// TestCompareDisjointExperiments: IDs present in only one run are listed,
+// not silently dropped or falsely regressed.
+func TestCompareDisjointExperiments(t *testing.T) {
+	old := sampleReport(map[string]float64{"table2": 1.0, "table3": 2.0})
+	new := sampleReport(map[string]float64{"table2": 1.0, "fig6a": 0.5})
+
+	c, err := CompareReports(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "table3" {
+		t.Fatalf("only_old = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "fig6a" {
+		t.Fatalf("only_new = %v", c.OnlyNew)
+	}
+	if len(c.Deltas) != 1 || c.Deltas[0].ID != "table2" {
+		t.Fatalf("deltas = %+v", c.Deltas)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := writeTestReport(path, sampleReport(map[string]float64{"table2": 1.5})); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed != 42 || len(r.Experiments) != 1 || r.Experiments[0].Seconds != 1.5 {
+		t.Fatalf("loaded report = %+v", r)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline loaded without error")
+	}
+}

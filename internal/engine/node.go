@@ -30,6 +30,16 @@ type NodeStats struct {
 	// Extra carries operator-specific annotations (e.g. bytes moved by an
 	// MPP motion) that Explain appends to the label.
 	Extra string
+
+	// Per-segment breakdowns, filled only by distributed (mpp) operators
+	// and nil on single-node plans. SegRows is the output row count per
+	// segment; SegSeconds the per-segment task wall time — the raw
+	// material of skew/straggler analysis. MovedRows/MovedBytes record the
+	// volume a motion operator shipped across segments.
+	SegRows    []int
+	SegSeconds []float64
+	MovedRows  int
+	MovedBytes int64
 }
 
 // base carries the bookkeeping shared by every operator.

@@ -8,6 +8,7 @@ import (
 	"probkb/internal/kb"
 	"probkb/internal/mln"
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 )
 
 // BatchGrounder is the ProbKB grounder: Algorithm 1 over the relational
@@ -82,6 +83,10 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 				}
 				observePartition("atoms", p, time.Since(planStart))
 				engine.ObservePlan("ground-atoms", plan)
+				g.opts.Journal.EmitProfile(journal.QueryProfile{
+					Query: "ground-atoms", Partition: p, Iteration: iter,
+					Plan: journal.Capture[engine.Node](plan),
+				})
 				st.Queries++
 				candidates = append(candidates, out)
 			}
@@ -113,6 +118,7 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 		iterSpan.SetAttr("deleted", st.Deleted)
 		iterSpan.SetAttr("queries", st.Queries)
 		iterSpan.End()
+		emitIteration(g.opts.Journal, st)
 		if g.opts.OnIteration != nil {
 			g.opts.OnIteration(st)
 		}
@@ -151,6 +157,10 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 		}
 		observePartition("factors", p, time.Since(planStart))
 		engine.ObservePlan("ground-factors", plan)
+		g.opts.Journal.EmitProfile(journal.QueryProfile{
+			Query: "ground-factors", Partition: p,
+			Plan: journal.Capture[engine.Node](plan),
+		})
 		res.FactorQueries++
 		factors.AppendTable(out) // bag union (Proposition 1)
 	}

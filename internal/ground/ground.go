@@ -29,6 +29,7 @@ import (
 	"probkb/internal/kb"
 	"probkb/internal/mln"
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 )
 
 // Grounding metrics, accumulated across runs by every grounder
@@ -155,6 +156,23 @@ type Options struct {
 	// merge and constraint pass (read-only). The Figure 7(a) harness uses
 	// it to score precision per iteration.
 	Observer func(iter int, tpi *engine.Table)
+	// Journal, when non-nil, receives this run's structured events:
+	// per-iteration stats and per-partition query profiles with full
+	// operator trees (motions included on the MPP grounders). Writer
+	// methods are nil-safe, so emissions below never guard.
+	Journal *journal.Writer
+}
+
+// emitIteration records one closure iteration into the run journal.
+func emitIteration(w *journal.Writer, st IterStats) {
+	w.Emit(journal.TypeIteration, journal.Iteration{
+		Phase:     "ground",
+		Iteration: st.Iteration,
+		NewFacts:  st.NewFacts,
+		Deleted:   st.Deleted,
+		Queries:   st.Queries,
+		Seconds:   st.Elapsed.Seconds(),
+	})
 }
 
 // factIndex tracks the distinct facts of a TΠ table by their identity key

@@ -9,6 +9,7 @@ import (
 	"probkb/internal/mln"
 	"probkb/internal/mpp"
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 )
 
 // The four distribution keys of Section 4.4: the paper materializes
@@ -146,6 +147,10 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 			}
 			observePartition("atoms", p, time.Since(planStart))
 			mpp.ObservePlan("mpp-atoms", plan)
+			g.opts.Journal.EmitProfile(journal.QueryProfile{
+				Query: "mpp-atoms", Partition: p, Iteration: iter,
+				Plan: journal.Capture[mpp.Node](plan),
+			})
 			st.Queries++
 			candidates = append(candidates, mpp.Gather(out))
 		}
@@ -187,6 +192,7 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 		iterSpan.SetAttr("deleted", st.Deleted)
 		iterSpan.SetAttr("queries", st.Queries)
 		iterSpan.End()
+		emitIteration(g.opts.Journal, st)
 		if g.opts.OnIteration != nil {
 			g.opts.OnIteration(st)
 		}
@@ -221,6 +227,10 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 		}
 		observePartition("factors", p, time.Since(planStart))
 		mpp.ObservePlan("mpp-factors", plan)
+		g.opts.Journal.EmitProfile(journal.QueryProfile{
+			Query: "mpp-factors", Partition: p,
+			Plan: journal.Capture[mpp.Node](plan),
+		})
 		res.FactorQueries++
 		factors.AppendTable(mpp.Gather(out))
 	}

@@ -132,6 +132,9 @@ func (g *TuffyGrounder) Ground() (*Result, error) {
 		iterSpan.SetAttr("new_facts", st.NewFacts)
 		iterSpan.SetAttr("queries", st.Queries)
 		iterSpan.End()
+		// The Tuffy baseline journals iteration stats only; per-rule plan
+		// profiles (O(#rules) per iteration) would blow the journal bound.
+		emitIteration(g.opts.Journal, st)
 		if g.opts.OnIteration != nil {
 			g.opts.OnIteration(st)
 		}

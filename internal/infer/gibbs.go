@@ -71,6 +71,17 @@ type Options struct {
 	// progress without polling after the fact. It runs on the sampling
 	// goroutine; keep it cheap.
 	OnIteration func(SweepStats)
+	// OnCheckpoint, when non-nil, receives a Checkpoint every
+	// CheckpointEvery sweeps and on the final sweep, carrying the
+	// convergence timeline (split-half R-hat / ESS over TrackVars
+	// variables). It runs on the sampling goroutine.
+	OnCheckpoint func(Checkpoint)
+	// CheckpointEvery is the sweep interval between checkpoints; 0 means
+	// DefaultCheckpointEvery (only relevant with OnCheckpoint set).
+	CheckpointEvery int
+	// TrackVars caps how many variables the timeline tracks for
+	// per-atom diagnostics; 0 means a default of 32.
+	TrackVars int
 	// Chain labels this run's metrics series (MarginalsWithDiagnostics
 	// runs several chains and numbers them); single runs leave it 0.
 	Chain int
@@ -85,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.NumCPU()
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = DefaultCheckpointEvery
 	}
 	return o
 }
@@ -172,19 +186,21 @@ func runSequential(g *factor.Graph, assign []bool, counts []int64, opts Options,
 
 // sweepObserver tracks per-sweep progress: flip counts (by diffing the
 // previous sweep's assignment), cumulative sweep/flip counters, a live
-// samples-per-second gauge, and the caller's OnIteration callback.
+// samples-per-second gauge, the caller's OnIteration callback, and —
+// when OnCheckpoint is set — the convergence timeline tracker.
 type sweepObserver struct {
-	prev   []bool
-	start  time.Time
-	opts   Options
-	sweeps *obs.Counter
-	flips  *obs.Counter
-	sps    *obs.Gauge
+	prev    []bool
+	start   time.Time
+	opts    Options
+	sweeps  *obs.Counter
+	flips   *obs.Counter
+	sps     *obs.Gauge
+	tracker *tracker
 }
 
 func newSweepObserver(assign []bool, opts Options) *sweepObserver {
 	chain := strconv.Itoa(opts.Chain)
-	return &sweepObserver{
+	o := &sweepObserver{
 		prev:   append([]bool(nil), assign...),
 		start:  time.Now(),
 		opts:   opts,
@@ -192,6 +208,10 @@ func newSweepObserver(assign []bool, opts Options) *sweepObserver {
 		flips:  obs.Default.Counter("probkb_infer_flips_total", obs.L("chain", chain)),
 		sps:    obs.Default.Gauge("probkb_infer_samples_per_second"),
 	}
+	if opts.OnCheckpoint != nil {
+		o.tracker = newTracker(len(assign), opts.TrackVars)
+	}
+	return o
 }
 
 // observe runs after each sweep (1-based), on the sampling goroutine.
@@ -206,17 +226,39 @@ func (o *sweepObserver) observe(sweep int, assign []bool) {
 	o.sweeps.Inc()
 	o.flips.Add(int64(flips))
 	elapsed := time.Since(o.start)
+	sps := 0.0
 	if secs := elapsed.Seconds(); secs > 0 {
-		o.sps.Set(float64(sweep*len(assign)) / secs)
+		sps = float64(sweep*len(assign)) / secs
+		o.sps.Set(sps)
 	}
+	burnin := sweep <= o.opts.Burnin
 	if o.opts.OnIteration != nil {
 		o.opts.OnIteration(SweepStats{
 			Sweep:   sweep,
-			Burnin:  sweep <= o.opts.Burnin,
+			Burnin:  burnin,
 			Vars:    len(assign),
 			Flips:   flips,
 			Elapsed: elapsed,
 		})
+	}
+	if o.tracker != nil {
+		if !burnin {
+			o.tracker.record(assign)
+		}
+		last := sweep == o.opts.Burnin+o.opts.Samples
+		if sweep%o.opts.CheckpointEvery == 0 || last {
+			cp := Checkpoint{
+				Sweep:         sweep,
+				Burnin:        burnin,
+				Vars:          len(assign),
+				Flips:         flips,
+				Elapsed:       elapsed,
+				SamplesPerSec: sps,
+				Tracked:       o.tracker.diagnostics(),
+			}
+			cp.RHatMax, cp.ESSMin = summarize(cp.Tracked)
+			o.opts.OnCheckpoint(cp)
+		}
 	}
 }
 

@@ -38,7 +38,7 @@ func (n *FilterNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("filter", n.schema, n.dist)
-		err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, err := n.cluster.forEachSegment(func(i int) error {
 			seg := in.segs[i]
 			keep := make([]int32, 0, seg.NumRows())
 			for r := 0; r < seg.NumRows(); r++ {
@@ -49,6 +49,7 @@ func (n *FilterNode) Run() (*DistTable, error) {
 			out.segs[i].AppendRowsFrom(seg, keep)
 			return nil
 		})
+		n.stats.SegSeconds = segSecs
 		return out, err
 	})
 }
@@ -115,7 +116,7 @@ func (n *ProjectNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("project", n.schema, n.dist)
-		err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, err := n.cluster.forEachSegment(func(i int) error {
 			p := engine.NewProject(engine.NewScan(in.segs[i]), n.exprs...)
 			t, err := p.Run()
 			if err != nil {
@@ -124,6 +125,7 @@ func (n *ProjectNode) Run() (*DistTable, error) {
 			out.segs[i].AppendTable(t)
 			return nil
 		})
+		n.stats.SegSeconds = segSecs
 		return out, err
 	})
 }
@@ -241,7 +243,7 @@ func (n *HashJoinNode) Run() (*DistTable, error) {
 	bt, pt := ins[0], ins[1]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("join", n.schema, n.dist)
-		err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, err := n.cluster.forEachSegment(func(i int) error {
 			t, err := engine.HashJoinTables(bt.segs[i], pt.segs[i], n.buildKeys, n.probeKeys, n.residual, n.outs)
 			if err != nil {
 				return err
@@ -250,6 +252,7 @@ func (n *HashJoinNode) Run() (*DistTable, error) {
 			out.segs[i].SetName(fmt.Sprintf("join.seg%d", i))
 			return nil
 		})
+		n.stats.SegSeconds = segSecs
 		if err != nil {
 			return nil, err
 		}
@@ -319,7 +322,7 @@ func (n *DistinctNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("distinct", n.schema, n.dist)
-		err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, err := n.cluster.forEachSegment(func(i int) error {
 			t, err := engine.NewDistinct(engine.NewScan(in.segs[i]), n.keys).Run()
 			if err != nil {
 				return err
@@ -327,6 +330,7 @@ func (n *DistinctNode) Run() (*DistTable, error) {
 			out.segs[i].AppendTable(t)
 			return nil
 		})
+		n.stats.SegSeconds = segSecs
 		return out, err
 	})
 }
@@ -397,7 +401,7 @@ func (n *GroupByNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("groupby", n.schema, n.dist)
-		err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, err := n.cluster.forEachSegment(func(i int) error {
 			t, err := engine.GroupByTable(in.segs[i], n.keys, n.aggs)
 			if err != nil {
 				return err
@@ -405,6 +409,7 @@ func (n *GroupByNode) Run() (*DistTable, error) {
 			out.segs[i].AppendTable(t)
 			return nil
 		})
+		n.stats.SegSeconds = segSecs
 		return out, err
 	})
 }

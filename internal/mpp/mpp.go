@@ -245,28 +245,31 @@ func Gather(d *DistTable) *engine.Table {
 }
 
 // forEachSegment runs f(i) for every segment index concurrently and
-// returns the first error. Each segment task's wall time is recorded, so
-// /metrics shows the per-segment skew a straggler would cause.
-func (c *Cluster) forEachSegment(f func(i int) error) error {
+// returns each segment task's wall time in seconds plus the first error.
+// The times also land in /metrics; operators additionally stash them in
+// their NodeStats so per-operator straggler analysis can see them.
+func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, c.nseg)
+	secs := make([]float64, c.nseg)
 	for i := 0; i < c.nseg; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			start := time.Now()
 			errs[i] = f(i)
+			secs[i] = time.Since(start).Seconds()
 			obs.Default.Histogram("probkb_mpp_segment_seconds", nil,
-				obs.L("segment", strconv.Itoa(i))).Observe(time.Since(start).Seconds())
+				obs.L("segment", strconv.Itoa(i))).Observe(secs[i])
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return secs, err
 		}
 	}
-	return nil
+	return secs, nil
 }
 
 // keysEqual reports whether two distribution key tuples are identical.

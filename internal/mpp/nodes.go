@@ -45,6 +45,10 @@ func timeRunD(st *engine.NodeStats, body func() (*DistTable, error)) (*DistTable
 	st.Elapsed = time.Since(start)
 	if out != nil {
 		st.Rows = out.NumRows()
+		st.SegRows = make([]int, len(out.segs))
+		for i, s := range out.segs {
+			st.SegRows[i] = s.NumRows()
+		}
 	}
 	return out, err
 }
@@ -175,14 +179,15 @@ func (n *RedistributeNode) Run() (*DistTable, error) {
 		out := n.cluster.newDistTable("redist", n.schema, n.dist)
 		var movedRows int
 		n.movedBytes = 0
+		recv := make([]int, n.cluster.nseg)
 		// A replicated input only needs one copy's worth of rows, taken
 		// from segment 0 (in a real system each segment would hash its
 		// slice; the result is the same placement).
 		if in.Replicated() {
 			perSeg := scatterInto(in.segs[0], out.segs, n.key)
-			for s, rows := range perSeg {
-				_ = s
+			for dst, rows := range perSeg {
 				movedRows += len(rows)
+				recv[dst] = len(rows)
 			}
 			n.movedBytes = in.segs[0].ByteSize()
 		} else {
@@ -192,6 +197,7 @@ func (n *RedistributeNode) Run() (*DistTable, error) {
 				for dst, rows := range perSeg {
 					if dst != src {
 						movedRows += len(rows)
+						recv[dst] += len(rows)
 						if seg.NumRows() > 0 {
 							n.movedBytes += int64(len(rows)) * (seg.ByteSize() / int64(seg.NumRows()))
 						}
@@ -199,7 +205,9 @@ func (n *RedistributeNode) Run() (*DistTable, error) {
 				}
 			}
 		}
-		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB)", movedRows, n.movedBytes)
+		n.stats.MovedRows = movedRows
+		n.stats.MovedBytes = n.movedBytes
+		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB) recv=%v", movedRows, n.movedBytes, recv)
 		observeMotion("redistribute", movedRows, n.movedBytes)
 		return out, nil
 	})
@@ -250,6 +258,8 @@ func (n *BroadcastNode) Run() (*DistTable, error) {
 				out.segs[i].AppendTable(in.segs[0])
 			}
 			n.movedBytes = 0
+			n.stats.MovedRows = 0
+			n.stats.MovedBytes = 0
 			n.stats.Extra = " moved=0 rows (0B)"
 			return out, nil
 		}
@@ -260,7 +270,13 @@ func (n *BroadcastNode) Run() (*DistTable, error) {
 		// Every row is shipped to every segment but its own.
 		moved := full.NumRows() * (n.cluster.nseg - 1)
 		n.movedBytes = full.ByteSize() * int64(n.cluster.nseg-1)
-		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB)", moved, n.movedBytes)
+		recv := make([]int, n.cluster.nseg)
+		for i := range recv {
+			recv[i] = full.NumRows() - in.segs[i].NumRows()
+		}
+		n.stats.MovedRows = moved
+		n.stats.MovedBytes = n.movedBytes
+		n.stats.Extra = fmt.Sprintf(" moved=%d rows (%dB) recv=%v", moved, n.movedBytes, recv)
 		observeMotion("broadcast", moved, n.movedBytes)
 		return out, nil
 	})

@@ -1,0 +1,323 @@
+// Package journal records one knowledge-expansion run as a stream of
+// typed JSONL events — the durable, post-hoc complement to the live
+// registry and tracer of internal/obs. A run journal captures what the
+// paper's evaluation sections reconstruct by hand: per-phase time
+// breakdowns, per-partition query profiles with full operator trees
+// (Figure 4), MPP motion volumes and per-segment skew (Figure 6), and
+// the Gibbs convergence trajectory inference-quality claims rest on.
+//
+// Events append to a bounded in-memory ring and, optionally, a JSONL
+// file; analyzers (analyze.go) and the `probkb report` subcommand read
+// either back. The journal is deterministic modulo timing: all wall
+// times live in dedicated fields that Canonicalize strips, so two runs
+// with the same seed and config hash produce byte-identical canonical
+// journals.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event types, in the order a run emits them.
+const (
+	TypeRunStart         = "run_start"
+	TypeIteration        = "iteration"
+	TypeQueryProfile     = "query_profile"
+	TypeMotion           = "motion"
+	TypeConstraintRepair = "constraint_repair"
+	TypeGibbsCheckpoint  = "gibbs_checkpoint"
+	TypeRunEnd           = "run_end"
+)
+
+// Event is the JSONL envelope: one line per event.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	// ElapsedS is seconds since the run started (a timing field;
+	// Canonicalize zeroes it).
+	ElapsedS float64         `json:"elapsed_s"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// Header is the run_start payload. Seed and ConfigHash make same-seed
+// runs diffable: identical inputs yield identical canonical journals.
+type Header struct {
+	Engine     string `json:"engine"`
+	Segments   int    `json:"segments,omitempty"`
+	Seed       int64  `json:"seed"`
+	ConfigHash string `json:"config_hash"`
+	// Start is the wall-clock start time (RFC 3339); a timing field.
+	Start string `json:"start,omitempty"`
+}
+
+// Iteration is one grounding closure iteration.
+type Iteration struct {
+	Phase     string  `json:"phase"` // "ground" or "extend"
+	Iteration int     `json:"iteration"`
+	NewFacts  int     `json:"new_facts"`
+	Deleted   int     `json:"deleted,omitempty"`
+	Queries   int     `json:"queries"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// PlanNode is one operator of a captured plan tree: a NodeStats snapshot
+// plus children. SegRows/SegSeconds are nil on single-node plans.
+type PlanNode struct {
+	Label      string     `json:"label"`
+	Rows       int        `json:"rows"`
+	Seconds    float64    `json:"seconds"`
+	Extra      string     `json:"extra,omitempty"`
+	SegRows    []int      `json:"seg_rows,omitempty"`
+	SegSeconds []float64  `json:"seg_seconds,omitempty"`
+	MovedRows  int        `json:"moved_rows,omitempty"`
+	MovedBytes int64      `json:"moved_bytes,omitempty"`
+	Children   []PlanNode `json:"children,omitempty"`
+}
+
+// QueryProfile is one executed grounding query's full operator tree,
+// labeled by query site (e.g. "ground-atoms"), MLN partition, and
+// iteration.
+type QueryProfile struct {
+	Query     string   `json:"query"`
+	Partition int      `json:"partition"`
+	Iteration int      `json:"iteration"`
+	Plan      PlanNode `json:"plan"`
+}
+
+// Motion is one motion operator's shipped volume, extracted from a
+// profile so motion bottlenecks are queryable without walking trees.
+type Motion struct {
+	Kind      string `json:"kind"` // "redistribute" or "broadcast"
+	Query     string `json:"query"`
+	Partition int    `json:"partition"`
+	Iteration int    `json:"iteration"`
+	Rows      int    `json:"rows"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// Repair is one constraint-repair action (a Query 3 pass that found
+// violations during grounding).
+type Repair struct {
+	Iteration  int `json:"iteration"`
+	Violations int `json:"violations"`
+	Deleted    int `json:"deleted"`
+}
+
+// VarDiagnostic is one tracked query atom's convergence state at a
+// checkpoint.
+type VarDiagnostic struct {
+	Var    int     `json:"var"`
+	FactID int32   `json:"fact_id"`
+	Mean   float64 `json:"mean"`
+	RHat   float64 `json:"rhat"`
+	ESS    float64 `json:"ess"`
+}
+
+// GibbsCheckpoint is a periodic snapshot of the sampling run: mixing
+// signals (flips), throughput, and — once enough post-burn-in samples
+// exist — split-half R-hat and effective sample size over the tracked
+// variables.
+type GibbsCheckpoint struct {
+	Sweep         int     `json:"sweep"`
+	Burnin        bool    `json:"burnin,omitempty"`
+	Vars          int     `json:"vars"`
+	Flips         int     `json:"flips"`
+	Seconds       float64 `json:"seconds"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// RHatMax/ESSMin are zero while diagnostics have too few samples.
+	RHatMax float64         `json:"rhat_max,omitempty"`
+	ESSMin  float64         `json:"ess_min,omitempty"`
+	Tracked []VarDiagnostic `json:"tracked,omitempty"`
+}
+
+// RunEnd is the run_end payload: the expansion summary plus journal
+// accounting.
+type RunEnd struct {
+	Iterations    int     `json:"iterations"`
+	Converged     bool    `json:"converged"`
+	BaseFacts     int     `json:"base_facts"`
+	InferredFacts int     `json:"inferred_facts"`
+	TotalFacts    int     `json:"total_facts"`
+	Factors       int     `json:"factors,omitempty"`
+	LoadSeconds   float64 `json:"load_seconds"`
+	GroundSeconds float64 `json:"ground_seconds"`
+	FactorSeconds float64 `json:"factor_seconds"`
+	InferSeconds  float64 `json:"infer_seconds"`
+	DroppedEvents int     `json:"dropped_events,omitempty"`
+}
+
+// DefaultMaxEvents bounds the journal: a run emitting more than this
+// drops the excess (run_end is always kept) and records the drop count.
+const DefaultMaxEvents = 4096
+
+// Writer accumulates a run's events in memory and, when a sink is
+// attached, appends each as one JSON line. All methods are safe on a
+// nil receiver (no-ops), so instrumented code does not guard call
+// sites, and safe for concurrent use.
+type Writer struct {
+	mu      sync.Mutex
+	start   time.Time
+	seq     int
+	max     int
+	events  []Event
+	dropped int
+	f       *os.File
+	bw      *bufio.Writer
+}
+
+// New returns an in-memory journal writer.
+func New() *Writer {
+	return &Writer{start: time.Now(), max: DefaultMaxEvents}
+}
+
+// SinkTo attaches a JSONL file sink, truncating any existing file.
+// Events emitted so far are written out first, so SinkTo may follow New
+// at any point before the run starts emitting.
+func (w *Writer) SinkTo(path string) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	enc := json.NewEncoder(w.bw)
+	for _, ev := range w.events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit appends one event. The payload marshals into the event's Data;
+// a payload that fails to marshal is a programming error and panics.
+func (w *Writer) Emit(typ string, payload any) {
+	if w == nil {
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		panic(fmt.Sprintf("journal: marshaling %s payload: %v", typ, err))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.events) >= w.max && typ != TypeRunEnd {
+		w.dropped++
+		return
+	}
+	w.seq++
+	ev := Event{Seq: w.seq, Type: typ, ElapsedS: time.Since(w.start).Seconds(), Data: data}
+	w.events = append(w.events, ev)
+	if w.bw != nil {
+		enc := json.NewEncoder(w.bw)
+		if err := enc.Encode(ev); err != nil {
+			// A full disk should not kill the run the journal observes;
+			// detach the sink and keep the in-memory copy.
+			w.bw = nil
+		}
+	}
+}
+
+// Events returns a copy of the in-memory event ring.
+func (w *Writer) Events() []Event {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Event(nil), w.events...)
+}
+
+// Dropped returns how many events the bound discarded.
+func (w *Writer) Dropped() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Close flushes and closes the file sink, if any; the in-memory events
+// stay readable. Close is idempotent.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.bw != nil {
+		err = w.bw.Flush()
+		w.bw = nil
+	}
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	return err
+}
+
+// timingKeys are the payload fields that carry wall-clock measurements;
+// Canonicalize removes them (recursively, so plan trees are covered) to
+// make same-seed journals byte-comparable.
+var timingKeys = map[string]bool{
+	"seconds":         true,
+	"seg_seconds":     true,
+	"samples_per_sec": true,
+	"start":           true,
+	"load_seconds":    true,
+	"ground_seconds":  true,
+	"factor_seconds":  true,
+	"infer_seconds":   true,
+}
+
+// Canonicalize strips every timing field from the events — the envelope
+// elapsed_s and the recursive timingKeys of each payload — and
+// re-marshals payloads with sorted keys. Two runs of the same KB with
+// the same seed and config produce identical canonical journals; the
+// determinism tests diff exactly this.
+func Canonicalize(events []Event) []Event {
+	out := make([]Event, len(events))
+	for i, ev := range events {
+		var v any
+		if err := json.Unmarshal(ev.Data, &v); err == nil {
+			stripTiming(v)
+			if data, err := json.Marshal(v); err == nil {
+				ev.Data = data
+			}
+		}
+		ev.ElapsedS = 0
+		out[i] = ev
+	}
+	return out
+}
+
+func stripTiming(v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			if timingKeys[k] {
+				delete(t, k)
+				continue
+			}
+			stripTiming(child)
+		}
+	case []any:
+		for _, child := range t {
+			stripTiming(child)
+		}
+	}
+}

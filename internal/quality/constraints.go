@@ -116,6 +116,14 @@ func (c *Checker) violationsOfType(tpi *engine.Table, typ int) []Violation {
 	return out
 }
 
+// Repair summarizes one constraint pass that found violations: how many
+// entities violated a constraint and how many facts the greedy deletion
+// removed. Run journals record one Repair per acting Query 3 pass.
+type Repair struct {
+	Violations int
+	Deleted    int
+}
+
 // Apply is Query 3: find every violating entity and greedily delete its
 // facts. Matching the paper's query exactly, deletion is by the
 // *violated position*: a Type I violator (x, C1) loses the facts where
@@ -123,12 +131,19 @@ func (c *Checker) violationsOfType(tpi *engine.Table, typ int) []Violation {
 // those where it is the object. It returns the number of deleted rows.
 // This is the ConstraintHook the grounders call each iteration.
 func (c *Checker) Apply(tpi *engine.Table) int {
+	n, _ := c.apply(tpi)
+	return n
+}
+
+// apply runs Query 3 and additionally reports how many violations drove
+// the deletion.
+func (c *Checker) apply(tpi *engine.Table) (deleted, violations int) {
 	if c.fc.NumRows() == 0 {
-		return 0
+		return 0, 0
 	}
 	viol := c.Violations(tpi)
 	if len(viol) == 0 {
-		return 0
+		return 0, 0
 	}
 	type entCls struct{ e, c int32 }
 	badSubj := make(map[entCls]bool)
@@ -142,17 +157,30 @@ func (c *Checker) Apply(tpi *engine.Table) int {
 	}
 	xs, c1s := tpi.Int32Col(kb.TPiX), tpi.Int32Col(kb.TPiC1)
 	ys, c2s := tpi.Int32Col(kb.TPiY), tpi.Int32Col(kb.TPiC2)
-	deleted := tpi.DeleteWhere(func(r int) bool {
+	deleted = tpi.DeleteWhere(func(r int) bool {
 		return badSubj[entCls{xs[r], c1s[r]}] || badObj[entCls{ys[r], c2s[r]}]
 	})
 	obs.Default.Counter("probkb_quality_violations_total").Add(int64(len(viol)))
 	obs.Default.Counter("probkb_quality_facts_deleted_total").Add(int64(deleted))
-	return deleted
+	return deleted, len(viol)
 }
 
 // Hook adapts the checker to ground.Options.ConstraintHook.
 func (c *Checker) Hook() func(*engine.Table) int {
 	return c.Apply
+}
+
+// HookWithObserver is Hook plus a repair observer: onRepair fires after
+// every pass that found violations, carrying the violation and deletion
+// counts (a run journal's constraint_repair feed).
+func (c *Checker) HookWithObserver(onRepair func(Repair)) func(*engine.Table) int {
+	return func(tpi *engine.Table) int {
+		deleted, violations := c.apply(tpi)
+		if violations > 0 && onRepair != nil {
+			onRepair(Repair{Violations: violations, Deleted: deleted})
+		}
+		return deleted
+	}
 }
 
 // PreClean runs Query 3 once over a KB's own fact set — the "run once

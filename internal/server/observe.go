@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 )
 
 func init() {
@@ -105,6 +106,39 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 		}
 		fmt.Fprint(w, tr.Render())
 	}
+}
+
+// handleJournal serves the served expansion's run journal as JSON: the
+// raw typed event stream (the same record `probkb expand -journal`
+// writes as JSONL).
+func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request) {
+	jr := s.exp.Journal()
+	if jr == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("expansion has no run journal"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":  jr.Events(),
+		"dropped": jr.Dropped(),
+	})
+}
+
+// handleProfile serves the analyzed workload profile of the served
+// expansion's journal: phase breakdown, operator costs, per-segment
+// skew rows, motion volumes, and the Gibbs convergence timeline — the
+// JSON twin of `probkb report`.
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	jr := s.exp.Journal()
+	if jr == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("expansion has no run journal"))
+		return
+	}
+	run, err := journal.FromEvents(jr.Events())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, journal.Analyze(run))
 }
 
 // registerDebug wires the pprof handlers onto the mux. They are grouped

@@ -14,6 +14,10 @@
 //	GET  /sql?q=SELECT...                 run a SQL query (see probkb.QuerySQL)
 //	GET  /metrics                         Prometheus text exposition (text/plain)
 //	GET  /debug/traces                    recent pipeline span trees (text/plain)
+//	GET  /debug/journal                   the served expansion's run journal events
+//	GET  /debug/profile                   analyzed workload profile (phases, operator
+//	                                      costs, per-segment skew, motions, Gibbs
+//	                                      convergence timeline)
 //	GET  /debug/pprof/*                   Go runtime profiles
 //
 // Every endpoint runs behind middleware that records per-endpoint
@@ -49,6 +53,8 @@ func New(kb *probkb.KB, exp *probkb.Expansion) *Server {
 	s.mux.HandleFunc("GET /sql", instrument("/sql", s.handleSQL))
 	s.mux.HandleFunc("GET /metrics", instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/traces", instrument("/debug/traces", s.handleTraces))
+	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.handleJournal))
+	s.mux.HandleFunc("GET /debug/profile", instrument("/debug/profile", s.handleProfile))
 	s.registerDebug()
 	return s
 }

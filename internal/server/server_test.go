@@ -290,3 +290,62 @@ func TestPprofIndex(t *testing.T) {
 		t.Fatalf("pprof status %d", resp.StatusCode)
 	}
 }
+
+func TestDebugJournal(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Events []struct {
+			Seq  int    `json:"seq"`
+			Type string `json:"type"`
+		} `json:"events"`
+		Dropped int `json:"dropped"`
+	}
+	if code := getJSON(t, srv.URL+"/debug/journal", &out); code != 200 {
+		t.Fatalf("journal status %d", code)
+	}
+	if len(out.Events) == 0 {
+		t.Fatal("journal has no events")
+	}
+	types := map[string]bool{}
+	for _, ev := range out.Events {
+		types[ev.Type] = true
+	}
+	for _, want := range []string{"run_start", "iteration", "gibbs_checkpoint", "run_end"} {
+		if !types[want] {
+			t.Errorf("journal missing %s event; saw %v", want, types)
+		}
+	}
+	if out.Dropped != 0 {
+		t.Fatalf("dropped = %d on a tiny run", out.Dropped)
+	}
+}
+
+func TestDebugProfile(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Header *struct {
+			Engine     string `json:"engine"`
+			ConfigHash string `json:"config_hash"`
+		} `json:"header"`
+		Phases []struct {
+			Phase string `json:"phase"`
+		} `json:"phases"`
+		Convergence *struct {
+			Timeline []struct {
+				Sweep int `json:"sweep"`
+			} `json:"timeline"`
+		} `json:"convergence"`
+	}
+	if code := getJSON(t, srv.URL+"/debug/profile", &out); code != 200 {
+		t.Fatalf("profile status %d", code)
+	}
+	if out.Header == nil || out.Header.ConfigHash == "" {
+		t.Fatalf("profile header = %+v", out.Header)
+	}
+	if len(out.Phases) != 4 {
+		t.Fatalf("phases = %+v", out.Phases)
+	}
+	if out.Convergence == nil || len(out.Convergence.Timeline) == 0 {
+		t.Fatal("profile has no convergence timeline")
+	}
+}

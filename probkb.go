@@ -26,6 +26,7 @@ package probkb
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"os"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"probkb/internal/kb"
 	"probkb/internal/mpp"
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 	"probkb/internal/quality"
 )
 
@@ -131,6 +133,14 @@ type Config struct {
 	// Seed makes inference reproducible.
 	Seed int64
 
+	// JournalPath, when non-empty, streams the run journal to this file:
+	// one JSON line per event (run header, grounding iterations, query
+	// profiles with operator trees, motion volumes, constraint repairs,
+	// Gibbs convergence checkpoints, run summary). Every run also keeps
+	// a bounded in-memory journal reachable via Expansion.Journal(),
+	// whether or not a path is set.
+	JournalPath string
+
 	// OnIteration, when non-nil, observes each grounding iteration as it
 	// completes — live progress instead of polling PerIteration after
 	// the fact.
@@ -169,6 +179,21 @@ func DefaultConfig() Config {
 		ApplyConstraints: true,
 		RunInference:     true,
 	}
+}
+
+// Hash fingerprints the run-determining configuration as a 16-hex-digit
+// FNV-64a digest. The journal header carries it next to the seed, so
+// two journals are comparable exactly when their runs had identical
+// inputs — the determinism contract Canonicalize diffs against.
+// Callback fields and JournalPath do not affect results and are
+// excluded.
+func (c Config) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "engine=%d segments=%d maxiter=%d constraints=%t theta=%g cic=%t infer=%t burnin=%d samples=%d parallel=%t seed=%d",
+		int(c.Engine), c.Segments, c.MaxIterations, c.ApplyConstraints,
+		c.RuleCleanTheta, c.ConstraintInformedCleaning, c.RunInference,
+		c.GibbsBurnin, c.GibbsSamples, c.GibbsParallel, c.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // KB is a probabilistic knowledge base Γ = (E, C, R, Π, L).
@@ -323,6 +348,30 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 	defer root.End()
 	root.SetAttr("engine", cfg.Engine.String())
 
+	// Every run records a bounded in-memory journal; a JournalPath adds
+	// the JSONL file sink. The file closes on every return path; the
+	// in-memory events outlive it via Expansion.Journal().
+	jr := journal.New()
+	if cfg.JournalPath != "" {
+		if err := jr.SinkTo(cfg.JournalPath); err != nil {
+			return nil, fmt.Errorf("probkb: journal: %w", err)
+		}
+	}
+	defer jr.Close()
+	segs := 0
+	if cfg.Engine == MPP || cfg.Engine == MPPNoViews {
+		if segs = cfg.Segments; segs <= 0 {
+			segs = 4
+		}
+	}
+	jr.Emit(journal.TypeRunStart, journal.Header{
+		Engine:     cfg.Engine.String(),
+		Segments:   segs,
+		Seed:       cfg.Seed,
+		ConfigHash: cfg.Hash(),
+		Start:      time.Now().UTC().Format(time.RFC3339),
+	})
+
 	// Quality control: rule cleaning, then the up-front Query 3 pass.
 	qualityStart := time.Now()
 	_, qualitySpan := obs.StartSpan(ctx, "quality")
@@ -342,12 +391,13 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 	}
 
 	opts := groundOptions(ctx, cfg)
+	opts.Journal = jr
 	if cfg.ApplyConstraints {
 		// Query 3 runs once before inference starts (Section 6.1.1), and
 		// again after every grounding iteration (Algorithm 1).
 		precleaned := quality.PreClean(work)
 		qualitySpan.SetAttr("precleaned", precleaned)
-		opts.ConstraintHook = quality.NewChecker(work).Hook()
+		opts.ConstraintHook = journaledHook(jr, quality.NewChecker(work))
 		// Greedy constraint deletion can oscillate (delete a violating
 		// fact, re-derive it, delete it again...), so a constrained run
 		// without an explicit cap gets the paper's 15 iterations instead
@@ -390,15 +440,32 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 	}
 	observeStage("ground", groundStart)
 
-	exp := &Expansion{kb: work, res: res, cfg: cfg}
+	exp := &Expansion{kb: work, res: res, cfg: cfg, jr: jr}
 	if cfg.RunInference {
 		if err := exp.runInference(ctx); err != nil {
 			return nil, err
 		}
 	}
+	exp.emitRunEnd()
 	root.SetAttr("facts", res.Facts.NumRows())
 	obs.Default.Counter("probkb_expand_total", obs.L("engine", cfg.Engine.String())).Inc()
 	return exp, nil
+}
+
+// journaledHook builds the grounders' constraint hook with a journal
+// feed: each pass that found violations records a constraint_repair
+// event tagged with the iteration the hook ran in.
+func journaledHook(jr *journal.Writer, checker *quality.Checker) func(*engine.Table) int {
+	iter := 0
+	inner := checker.HookWithObserver(func(r quality.Repair) {
+		jr.Emit(journal.TypeConstraintRepair, journal.Repair{
+			Iteration: iter, Violations: r.Violations, Deleted: r.Deleted,
+		})
+	})
+	return func(tpi *engine.Table) int {
+		iter++
+		return inner(tpi)
+	}
 }
 
 // groundOptions builds the grounding options shared by ExpandContext and
