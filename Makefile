@@ -3,7 +3,7 @@ GO ?= go
 # Baseline for bench-diff (write one with `make bench-baseline`).
 BENCH_BASE ?= BENCH_baseline.json
 
-.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke fmt
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet race report-smoke
+check: build vet race report-smoke chaos-smoke
 
 bench:
 	$(GO) run ./cmd/probkb-bench -exp all
@@ -47,6 +47,24 @@ report-smoke:
 	grep -q "Gibbs convergence timeline" "$$tmp/report.txt" && \
 	grep -q "Top operators" "$$tmp/report.txt" && \
 	echo "report-smoke: ok"
+
+# Chaos smoke test: the same tiny journaled MPP expand, under -race
+# with a seeded fault plan injecting segment failures, worker panics,
+# and stragglers. Segment retries must absorb every fault: the run has
+# to complete cleanly and the rendered report must show the fault-
+# injection section.
+chaos-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/kbgen -out "$$tmp/kb" -scale 0.002 >/dev/null && \
+	$(GO) run -race ./cmd/probkb expand -kb "$$tmp/kb" -engine probkb-p -segments 2 \
+		-burnin 50 -samples 100 -journal "$$tmp/run.jsonl" \
+		-chaos-seed 1 -chaos-fail 0.15 -chaos-panic 0.05 -chaos-straggle 0.05 \
+		-chaos-delay 1ms -retries 5 -retry-backoff 1ms >/dev/null && \
+	$(GO) run ./cmd/probkb report "$$tmp/run.jsonl" > "$$tmp/report.txt" && \
+	grep -q "Fault injection" "$$tmp/report.txt" && \
+	grep -q "injected faults:" "$$tmp/report.txt" && \
+	grep -q "segment retries:" "$$tmp/report.txt" && \
+	echo "chaos-smoke: ok"
 
 fmt:
 	gofmt -l -w .

@@ -160,7 +160,9 @@ func benchFig4(b *testing.B, useViews bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	g.Load()
+	if err := g.Load(); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,285 @@
+package probkb
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"probkb/internal/factor"
+	"probkb/internal/infer"
+	"probkb/internal/kb"
+	"probkb/internal/obs/journal"
+)
+
+// chaosFaults is the fault plan the equivalence tests run under: heavy
+// enough that faults actually land on the paper KB's handful of segment
+// tasks, light enough that an 8-retry budget always absorbs them.
+func chaosFaults() *FaultConfig {
+	return &FaultConfig{
+		Seed:          7,
+		FailRate:      0.25,
+		PanicRate:     0.1,
+		StraggleRate:  0.05,
+		StraggleDelay: 100 * time.Microsecond,
+	}
+}
+
+// TestChaosEquivalence runs the same MPP expansion twice — once clean,
+// once under a seeded fault plan with segment retries — and checks the
+// tentpole's determinism contract: identical facts and stats, and
+// byte-identical canonical journals (fault/retry events are
+// nondeterministically interleaved bookkeeping, so Canonicalize drops
+// them and renumbers).
+func TestChaosEquivalence(t *testing.T) {
+	dir := t.TempDir()
+
+	clean := journalConfig()
+	clean.JournalPath = filepath.Join(dir, "clean.jsonl")
+	expClean, err := paperKB(t).Expand(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := journalConfig()
+	faulted.JournalPath = filepath.Join(dir, "faulted.jsonl")
+	faulted.Faults = chaosFaults()
+	faulted.SegmentRetries = 8
+	faulted.RetryBackoff = 100 * time.Microsecond
+	expFaulted, err := paperKB(t).Expand(faulted)
+	if err != nil {
+		t.Fatalf("faulted run did not recover: %v", err)
+	}
+
+	if !reflect.DeepEqual(expClean.Facts(), expFaulted.Facts()) {
+		t.Errorf("facts differ between clean and faulted runs:\nclean:   %v\nfaulted: %v",
+			expClean.Facts(), expFaulted.Facts())
+	}
+	// Wall-clock fields legitimately differ (retries cost time); every
+	// logical field must not.
+	stClean, stFaulted := expClean.Stats(), expFaulted.Stats()
+	stClean.LoadTime, stClean.GroundingTime, stClean.FactorTime, stClean.InferenceTime = 0, 0, 0, 0
+	stFaulted.LoadTime, stFaulted.GroundingTime, stFaulted.FactorTime, stFaulted.InferenceTime = 0, 0, 0, 0
+	if !reflect.DeepEqual(stClean, stFaulted) {
+		t.Errorf("stats differ:\nclean:   %+v\nfaulted: %+v", stClean, stFaulted)
+	}
+
+	runClean, err := journal.ReadFile(clean.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFaulted, err := journal.ReadFile(faulted.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The faulted run must actually have exercised the fault path …
+	if len(runFaulted.Faults) == 0 {
+		t.Fatal("fault plan injected nothing; raise the rates or change the seed")
+	}
+	if len(runFaulted.Retries) == 0 {
+		t.Fatal("no segment retries recorded despite injected faults")
+	}
+	// … and Faults/SegmentRetries are excluded from the config hash, so
+	// both journals describe the same logical run.
+	if runClean.Header.ConfigHash != runFaulted.Header.ConfigHash {
+		t.Errorf("config hashes differ: clean %q faulted %q",
+			runClean.Header.ConfigHash, runFaulted.Header.ConfigHash)
+	}
+	canonClean := journal.Canonicalize(runClean.Events)
+	canonFaulted := journal.Canonicalize(runFaulted.Events)
+	if !reflect.DeepEqual(canonClean, canonFaulted) {
+		n := len(canonClean)
+		if len(canonFaulted) < n {
+			n = len(canonFaulted)
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(canonClean[i], canonFaulted[i]) {
+				t.Fatalf("canonical journals diverge at event %d:\nclean:   %+v\nfaulted: %+v",
+					i, canonClean[i], canonFaulted[i])
+			}
+		}
+		t.Fatalf("canonical journals differ in length: clean %d, faulted %d",
+			len(canonClean), len(canonFaulted))
+	}
+}
+
+// TestExactOracleUnderFaults checks that a faulted-but-retried MPP run
+// still agrees with exact inference: the Gibbs marginals written into
+// the expanded facts stay close to the brute-force marginals of the
+// same factor graph.
+func TestExactOracleUnderFaults(t *testing.T) {
+	cfg := journalConfig()
+	cfg.GibbsBurnin = 300
+	cfg.GibbsSamples = 6000
+	cfg.Faults = chaosFaults()
+	cfg.SegmentRetries = 8
+	cfg.RetryBackoff = 100 * time.Microsecond
+	exp, err := paperKB(t).Expand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := factor.FromResult(exp.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := infer.Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := exp.res.Facts.Int32Col(kb.TPiI)
+	ws := exp.res.Facts.Float64Col(kb.TPiW)
+	checked := 0
+	// Only inferred facts (rows past BaseFacts) carry Gibbs marginals;
+	// observed facts keep their extraction confidence.
+	for r := exp.res.BaseFacts; r < exp.res.Facts.NumRows(); r++ {
+		v, ok := g.VarOf(ids[r])
+		if !ok {
+			continue
+		}
+		if math.IsNaN(ws[r]) {
+			t.Fatalf("fact %d has NaN probability after inference", ids[r])
+		}
+		if diff := math.Abs(ws[r] - exact[v]); diff > 0.06 {
+			t.Errorf("fact %d: Gibbs %.4f vs exact %.4f (diff %.4f)", ids[r], ws[r], exact[v], diff)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no facts mapped to factor-graph variables; oracle comparison checked nothing")
+	}
+}
+
+// cancelDuringGrounding cancels the run from the first grounding
+// iteration's callback and asserts the PartialError contract for the
+// "ground" phase.
+func cancelDuringGrounding(t *testing.T, cfg Config) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.OnIteration = func(st IterationStats) {
+		if st.Iteration >= 1 {
+			cancel()
+		}
+	}
+	start := time.Now()
+	exp, err := paperKB(t).ExpandContext(ctx, cfg)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v, want < 1s", elapsed)
+	}
+	if exp != nil {
+		t.Fatal("interrupted expansion also returned a non-nil result")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PartialError", err, err)
+	}
+	if pe.Phase != "ground" {
+		t.Fatalf("phase = %q, want %q", pe.Phase, "ground")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not unwrap to context.Canceled", err)
+	}
+	if pe.Partial == nil {
+		t.Fatal("PartialError.Partial is nil")
+	}
+	st := pe.Partial.Stats()
+	if st.Converged {
+		t.Fatal("interrupted grounding reported Converged")
+	}
+	if st.TotalFacts < st.BaseFacts || st.BaseFacts == 0 {
+		t.Fatalf("partial stats look empty: %+v", st)
+	}
+}
+
+func TestCancelMidGrounding(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunInference = false
+	cancelDuringGrounding(t, cfg)
+}
+
+func TestCancelMidGroundingMPP(t *testing.T) {
+	cfg := journalConfig()
+	cfg.RunInference = false
+	cancelDuringGrounding(t, cfg)
+}
+
+// TestCancelMidGibbs cancels during sampling and checks the "infer"
+// phase contract: the partial expansion carries marginals estimated
+// from the sweeps collected before the cut, and the cut is prompt even
+// though millions of sweeps remain.
+func TestCancelMidGibbs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.GibbsBurnin = 20
+	cfg.GibbsSamples = 50_000_000
+	cfg.OnGibbsSweep = func(sw GibbsSweep) {
+		if sw.Sweep >= cfg.GibbsBurnin+40 {
+			cancel()
+		}
+	}
+	start := time.Now()
+	_, err := paperKB(t).ExpandContext(ctx, cfg)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v, want < 1s", elapsed)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PartialError", err, err)
+	}
+	if pe.Phase != "infer" {
+		t.Fatalf("phase = %q, want %q", pe.Phase, "infer")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not unwrap to context.Canceled", err)
+	}
+	st := pe.Partial.Stats()
+	if st.Converged {
+		t.Fatal("interrupted inference reported Converged")
+	}
+	if st.InferredFacts == 0 {
+		t.Fatal("partial expansion has no inferred facts; grounding should have finished")
+	}
+	// Partial marginals from the collected sweeps must have been applied.
+	withMarginal := 0
+	for _, f := range pe.Partial.InferredFacts() {
+		if !math.IsNaN(f.Probability) {
+			if f.Probability < 0 || f.Probability > 1 {
+				t.Fatalf("partial marginal out of range: %v", f)
+			}
+			withMarginal++
+		}
+	}
+	if withMarginal == 0 {
+		t.Fatal("no inferred fact carries a partial marginal")
+	}
+}
+
+// TestDeadlineMidGibbs drives the same path with a deadline instead of
+// an explicit cancel: the error must unwrap to DeadlineExceeded.
+func TestDeadlineMidGibbs(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.GibbsBurnin = 20
+	cfg.GibbsSamples = 50_000_000
+	start := time.Now()
+	_, err := paperKB(t).ExpandContext(ctx, cfg)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline enforcement took %v", elapsed)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PartialError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, does not unwrap to context.DeadlineExceeded", err)
+	}
+}

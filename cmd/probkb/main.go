@@ -9,10 +9,18 @@
 //	               [-segments N] [-iters N] [-no-constraints] [-theta F]
 //	               [-no-inference] [-burnin N] [-samples N] [-seed N] [-v] [-trace]
 //	               [-journal FILE]
+//	               [-chaos-seed N] [-chaos-fail P] [-chaos-panic P]
+//	               [-chaos-straggle P] [-chaos-delay D]
+//	               [-retries N] [-retry-backoff D]
 //	    Expand the KB: quality control, batched grounding, Gibbs
 //	    marginals. Writes the expanded KB to -out if given; prints a
 //	    summary and the top inferred facts. -journal streams the run
-//	    journal (JSONL events) to FILE for probkb report.
+//	    journal (JSONL events) to FILE for probkb report. SIGINT/SIGTERM
+//	    cancel the run cooperatively: partial results are summarized, the
+//	    journal is flushed, and the exit code is 1. The -chaos-* flags
+//	    deterministically inject segment-task failures, panics, and
+//	    stragglers into MPP runs; -retries re-executes failed segment
+//	    tasks (results are unchanged — see probkb report's fault section).
 //
 //	probkb report  [-top N] [-skew N] [-json] JOURNAL
 //	    Analyze a run journal written by expand -journal: per-phase time
@@ -35,12 +43,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"probkb"
 	"probkb/internal/obs"
@@ -132,6 +145,13 @@ func cmdExpand(args []string) {
 	trace := fs.Bool("trace", false, "print the expansion's span tree (per-stage timings)")
 	factorsDir := fs.String("factors", "", "export the ground factor graph (variables.tsv, factors.tsv) to this directory")
 	journalPath := fs.String("journal", "", "stream the run journal (JSONL events) to this file; analyze with probkb report")
+	chaosSeed := fs.Int64("chaos-seed", 0, "fault-injection seed (MPP engines)")
+	chaosFail := fs.Float64("chaos-fail", 0, "per-segment-task probability of an injected failure")
+	chaosPanic := fs.Float64("chaos-panic", 0, "per-segment-task probability of an injected worker panic")
+	chaosStraggle := fs.Float64("chaos-straggle", 0, "per-segment-task probability of an injected straggler")
+	chaosDelay := fs.Duration("chaos-delay", 10*time.Millisecond, "injected straggler sleep")
+	retries := fs.Int("retries", 0, "re-execute a failed MPP segment task up to N times")
+	retryBackoff := fs.Duration("retry-backoff", time.Millisecond, "base delay before segment retry k (scaled linearly)")
 	fs.Parse(args)
 
 	k := loadKB(*dir)
@@ -151,10 +171,36 @@ func cmdExpand(args []string) {
 		GibbsParallel:    true,
 		Seed:             *seed,
 		JournalPath:      *journalPath,
+		SegmentRetries:   *retries,
+		RetryBackoff:     *retryBackoff,
 	}
-	exp, err := k.Expand(cfg)
+	if *chaosFail > 0 || *chaosPanic > 0 || *chaosStraggle > 0 {
+		cfg.Faults = &probkb.FaultConfig{
+			Seed:          *chaosSeed,
+			FailRate:      *chaosFail,
+			PanicRate:     *chaosPanic,
+			StraggleRate:  *chaosStraggle,
+			StraggleDelay: *chaosDelay,
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the run context. The pipeline honors
+	// cancellation cooperatively and returns a PartialError whose journal
+	// has been flushed, so `probkb report` works on interrupted runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	exp, err := k.ExpandContext(ctx, cfg)
+	interrupted := false
 	if err != nil {
-		die(err)
+		var pe *probkb.PartialError
+		if !errors.As(err, &pe) {
+			die(err)
+		}
+		interrupted = true
+		exp = pe.Partial
+		fmt.Fprintf(os.Stderr, "probkb: run interrupted during %s (%v); partial results follow\n",
+			pe.Phase, pe.Err)
 	}
 	st := exp.Stats()
 	fmt.Printf("engine         %s\n", eng)
@@ -192,6 +238,14 @@ func cmdExpand(args []string) {
 		}
 	}
 
+	if interrupted {
+		// A partial run is not a publishable expansion: skip -out and
+		// -factors, exit nonzero. The journal (if any) is already flushed.
+		if *factorsDir != "" || *out != "" {
+			fmt.Fprintln(os.Stderr, "probkb: run was interrupted; skipping -out/-factors output")
+		}
+		os.Exit(1)
+	}
 	if *factorsDir != "" {
 		if err := exp.SaveFactorGraph(*factorsDir); err != nil {
 			die(err)

@@ -92,7 +92,10 @@ func (e *Expansion) emitRunEnd() {
 }
 
 // runInference builds the factor graph and fills inferred facts'
-// probabilities with Gibbs marginals.
+// probabilities with Gibbs marginals. On context cancellation it
+// applies the marginals estimated from the samples collected so far (if
+// any) and returns the context error; ExpandContext wraps that into a
+// PartialError.
 func (e *Expansion) runInference(ctx context.Context) error {
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "infer")
@@ -132,14 +135,16 @@ func (e *Expansion) runInference(ctx context.Context) error {
 			e.jr.Emit(journal.TypeGibbsCheckpoint, jcp)
 		}
 	}
-	probs := infer.Marginals(g, iopts)
-	if err := infer.ApplyMarginals(g, e.res.Facts, probs); err != nil {
-		return err
+	probs, collected, err := infer.MarginalsContext(ctx, g, iopts)
+	if collected > 0 {
+		if aerr := infer.ApplyMarginals(g, e.res.Facts, probs); aerr != nil {
+			return aerr
+		}
 	}
 	e.inferenceTime = time.Since(start)
 	span.SetAttr("vars", g.NumVars())
 	observeStage("infer", start)
-	return nil
+	return err
 }
 
 // Stats returns the expansion summary.

@@ -246,7 +246,9 @@ func Fig4(cfg Config, w io.Writer) error {
 			return err
 		}
 		loadStart := time.Now()
-		g.Load()
+		if err := g.Load(); err != nil {
+			return err
+		}
 		loadTime := time.Since(loadStart)
 		plan := g.AtomsPlan(mln.P3)
 		start := time.Now()

@@ -54,9 +54,21 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 	atomStart := time.Now()
 	atomsCtx, atomsSpan := obs.StartSpan(ctx, "ground.atoms")
 	maxIters := g.opts.MaxIterations
+	// partial packages what grounding completed so far so a cancelled run
+	// can hand back a usable PartialError instead of discarding work.
+	partial := func(err error) (*Result, error) {
+		res.Facts = tpi
+		res.AtomTime = time.Since(atomStart)
+		return res, err
+	}
 	// Semi-naive bookkeeping: deltaFrom marks where the previous
 	// iteration's new rows start; -1 forces a full (naive) join.
 	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
+		// Cooperative cancellation: check at every fixpoint iteration.
+		if err := atomsCtx.Err(); err != nil {
+			atomsSpan.End()
+			return partial(err)
+		}
 		iterStart := time.Now()
 		_, iterSpan := obs.StartSpan(atomsCtx, "iteration")
 		st := IterStats{Iteration: iter}
@@ -79,7 +91,7 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 				if err != nil {
 					iterSpan.End()
 					atomsSpan.End()
-					return nil, fmt.Errorf("ground: partition %d atoms query: %w", p, err)
+					return partial(fmt.Errorf("ground: partition %d atoms query: %w", p, err))
 				}
 				observePartition("atoms", p, time.Since(planStart))
 				engine.ObservePlan("ground-atoms", plan)
@@ -145,15 +157,22 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 
 	// Phase 2: ground factors (Algorithm 1 lines 8-10).
 	factorStart := time.Now()
-	_, factorsSpan := obs.StartSpan(ctx, "ground.factors")
+	factorsCtx, factorsSpan := obs.StartSpan(ctx, "ground.factors")
 	factors := engine.NewTable("TPhi", FactorSchema())
 	for _, p := range active {
+		// Cooperative cancellation: check between factor queries. The
+		// grounded facts survive in the partial result; only the factor
+		// table is incomplete.
+		if err := factorsCtx.Err(); err != nil {
+			factorsSpan.End()
+			return res, err
+		}
 		plan := g.factorsPlan(p, tpi)
 		planStart := time.Now()
 		out, err := plan.Run()
 		if err != nil {
 			factorsSpan.End()
-			return nil, fmt.Errorf("ground: partition %d factors query: %w", p, err)
+			return res, fmt.Errorf("ground: partition %d factors query: %w", p, err)
 		}
 		observePartition("factors", p, time.Since(planStart))
 		engine.ObservePlan("ground-factors", plan)

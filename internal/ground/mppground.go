@@ -55,13 +55,19 @@ func NewMPP(k *kb.KB, opts Options, cluster *mpp.Cluster, useViews bool) (*MPPGr
 // load distributes the facts table and replicates the MLN tables across
 // the cluster; with views enabled it also materializes the four
 // redistributed views.
-func (g *MPPGrounder) load() {
+func (g *MPPGrounder) load() error {
+	if err := g.cluster.Err(); err != nil {
+		return err
+	}
 	g.tpi = g.kb.FactsTable()
 	g.ix = newFactIndex(g.tpi)
-	g.redistribute()
+	if err := g.redistribute(); err != nil {
+		return err
+	}
 	for _, p := range g.parts.NonEmpty() {
 		g.repM[p] = g.cluster.Replicate(g.parts.Table(p))
 	}
+	return nil
 }
 
 // redistribute reloads the distributed facts table from the master copy
@@ -69,44 +75,58 @@ func (g *MPPGrounder) load() {
 // constraint deletions invalidate the copies). Only the three views the
 // groundAtoms queries probe are built here; the head-join view of the
 // factor phase is materialized lazily by ensureHeadView.
-func (g *MPPGrounder) redistribute() {
+func (g *MPPGrounder) redistribute() error {
 	// The base table is distributed by fact ID — a fine key for storage
 	// balance, but never a join key; the views (or motions) supply join
 	// placement.
 	g.dT = g.cluster.Distribute(g.tpi, []int{kb.TPiI})
+	if err := g.dT.Err(); err != nil {
+		return err
+	}
 	g.distributedLen = g.tpi.NumRows()
 	if !g.useViews {
 		g.views = nil
-		return
+		return nil
 	}
 	g.views = mpp.NewViews(g.cluster)
 	for _, key := range [][]int{keyRCC, keyRCxC, keyRCCy} {
-		g.views.Materialize(g.dT, key)
+		if v := g.views.Materialize(g.dT, key); v.Err() != nil {
+			return v.Err()
+		}
 	}
+	return nil
 }
 
 // ensureHeadView materializes the (R, C1, x, C2, y) view the factor
 // phase's head joins probe; grounding iterations never use it, so it is
 // built once, just in time.
-func (g *MPPGrounder) ensureHeadView() {
+func (g *MPPGrounder) ensureHeadView() error {
 	if g.views == nil {
-		return
+		return nil
 	}
 	if _, ok := g.views.Lookup(g.dT.Name(), keyRCxCy); !ok {
-		g.views.Materialize(g.dT, keyRCxCy)
+		if v := g.views.Materialize(g.dT, keyRCxCy); v.Err() != nil {
+			return v.Err()
+		}
 	}
+	return nil
 }
 
 // appendDelta incrementally ships the master rows added since the last
 // distribution to the cluster copies and views (Algorithm 1 line 7, the
 // common no-deletion case).
-func (g *MPPGrounder) appendDelta() {
+func (g *MPPGrounder) appendDelta() error {
 	from := g.distributedLen
-	g.dT.AppendFrom(g.tpi, from)
+	if err := g.dT.AppendFrom(g.tpi, from); err != nil {
+		return err
+	}
 	if g.views != nil {
-		g.views.AppendFrom(g.dT.Name(), g.tpi, from)
+		if err := g.views.AppendFrom(g.dT.Name(), g.tpi, from); err != nil {
+			return err
+		}
 	}
 	g.distributedLen = g.tpi.NumRows()
+	return nil
 }
 
 // Ground runs the distributed Algorithm 1.
@@ -119,8 +139,11 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 
 	loadStart := time.Now()
 	_, loadSpan := obs.StartSpan(ctx, "ground.load")
-	g.load()
+	err := g.load()
 	loadSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("ground: mpp load: %w", err)
+	}
 	res.LoadTime = time.Since(loadStart)
 	res.BaseFacts = g.tpi.NumRows()
 
@@ -128,8 +151,21 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 
 	atomStart := time.Now()
 	atomsCtx, atomsSpan := obs.StartSpan(ctx, "ground.atoms")
+	// partial packages what grounding completed so far so a cancelled run
+	// can hand back a usable PartialError instead of discarding work.
+	partial := func(err error) (*Result, error) {
+		res.Facts = g.tpi
+		res.AtomTime = time.Since(atomStart)
+		return res, err
+	}
+
 	maxIters := g.opts.MaxIterations
 	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
+		// Cooperative cancellation: check at every fixpoint iteration.
+		if err := atomsCtx.Err(); err != nil {
+			atomsSpan.End()
+			return partial(err)
+		}
 		iterStart := time.Now()
 		_, iterSpan := obs.StartSpan(atomsCtx, "iteration")
 		st := IterStats{Iteration: iter}
@@ -143,7 +179,7 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 			if err != nil {
 				iterSpan.End()
 				atomsSpan.End()
-				return nil, fmt.Errorf("ground: mpp partition %d atoms query: %w", p, err)
+				return partial(fmt.Errorf("ground: mpp partition %d atoms query: %w", p, err))
 			}
 			observePartition("atoms", p, time.Since(planStart))
 			mpp.ObservePlan("mpp-atoms", plan)
@@ -171,14 +207,20 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 		lastIter := st.NewFacts == 0 || (maxIters != 0 && iter == maxIters)
 		needFresh := !lastIter || !g.opts.SkipFactors
 		if needFresh {
+			var err error
 			switch {
 			case st.Deleted > 0:
 				// Deletions invalidate the cluster copies; rebuild.
-				g.redistribute()
+				err = g.redistribute()
 			case st.NewFacts > 0:
 				// The common case: incrementally maintain the distributed
 				// table and its views with just the new rows.
-				g.appendDelta()
+				err = g.appendDelta()
+			}
+			if err != nil {
+				iterSpan.End()
+				atomsSpan.End()
+				return partial(fmt.Errorf("ground: mpp view maintenance: %w", err))
 			}
 		}
 
@@ -214,16 +256,26 @@ func (g *MPPGrounder) Ground() (*Result, error) {
 	}
 
 	factorStart := time.Now()
-	_, factorsSpan := obs.StartSpan(ctx, "ground.factors")
-	g.ensureHeadView()
+	factorsCtx, factorsSpan := obs.StartSpan(ctx, "ground.factors")
+	if err := g.ensureHeadView(); err != nil {
+		factorsSpan.End()
+		return res, fmt.Errorf("ground: mpp head view: %w", err)
+	}
 	factors := engine.NewTable("TPhi", FactorSchema())
 	for _, p := range active {
+		// Cooperative cancellation: check between factor queries. The
+		// grounded facts survive in the partial result; only the factor
+		// table is incomplete.
+		if err := factorsCtx.Err(); err != nil {
+			factorsSpan.End()
+			return res, err
+		}
 		plan := g.factorsPlanMPP(p)
 		planStart := time.Now()
 		out, err := plan.Run()
 		if err != nil {
 			factorsSpan.End()
-			return nil, fmt.Errorf("ground: mpp partition %d factors query: %w", p, err)
+			return res, fmt.Errorf("ground: mpp partition %d factors query: %w", p, err)
 		}
 		observePartition("factors", p, time.Since(planStart))
 		mpp.ObservePlan("mpp-factors", plan)
@@ -251,7 +303,7 @@ func (g *MPPGrounder) probeT() mpp.Node { return mpp.NewScan(g.dT) }
 
 // Load distributes the facts and MLN tables without grounding; the
 // Figure 4 harness uses it to build standalone plans.
-func (g *MPPGrounder) Load() { g.load() }
+func (g *MPPGrounder) Load() error { return g.load() }
 
 // AtomsPlan exposes the distributed groundAtoms plan for partition p; the
 // Figure 4 harness uses it to print optimized vs unoptimized plans.

@@ -15,6 +15,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -105,10 +106,22 @@ func (o Options) withDefaults() Options {
 
 // Marginals estimates P(X_v = 1) for every variable by Gibbs sampling.
 func Marginals(g *factor.Graph, opts Options) []float64 {
+	probs, _, _ := MarginalsContext(context.Background(), g, opts)
+	return probs
+}
+
+// MarginalsContext is Marginals with cooperative cancellation: the
+// sampler checks ctx once per sweep (sequential) or per color class
+// (chromatic) and stops early when it is cancelled or past its
+// deadline. It returns the marginal estimates normalized over the
+// post-burn-in sweeps actually collected, that count, and the context's
+// error (nil on a full run). On cancellation before any sample was
+// collected the estimates are nil.
+func MarginalsContext(ctx context.Context, g *factor.Graph, opts Options) ([]float64, int, error) {
 	opts = opts.withDefaults()
 	n := g.NumVars()
 	if n == 0 {
-		return nil
+		return nil, 0, ctx.Err()
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
@@ -119,17 +132,23 @@ func Marginals(g *factor.Graph, opts Options) []float64 {
 
 	counts := make([]int64, n)
 	ob := newSweepObserver(assign, opts)
+	var collected int
+	var err error
 	if opts.Parallel {
-		runChromatic(g, assign, counts, opts, ob)
+		collected, err = runChromatic(ctx, g, assign, counts, opts, ob)
 	} else {
-		runSequential(g, assign, counts, opts, rng, ob)
+		collected, err = runSequential(ctx, g, assign, counts, opts, rng, ob)
 	}
+	ob.finish()
 
+	if collected == 0 {
+		return nil, 0, err
+	}
 	probs := make([]float64, n)
 	for v := range probs {
-		probs[v] = float64(counts[v]) / float64(opts.Samples)
+		probs[v] = float64(counts[v]) / float64(collected)
 	}
-	return probs
+	return probs, collected, err
 }
 
 // condLogOdds computes log P(v=1 | blanket) - log P(v=0 | blanket): the
@@ -167,9 +186,14 @@ func sigmoid(x float64) float64 {
 	return e / (1 + e)
 }
 
-func runSequential(g *factor.Graph, assign []bool, counts []int64, opts Options, rng *rand.Rand, ob *sweepObserver) {
+func runSequential(ctx context.Context, g *factor.Graph, assign []bool, counts []int64, opts Options, rng *rand.Rand, ob *sweepObserver) (int, error) {
 	n := g.NumVars()
+	collected := 0
 	for sweep := 0; sweep < opts.Burnin+opts.Samples; sweep++ {
+		// Cooperative cancellation: check once per sweep.
+		if err := ctx.Err(); err != nil {
+			return collected, err
+		}
 		for v := 0; v < n; v++ {
 			sampleVar(g, assign, int32(v), rng.Float64())
 		}
@@ -179,9 +203,11 @@ func runSequential(g *factor.Graph, assign []bool, counts []int64, opts Options,
 					counts[v]++
 				}
 			}
+			collected++
 		}
 		ob.observe(sweep+1, assign)
 	}
+	return collected, nil
 }
 
 // sweepObserver tracks per-sweep progress: flip counts (by diffing the
@@ -262,6 +288,13 @@ func (o *sweepObserver) observe(sweep int, assign []bool) {
 	}
 }
 
+// finish runs once when the chain ends, on every exit path (completion
+// or cancellation). It zeroes the samples-per-second gauge so a
+// finished run does not advertise its last in-flight rate forever.
+func (o *sweepObserver) finish() {
+	o.sps.Set(0)
+}
+
 // Coloring holds a chromatic schedule: color[v] per variable, classes
 // listing the variables of each color.
 type Coloring struct {
@@ -334,7 +367,7 @@ func splitmix64(state *uint64) float64 {
 	return float64(z>>11) / (1 << 53)
 }
 
-func runChromatic(g *factor.Graph, assign []bool, counts []int64, opts Options, ob *sweepObserver) {
+func runChromatic(ctx context.Context, g *factor.Graph, assign []bool, counts []int64, opts Options, ob *sweepObserver) (int, error) {
 	coloring := ColorGraph(g)
 	n := g.NumVars()
 
@@ -349,8 +382,15 @@ func runChromatic(g *factor.Graph, assign []bool, counts []int64, opts Options, 
 		states[v] = uint64(seeder.Int63())
 	}
 
+	collected := 0
 	for sweep := 0; sweep < opts.Burnin+opts.Samples; sweep++ {
 		for _, class := range coloring.Classes {
+			// Cooperative cancellation: color classes are the natural
+			// synchronization points of the chromatic schedule, so check
+			// before each one.
+			if err := ctx.Err(); err != nil {
+				return collected, err
+			}
 			// All variables in one class are mutually non-adjacent, so
 			// sampling them concurrently equals sampling them in any
 			// sequential order. Small classes run inline: goroutine
@@ -372,9 +412,11 @@ func runChromatic(g *factor.Graph, assign []bool, counts []int64, opts Options, 
 					counts[v]++
 				}
 			}
+			collected++
 		}
 		ob.observe(sweep+1, assign)
 	}
+	return collected, nil
 }
 
 // parallelFor runs f(0..n-1) across at most workers goroutines.

@@ -21,7 +21,7 @@ type FilterNode struct {
 // NewFilter returns a distributed filter.
 func NewFilter(child Node, desc string, pred func(t *engine.Table, row int) bool) *FilterNode {
 	return &FilterNode{
-		dbase: dbase{cluster: clusterOf(child), schema: child.OutSchema(), dist: child.OutDist()},
+		dbase: childBase(child, child.OutSchema(), child.OutDist()),
 		child: child, pred: pred, desc: desc,
 	}
 }
@@ -29,8 +29,13 @@ func NewFilter(child Node, desc string, pred func(t *engine.Table, row int) bool
 func (n *FilterNode) Children() []Node { return []Node{n.child} }
 func (n *FilterNode) Label() string    { return "Filter (" + n.desc + ")" }
 
-// Run filters every segment in parallel.
+// Run filters every segment in parallel. The segment task builds a fresh
+// local table and assigns it last, so a retried attempt cannot leave
+// partial rows behind.
 func (n *FilterNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -46,7 +51,9 @@ func (n *FilterNode) Run() (*DistTable, error) {
 					keep = append(keep, int32(r))
 				}
 			}
-			out.segs[i].AppendRowsFrom(seg, keep)
+			t := engine.NewTable(fmt.Sprintf("filter.seg%d", i), n.schema)
+			t.AppendRowsFrom(seg, keep)
+			out.segs[i] = t
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
@@ -74,7 +81,7 @@ func NewProject(child Node, exprs ...engine.OutExpr) *ProjectNode {
 	probe := engine.NewProject(engine.NewScan(engine.NewTable("", child.OutSchema())), exprs...)
 	dist := remapDist(child.OutDist(), exprs)
 	return &ProjectNode{
-		dbase: dbase{cluster: clusterOf(child), schema: probe.OutSchema(), dist: dist},
+		dbase: childBase(child, probe.OutSchema(), dist),
 		child: child, exprs: exprs,
 	}
 }
@@ -109,6 +116,9 @@ func (n *ProjectNode) Label() string    { return fmt.Sprintf("Project (%d cols)"
 
 // Run projects every segment in parallel.
 func (n *ProjectNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -122,7 +132,8 @@ func (n *ProjectNode) Run() (*DistTable, error) {
 			if err != nil {
 				return err
 			}
-			out.segs[i].AppendTable(t)
+			t.SetName(fmt.Sprintf("project.seg%d", i))
+			out.segs[i] = t
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
@@ -138,9 +149,9 @@ func (n *ProjectNode) Run() (*DistTable, error) {
 // Collocation is a *precondition*: either at least one input is
 // replicated, or both inputs are hash-distributed on exactly the join key
 // tuples. The planner (PlanJoin) is responsible for inserting motions to
-// establish it; constructing a join over non-collocated inputs panics,
-// because silently joining them would drop matches that live on different
-// segments.
+// establish it; a join constructed over non-collocated inputs records a
+// deferred error and fails at Run, because silently joining them would
+// drop matches that live on different segments.
 type HashJoinNode struct {
 	dbase
 	build, probe         Node
@@ -154,19 +165,10 @@ type HashJoinNode struct {
 // NewHashJoin constructs a distributed hash join. See HashJoinNode for the
 // collocation precondition.
 func NewHashJoin(build, probe Node, buildKeys, probeKeys []int, outs []engine.JoinOut, desc string) *HashJoinNode {
-	if len(buildKeys) != len(probeKeys) {
-		panic("mpp: HashJoin key lists differ in length")
-	}
 	bd, pd := build.OutDist(), probe.OutDist()
-	collocated := bd.Replicated || pd.Replicated ||
-		(keysEqual(bd.Key, buildKeys) && keysEqual(pd.Key, probeKeys))
-	if !collocated {
-		panic(fmt.Sprintf("mpp: HashJoin inputs not collocated: build %s on %v, probe %s on %v",
-			bd, buildKeys, pd, probeKeys))
-	}
 	sch := engine.JoinSchema(build.OutSchema(), probe.OutSchema(), outs)
-	return &HashJoinNode{
-		dbase:     dbase{cluster: clusterOf(build), schema: sch, dist: joinOutputDist(bd, pd, buildKeys, probeKeys, outs)},
+	n := &HashJoinNode{
+		dbase:     childBase(build, sch, joinOutputDist(bd, pd, buildKeys, probeKeys, outs)),
 		build:     build,
 		probe:     probe,
 		buildKeys: buildKeys,
@@ -174,6 +176,17 @@ func NewHashJoin(build, probe Node, buildKeys, probeKeys []int, outs []engine.Jo
 		outs:      outs,
 		desc:      desc,
 	}
+	if n.err == nil {
+		switch collocated := bd.Replicated || pd.Replicated ||
+			(keysEqual(bd.Key, buildKeys) && keysEqual(pd.Key, probeKeys)); {
+		case len(buildKeys) != len(probeKeys):
+			n.err = fmt.Errorf("mpp: HashJoin key lists differ in length: %v vs %v", buildKeys, probeKeys)
+		case !collocated:
+			n.err = fmt.Errorf("mpp: HashJoin inputs not collocated: build %s on %v, probe %s on %v",
+				bd, buildKeys, pd, probeKeys)
+		}
+	}
+	return n
 }
 
 // joinOutputDist derives the output distribution of a collocated join.
@@ -236,6 +249,9 @@ func (n *HashJoinNode) Label() string {
 
 // Run joins every segment pair in parallel.
 func (n *HashJoinNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -278,13 +294,14 @@ type DistinctNode struct {
 // NewDistinct constructs a distributed duplicate elimination.
 func NewDistinct(child Node, keys []int) *DistinctNode {
 	d := child.OutDist()
-	if !d.Replicated && !subsetOf(d.Key, keys) {
-		panic(fmt.Sprintf("mpp: Distinct on %v over input distributed %s: equal keys not collocated", keys, d))
-	}
-	return &DistinctNode{
-		dbase: dbase{cluster: clusterOf(child), schema: child.OutSchema(), dist: d},
+	n := &DistinctNode{
+		dbase: childBase(child, child.OutSchema(), d),
 		child: child, keys: keys,
 	}
+	if n.err == nil && !d.Replicated && !subsetOf(d.Key, keys) {
+		n.err = fmt.Errorf("mpp: Distinct on %v over input distributed %s: equal keys not collocated", keys, d)
+	}
+	return n
 }
 
 // subsetOf reports whether every element of sub appears in super; a nil
@@ -315,6 +332,9 @@ func (n *DistinctNode) Label() string {
 
 // Run deduplicates every segment in parallel.
 func (n *DistinctNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -327,7 +347,8 @@ func (n *DistinctNode) Run() (*DistTable, error) {
 			if err != nil {
 				return err
 			}
-			out.segs[i].AppendTable(t)
+			t.SetName(fmt.Sprintf("distinct.seg%d", i))
+			out.segs[i] = t
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
@@ -350,9 +371,6 @@ type GroupByNode struct {
 // NewGroupBy constructs a distributed aggregation.
 func NewGroupBy(child Node, keys []int, aggs []engine.AggSpec) *GroupByNode {
 	d := child.OutDist()
-	if !d.Replicated && !subsetOf(d.Key, keys) {
-		panic(fmt.Sprintf("mpp: GroupBy on %v over input distributed %s: groups not collocated", keys, d))
-	}
 	sch := engine.GroupBySchema(child.OutSchema(), keys, aggs)
 	// Key columns come first in the output; remap the input's hash key.
 	var outDist Distribution
@@ -381,10 +399,14 @@ func NewGroupBy(child Node, keys []int, aggs []engine.AggSpec) *GroupByNode {
 			outDist = RandomDist()
 		}
 	}
-	return &GroupByNode{
-		dbase: dbase{cluster: clusterOf(child), schema: sch, dist: outDist},
+	n := &GroupByNode{
+		dbase: childBase(child, sch, outDist),
 		child: child, keys: keys, aggs: aggs,
 	}
+	if n.err == nil && !d.Replicated && !subsetOf(d.Key, keys) {
+		n.err = fmt.Errorf("mpp: GroupBy on %v over input distributed %s: groups not collocated", keys, d)
+	}
+	return n
 }
 
 func (n *GroupByNode) Children() []Node { return []Node{n.child} }
@@ -394,6 +416,9 @@ func (n *GroupByNode) Label() string {
 
 // Run aggregates every segment in parallel.
 func (n *GroupByNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -406,7 +431,8 @@ func (n *GroupByNode) Run() (*DistTable, error) {
 			if err != nil {
 				return err
 			}
-			out.segs[i].AppendTable(t)
+			t.SetName(fmt.Sprintf("groupby.seg%d", i))
+			out.segs[i] = t
 			return nil
 		})
 		n.stats.SegSeconds = segSecs

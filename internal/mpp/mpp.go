@@ -23,13 +23,16 @@
 package mpp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probkb/internal/engine"
 	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 )
 
 // Cluster metrics: per-segment task wall times (the skew view Figure 6
@@ -51,20 +54,81 @@ func ObservePlan(query string, root Node) {
 }
 
 // Cluster models a shared-nothing MPP database with a fixed segment count.
+//
+// Setup or collocation mistakes never panic: an invalid cluster carries a
+// deferred error that every derived table and plan inherits and that
+// surfaces when the plan runs, so a malformed distributed query is an
+// ordinary error at the SQL/HTTP surface instead of a process exit.
 type Cluster struct {
 	nseg int
+	err  error
+
+	// ctx, faults, retry and jr configure segment-task execution; see
+	// SetContext, SetFaults, SetRetry and SetJournal.
+	ctx     context.Context
+	faults  *FaultPlan
+	retry   RetryPolicy
+	jr      *journal.Writer
+	taskSeq atomic.Int64
 }
 
-// NewCluster returns a cluster with n segments; n must be >= 1.
+// NewCluster returns a cluster with n segments. A cluster with n < 1 is
+// invalid; it is still returned (with one inert segment) and every plan
+// run against it fails with the recorded error.
 func NewCluster(n int) *Cluster {
 	if n < 1 {
-		panic("mpp: cluster needs at least one segment")
+		return &Cluster{nseg: 1, err: fmt.Errorf("mpp: cluster needs at least one segment, got %d", n)}
 	}
 	return &Cluster{nseg: n}
 }
 
 // NumSegments returns the cluster's segment count.
 func (c *Cluster) NumSegments() int { return c.nseg }
+
+// Err returns the cluster's deferred setup error, if any.
+func (c *Cluster) Err() error { return c.err }
+
+// SetContext attaches a context to the cluster. Segment tasks check it
+// before (and retries during) execution, so cancelling it stops a
+// running distributed plan at the next task boundary.
+func (c *Cluster) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// SetFaults installs a deterministic fault-injection plan (nil disables).
+func (c *Cluster) SetFaults(p *FaultPlan) { c.faults = p }
+
+// SetRetry installs the segment-task retry policy.
+func (c *Cluster) SetRetry(p RetryPolicy) { c.retry = p }
+
+// SetJournal attaches a run journal; injected faults and retries are
+// recorded as segment_fault / segment_retry events.
+func (c *Cluster) SetJournal(w *journal.Writer) { c.jr = w }
+
+// ctxErr returns the attached context's error, if any.
+func (c *Cluster) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// sleep waits d, returning early with the context error on cancellation.
+func (c *Cluster) sleep(d time.Duration) error {
+	if d <= 0 {
+		return c.ctxErr()
+	}
+	if c.ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
 
 // Distribution describes how a DistTable's rows are placed.
 //
@@ -101,17 +165,23 @@ func (d Distribution) String() string {
 }
 
 // DistTable is a relation partitioned (or replicated) across the segments
-// of one cluster.
+// of one cluster. A table created under an invalid cluster or placement
+// carries a deferred error (Err); plans over it fail at Run instead of
+// panicking.
 type DistTable struct {
 	cluster *Cluster
 	name    string
 	schema  engine.Schema
 	dist    Distribution
 	segs    []*engine.Table
+	err     error
 }
 
 // Name returns the distributed table's name.
 func (d *DistTable) Name() string { return d.name }
+
+// Err returns the table's deferred setup error, if any.
+func (d *DistTable) Err() error { return d.err }
 
 // SetName renames the distributed table.
 func (d *DistTable) SetName(n string) {
@@ -151,9 +221,10 @@ func segmentOf(t *engine.Table, row int, key []int, nseg int) int {
 	return int(engine.HashRow(t, row, key) % uint64(nseg))
 }
 
-// newDistTable allocates the per-segment shells.
+// newDistTable allocates the per-segment shells; the table inherits the
+// cluster's deferred error.
 func (c *Cluster) newDistTable(name string, schema engine.Schema, dist Distribution) *DistTable {
-	d := &DistTable{cluster: c, name: name, schema: schema, dist: dist}
+	d := &DistTable{cluster: c, name: name, schema: schema, dist: dist, err: c.err}
 	d.segs = make([]*engine.Table, c.nseg)
 	for i := range d.segs {
 		d.segs[i] = engine.NewTable(fmt.Sprintf("%s.seg%d", name, i), schema)
@@ -163,11 +234,18 @@ func (c *Cluster) newDistTable(name string, schema engine.Schema, dist Distribut
 
 // Distribute loads t into the cluster hash-partitioned by the given key
 // columns. This is the bulkload path (CREATE TABLE ... DISTRIBUTED BY).
+// An empty key is a placement error, recorded on the returned table
+// (use Replicate for replicated tables).
 func (c *Cluster) Distribute(t *engine.Table, key []int) *DistTable {
 	if len(key) == 0 {
-		panic("mpp: Distribute needs a non-empty key; use Replicate for replicated tables")
+		d := c.newDistTable(t.Name(), t.Schema(), RandomDist())
+		d.err = fmt.Errorf("mpp: Distribute %s needs a non-empty key; use Replicate for replicated tables", t.Name())
+		return d
 	}
 	d := c.newDistTable(t.Name(), t.Schema(), HashedBy(append([]int(nil), key...)...))
+	if d.err != nil {
+		return d
+	}
 	scatterInto(t, d.segs, key)
 	return d
 }
@@ -206,11 +284,15 @@ func scatterInto(t *engine.Table, segs []*engine.Table, key []int) [][]int32 {
 // distributed table: hashed tables scatter the delta by their key,
 // replicated tables append it everywhere. This is the incremental
 // materialized-view maintenance path the grounder uses between
-// iterations (a full rebuild is only needed after deletions).
-func (d *DistTable) AppendFrom(t *engine.Table, from int) {
+// iterations (a full rebuild is only needed after deletions). Appending
+// into an errored or randomly distributed table is an error.
+func (d *DistTable) AppendFrom(t *engine.Table, from int) error {
+	if d.err != nil {
+		return d.err
+	}
 	n := t.NumRows()
 	if from >= n {
-		return
+		return nil
 	}
 	rows := make([]int32, 0, n-from)
 	for r := from; r < n; r++ {
@@ -222,13 +304,14 @@ func (d *DistTable) AppendFrom(t *engine.Table, from int) {
 		for i := range d.segs {
 			d.segs[i].AppendTable(delta)
 		}
-		return
+		return nil
 	}
 	key := d.dist.Key
 	if key == nil {
-		panic("mpp: AppendFrom into a randomly distributed table")
+		return fmt.Errorf("mpp: AppendFrom into randomly distributed table %s", d.name)
 	}
 	scatterInto(delta, d.segs, key)
+	return nil
 }
 
 // Gather collects a distributed table onto the master as one engine table.
@@ -248,7 +331,24 @@ func Gather(d *DistTable) *engine.Table {
 // returns each segment task's wall time in seconds plus the first error.
 // The times also land in /metrics; operators additionally stash them in
 // their NodeStats so per-operator straggler analysis can see them.
+//
+// Each per-segment execution goes through the segment-task runner, which
+// honors the cluster context, injects faults from the active FaultPlan,
+// recovers worker panics into per-segment errors, and retries failed
+// attempts under the retry policy. Segment tasks must be pure functions
+// of their input partitions (build fresh output, assign at the end) so
+// re-execution is idempotent.
 func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if err := c.ctxErr(); err != nil {
+		return nil, err
+	}
+	// Task IDs are assigned in plan-execution order, which is sequential
+	// per cluster, so fault draws are deterministic; the counter is
+	// atomic only to stay race-clean if plans ever overlap.
+	task := c.taskSeq.Add(1)
 	var wg sync.WaitGroup
 	errs := make([]error, c.nseg)
 	secs := make([]float64, c.nseg)
@@ -257,7 +357,7 @@ func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, error) {
 		go func(i int) {
 			defer wg.Done()
 			start := time.Now()
-			errs[i] = f(i)
+			errs[i] = c.runSegmentTask(task, i, f)
 			secs[i] = time.Since(start).Seconds()
 			obs.Default.Histogram("probkb_mpp_segment_seconds", nil,
 				obs.L("segment", strconv.Itoa(i))).Observe(secs[i])
@@ -270,6 +370,68 @@ func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, error) {
 		}
 	}
 	return secs, nil
+}
+
+// runSegmentTask executes one segment's share of a task, retrying failed
+// attempts up to the retry policy's bound with linear backoff.
+// Cancellation is never retried.
+func (c *Cluster) runSegmentTask(task int64, seg int, f func(i int) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retry.MaxRetries; attempt++ {
+		if err := c.ctxErr(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			c.noteRetry(task, seg, attempt, lastErr)
+			if err := c.sleep(time.Duration(attempt) * c.retry.Backoff); err != nil {
+				return err
+			}
+		}
+		err := c.attemptSegmentTask(task, seg, attempt, f)
+		if err == nil {
+			return nil
+		}
+		if isCtxErr(err) {
+			return err
+		}
+		lastErr = err
+	}
+	if c.retry.MaxRetries > 0 {
+		return fmt.Errorf("mpp: segment %d task %d failed after %d attempts: %w",
+			seg, task, c.retry.MaxRetries+1, lastErr)
+	}
+	return lastErr
+}
+
+// attemptSegmentTask is one attempt: draw (and apply) any injected
+// fault, then run the task body. A panicking worker — injected or real —
+// is recovered here and surfaces as a per-segment error gathered at the
+// motion boundary; this is the last-resort guard that keeps distributed
+// queries panic-free.
+func (c *Cluster) attemptSegmentTask(task int64, seg, attempt int, f func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mpp: segment %d task %d panicked: %v", seg, task, r)
+		}
+	}()
+	if c.faults != nil {
+		switch kind := c.faults.draw(task, seg, attempt); kind {
+		case faultFail:
+			c.noteFault(task, seg, attempt, kind)
+			return fmt.Errorf("mpp: injected failure (task %d, segment %d, attempt %d)", task, seg, attempt)
+		case faultPanic:
+			c.noteFault(task, seg, attempt, kind)
+			// The only panic in this package; the recover above converts it
+			// into a per-segment error like any real worker panic.
+			panic(fmt.Sprintf("injected panic (task %d, segment %d, attempt %d)", task, seg, attempt))
+		case faultStraggle:
+			c.noteFault(task, seg, attempt, kind)
+			if err := c.sleep(c.faults.StraggleDelay); err != nil {
+				return err
+			}
+		}
+	}
+	return f(seg)
 }
 
 // keysEqual reports whether two distribution key tuples are identical.

@@ -105,23 +105,29 @@ func TestReplicate(t *testing.T) {
 	}
 }
 
-func TestDistributeEmptyKeyPanics(t *testing.T) {
+func TestDistributeEmptyKeyError(t *testing.T) {
 	c := NewCluster(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Distribute with empty key did not panic")
-		}
-	}()
-	c.Distribute(twoColTable("T", nil, nil), nil)
+	d := c.Distribute(twoColTable("T", nil, nil), nil)
+	if d.Err() == nil {
+		t.Fatal("Distribute with empty key did not record an error")
+	}
+	// The deferred error surfaces when a plan over the table runs.
+	if _, err := NewScan(d).Run(); err == nil {
+		t.Fatal("scan over invalid distribution ran without error")
+	}
 }
 
 func TestNewClusterValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewCluster(0) did not panic")
-		}
-	}()
-	NewCluster(0)
+	c := NewCluster(0)
+	if c.Err() == nil {
+		t.Fatal("NewCluster(0) did not record an error")
+	}
+	// The broken cluster must still be safe to plan against: the error
+	// surfaces at Run, not as a crash.
+	d := c.Distribute(twoColTable("T", []int32{1}, []int32{2}), []int{0})
+	if _, err := NewScan(d).Run(); err == nil {
+		t.Fatal("scan on zero-segment cluster ran without error")
+	}
 }
 
 func TestRedistributeMotion(t *testing.T) {
@@ -344,18 +350,16 @@ func TestMaterializeRefresh(t *testing.T) {
 	}
 }
 
-func TestHashJoinCollocationPanics(t *testing.T) {
+func TestHashJoinCollocationError(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	left := randomTable(rng, "L", 10, 4)
 	right := randomTable(rng, "R", 10, 4)
 	c := NewCluster(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-collocated join did not panic")
-		}
-	}()
-	NewHashJoin(NewScan(c.Distribute(left, []int{1})), NewScan(c.Distribute(right, []int{1})),
+	j := NewHashJoin(NewScan(c.Distribute(left, []int{1})), NewScan(c.Distribute(right, []int{1})),
 		[]int{0}, []int{0}, []engine.JoinOut{engine.BuildCol("a", 0)}, "bad")
+	if _, err := j.Run(); err == nil {
+		t.Fatal("non-collocated join ran without error")
+	}
 }
 
 func TestDistributedFilterProject(t *testing.T) {
@@ -435,17 +439,14 @@ func TestDistributedDistinctAndGroupBy(t *testing.T) {
 	}
 }
 
-func TestDistinctCollocationPanics(t *testing.T) {
+func TestDistinctCollocationError(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	base := randomTable(rng, "T", 20, 4)
 	c := NewCluster(2)
 	d := c.Distribute(base, []int{0})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("distinct on non-collocated keys did not panic")
-		}
-	}()
-	NewDistinct(NewScan(d), []int{1})
+	if _, err := NewDistinct(NewScan(d), []int{1}).Run(); err == nil {
+		t.Fatal("distinct on non-collocated keys ran without error")
+	}
 }
 
 func TestEnsureDistributedBy(t *testing.T) {
@@ -566,8 +567,12 @@ func TestDistTableAppendFrom(t *testing.T) {
 	// Grow the master copy and ship only the delta.
 	base.AppendRow(int32(9), int32(9))
 	base.AppendRow(int32(10), int32(10))
-	d.AppendFrom(base, 3)
-	rep.AppendFrom(base, 3)
+	if err := d.AppendFrom(base, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.AppendFrom(base, 3); err != nil {
+		t.Fatal(err)
+	}
 	if d.NumRows() != 5 {
 		t.Fatalf("hashed append rows = %d, want 5", d.NumRows())
 	}
@@ -580,21 +585,20 @@ func TestDistTableAppendFrom(t *testing.T) {
 		}
 	}
 	// Empty delta is a no-op.
-	d.AppendFrom(base, base.NumRows())
+	if err := d.AppendFrom(base, base.NumRows()); err != nil {
+		t.Fatal(err)
+	}
 	if d.NumRows() != 5 {
 		t.Fatal("empty delta changed table")
 	}
-	// Appending into a random-dist table panics.
+	// Appending into a random-dist table is an error.
 	g, err := NewGather(NewScan(d)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AppendFrom into random dist did not panic")
-		}
-	}()
-	g.AppendFrom(base, 0)
+	if err := g.AppendFrom(base, 0); err == nil {
+		t.Fatal("AppendFrom into random dist did not return an error")
+	}
 }
 
 func TestViewsAppendFrom(t *testing.T) {

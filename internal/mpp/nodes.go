@@ -33,11 +33,29 @@ type dbase struct {
 	schema  engine.Schema
 	dist    Distribution
 	stats   engine.NodeStats
+	// err defers construction-time violations (collocation mistakes,
+	// invalid clusters, non-scan leaves) to Run, so building a malformed
+	// plan never panics: the error surfaces when the plan executes.
+	err error
 }
 
 func (b *dbase) OutSchema() engine.Schema { return b.schema }
 func (b *dbase) OutDist() Distribution    { return b.dist }
 func (b *dbase) Stats() *engine.NodeStats { return &b.stats }
+
+// childBase builds a dbase for an operator over child, inheriting the
+// cluster (and any deferred error) from the plan's leaves.
+func childBase(child Node, schema engine.Schema, dist Distribution) dbase {
+	b := dbase{schema: schema, dist: dist}
+	b.cluster = clusterOf(child)
+	switch {
+	case b.cluster == nil:
+		b.err = fmt.Errorf("mpp: plan has a leaf that is not a scan")
+	case b.cluster.err != nil:
+		b.err = b.cluster.err
+	}
+	return b
+}
 
 func timeRunD(st *engine.NodeStats, body func() (*DistTable, error)) (*DistTable, error) {
 	start := time.Now()
@@ -126,9 +144,10 @@ type ScanNode struct {
 	d *DistTable
 }
 
-// NewScan returns a scan over d.
+// NewScan returns a scan over d; a table with a deferred error makes the
+// scan (and any plan built on it) fail at Run.
 func NewScan(d *DistTable) *ScanNode {
-	return &ScanNode{dbase: dbase{cluster: d.cluster, schema: d.schema, dist: d.dist}, d: d}
+	return &ScanNode{dbase: dbase{cluster: d.cluster, schema: d.schema, dist: d.dist, err: d.err}, d: d}
 }
 
 func (n *ScanNode) Children() []Node { return nil }
@@ -139,6 +158,9 @@ func (n *ScanNode) Label() string {
 
 // Run returns the scanned table.
 func (n *ScanNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	return timeRunD(&n.stats, func() (*DistTable, error) { return n.d, nil })
 }
 
@@ -157,9 +179,8 @@ type RedistributeNode struct {
 
 // NewRedistribute returns a redistribute motion to the given key.
 func NewRedistribute(child Node, key []int) *RedistributeNode {
-	cl := clusterOf(child)
 	return &RedistributeNode{
-		dbase: dbase{cluster: cl, schema: child.OutSchema(), dist: HashedBy(append([]int(nil), key...)...)},
+		dbase: childBase(child, child.OutSchema(), HashedBy(append([]int(nil), key...)...)),
 		child: child,
 		key:   key,
 	}
@@ -170,6 +191,9 @@ func (n *RedistributeNode) Label() string    { return fmt.Sprintf("Redistribute 
 
 // Run reshuffles the child output.
 func (n *RedistributeNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -233,9 +257,8 @@ type BroadcastNode struct {
 
 // NewBroadcast returns a broadcast motion.
 func NewBroadcast(child Node) *BroadcastNode {
-	cl := clusterOf(child)
 	return &BroadcastNode{
-		dbase: dbase{cluster: cl, schema: child.OutSchema(), dist: ReplicatedDist()},
+		dbase: childBase(child, child.OutSchema(), ReplicatedDist()),
 		child: child,
 	}
 }
@@ -245,6 +268,9 @@ func (n *BroadcastNode) Label() string    { return "Broadcast Motion" }
 
 // Run replicates the child output.
 func (n *BroadcastNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -291,9 +317,8 @@ type GatherNode struct {
 
 // NewGather returns a gather motion.
 func NewGather(child Node) *GatherNode {
-	cl := clusterOf(child)
 	return &GatherNode{
-		dbase: dbase{cluster: cl, schema: child.OutSchema(), dist: RandomDist()},
+		dbase: childBase(child, child.OutSchema(), RandomDist()),
 		child: child,
 	}
 }
@@ -303,6 +328,9 @@ func (n *GatherNode) Label() string    { return "Gather Motion" }
 
 // Run gathers the child output onto segment 0.
 func (n *GatherNode) Run() (*DistTable, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	ins, err := runChildrenD(n)
 	if err != nil {
 		return nil, err
@@ -315,7 +343,9 @@ func (n *GatherNode) Run() (*DistTable, error) {
 	})
 }
 
-// clusterOf extracts the cluster a plan runs on.
+// clusterOf extracts the cluster a plan runs on, or nil when the plan
+// has a leaf that is not a scan (recorded as a deferred error by
+// childBase).
 func clusterOf(n Node) *Cluster {
 	for {
 		kids := n.Children()
@@ -323,7 +353,7 @@ func clusterOf(n Node) *Cluster {
 			if s, ok := n.(*ScanNode); ok {
 				return s.d.cluster
 			}
-			panic("mpp: plan has a leaf that is not a scan")
+			return nil
 		}
 		n = kids[0]
 	}

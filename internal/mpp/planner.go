@@ -25,7 +25,8 @@ func NewViews(c *Cluster) *Views {
 
 // Materialize creates (or refreshes) the view of base distributed by key
 // and registers it under base's name. Refreshing replaces the previous
-// copy for that key.
+// copy for that key. A placement mistake (empty key, invalid cluster)
+// is deferred onto the returned view's Err.
 func (v *Views) Materialize(base *DistTable, key []int) *DistTable {
 	full := Gather(base)
 	view := v.cluster.Distribute(full, key)
@@ -54,11 +55,15 @@ func (v *Views) Lookup(baseName string, key []int) (*DistTable, bool) {
 }
 
 // AppendFrom incrementally maintains every view of the named base table
-// with rows [from, t.NumRows()) of the master copy t.
-func (v *Views) AppendFrom(baseName string, t *engine.Table, from int) {
+// with rows [from, t.NumRows()) of the master copy t, returning the
+// first maintenance error.
+func (v *Views) AppendFrom(baseName string, t *engine.Table, from int) error {
 	for _, view := range v.byBase[baseName] {
-		view.AppendFrom(t, from)
+		if err := view.AppendFrom(t, from); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Count returns the number of registered views.

@@ -153,6 +153,27 @@ type Convergence struct {
 	Tracked            []VarDiagnostic `json:"tracked,omitempty"`
 }
 
+// FaultSummary aggregates the injected faults and segment retries of a
+// chaos run (an expand under an active mpp.FaultPlan).
+type FaultSummary struct {
+	// Injected counts injected faults by kind ("fail", "panic",
+	// "straggle").
+	Injected map[string]int `json:"injected"`
+	// Retries is the total number of segment task re-executions.
+	Retries int `json:"retries"`
+	// BySegment counts faults per segment index.
+	BySegment map[int]int `json:"by_segment,omitempty"`
+}
+
+// Total returns the total injected fault count.
+func (f *FaultSummary) Total() int {
+	n := 0
+	for _, c := range f.Injected {
+		n += c
+	}
+	return n
+}
+
 // Profile is the full analysis of one run.
 type Profile struct {
 	Header *Header `json:"header,omitempty"`
@@ -166,10 +187,13 @@ type Profile struct {
 	// worst imbalance descending; flagged rows lead.
 	Skew []SkewRow `json:"skew,omitempty"`
 	// Motions is sorted by bytes shipped, descending.
-	Motions     []Motion     `json:"motions,omitempty"`
-	Repairs     []Repair     `json:"repairs,omitempty"`
-	Convergence *Convergence `json:"convergence,omitempty"`
-	End         *RunEnd      `json:"end,omitempty"`
+	Motions []Motion `json:"motions,omitempty"`
+	Repairs []Repair `json:"repairs,omitempty"`
+	// FaultInjection is non-nil when the run recorded injected faults or
+	// retries (a chaos run).
+	FaultInjection *FaultSummary `json:"fault_injection,omitempty"`
+	Convergence    *Convergence  `json:"convergence,omitempty"`
+	End            *RunEnd       `json:"end,omitempty"`
 	// DroppedEvents surfaces the journal bound: nonzero means the
 	// analysis below is built from a truncated record.
 	DroppedEvents int `json:"dropped_events,omitempty"`
@@ -214,6 +238,18 @@ func Analyze(run *Run) *Profile {
 
 	p.Motions = append(p.Motions, run.Motions...)
 	sort.SliceStable(p.Motions, func(a, b int) bool { return p.Motions[a].Bytes > p.Motions[b].Bytes })
+
+	if len(run.Faults) > 0 || len(run.Retries) > 0 {
+		fs := &FaultSummary{Injected: map[string]int{}, Retries: len(run.Retries)}
+		for _, f := range run.Faults {
+			fs.Injected[f.Kind]++
+			if fs.BySegment == nil {
+				fs.BySegment = map[int]int{}
+			}
+			fs.BySegment[f.Segment]++
+		}
+		p.FaultInjection = fs
+	}
 
 	if len(run.Checkpoints) > 0 {
 		p.Convergence = analyzeConvergence(run.Checkpoints)

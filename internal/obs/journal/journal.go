@@ -23,7 +23,9 @@ import (
 	"time"
 )
 
-// Event types, in the order a run emits them.
+// Event types, in the order a run emits them. segment_fault and
+// segment_retry interleave with query_profile events whenever a
+// FaultPlan is active.
 const (
 	TypeRunStart         = "run_start"
 	TypeIteration        = "iteration"
@@ -31,6 +33,8 @@ const (
 	TypeMotion           = "motion"
 	TypeConstraintRepair = "constraint_repair"
 	TypeGibbsCheckpoint  = "gibbs_checkpoint"
+	TypeSegmentFault     = "segment_fault"
+	TypeSegmentRetry     = "segment_retry"
 	TypeRunEnd           = "run_end"
 )
 
@@ -133,6 +137,26 @@ type GibbsCheckpoint struct {
 	RHatMax float64         `json:"rhat_max,omitempty"`
 	ESSMin  float64         `json:"ess_min,omitempty"`
 	Tracked []VarDiagnostic `json:"tracked,omitempty"`
+}
+
+// SegmentFault is one fault injected by the active mpp.FaultPlan into a
+// segment task attempt. Fault events are emitted from concurrent
+// per-segment goroutines, so their interleaving with other events is
+// scheduling-dependent; Canonicalize drops them.
+type SegmentFault struct {
+	Task    int64  `json:"task"`
+	Segment int    `json:"segment"`
+	Attempt int    `json:"attempt"`
+	Kind    string `json:"kind"` // "fail", "panic" or "straggle"
+}
+
+// SegmentRetry is one re-execution of a failed segment task attempt.
+// Like SegmentFault, Canonicalize drops it.
+type SegmentRetry struct {
+	Task    int64  `json:"task"`
+	Segment int    `json:"segment"`
+	Attempt int    `json:"attempt"`
+	Cause   string `json:"cause,omitempty"`
 }
 
 // RunEnd is the run_end payload: the expansion summary plus journal
@@ -284,14 +308,30 @@ var timingKeys = map[string]bool{
 	"infer_seconds":   true,
 }
 
+// nondeterministicTypes are event types whose presence or ordering
+// depends on goroutine scheduling or on the active fault plan, not on
+// the run's inputs; Canonicalize drops them (and renumbers Seq) so a
+// faulted run's canonical journal is byte-identical to a fault-free
+// run's.
+var nondeterministicTypes = map[string]bool{
+	TypeSegmentFault: true,
+	TypeSegmentRetry: true,
+}
+
 // Canonicalize strips every timing field from the events — the envelope
-// elapsed_s and the recursive timingKeys of each payload — and
-// re-marshals payloads with sorted keys. Two runs of the same KB with
-// the same seed and config produce identical canonical journals; the
+// elapsed_s and the recursive timingKeys of each payload — drops
+// scheduling-dependent event types (injected faults, retries), renumbers
+// Seq over what remains, and re-marshals payloads with sorted keys. Two
+// runs of the same KB with the same seed and config produce identical
+// canonical journals — with or without an active FaultPlan; the
 // determinism tests diff exactly this.
 func Canonicalize(events []Event) []Event {
-	out := make([]Event, len(events))
-	for i, ev := range events {
+	out := make([]Event, 0, len(events))
+	seq := 0
+	for _, ev := range events {
+		if nondeterministicTypes[ev.Type] {
+			continue
+		}
 		var v any
 		if err := json.Unmarshal(ev.Data, &v); err == nil {
 			stripTiming(v)
@@ -300,7 +340,9 @@ func Canonicalize(events []Event) []Event {
 			}
 		}
 		ev.ElapsedS = 0
-		out[i] = ev
+		seq++
+		ev.Seq = seq
+		out = append(out, ev)
 	}
 	return out
 }

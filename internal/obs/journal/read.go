@@ -17,6 +17,8 @@ type Run struct {
 	Motions     []Motion
 	Repairs     []Repair
 	Checkpoints []GibbsCheckpoint
+	Faults      []SegmentFault
+	Retries     []SegmentRetry
 	End         *RunEnd
 	Events      []Event
 }
@@ -72,6 +74,18 @@ func (run *Run) decode(ev Event) error {
 			return err
 		}
 		run.Checkpoints = append(run.Checkpoints, c)
+	case TypeSegmentFault:
+		var f SegmentFault
+		if err := json.Unmarshal(ev.Data, &f); err != nil {
+			return err
+		}
+		run.Faults = append(run.Faults, f)
+	case TypeSegmentRetry:
+		var r SegmentRetry
+		if err := json.Unmarshal(ev.Data, &r); err != nil {
+			return err
+		}
+		run.Retries = append(run.Retries, r)
 	case TypeRunEnd:
 		var e RunEnd
 		if err := json.Unmarshal(ev.Data, &e); err != nil {

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -134,6 +135,24 @@ func Render(p *Profile, opts ReportOptions) string {
 		fmt.Fprintf(&b, "%4s %12s %8s\n", "iter", "violations", "deleted")
 		for _, r := range p.Repairs {
 			fmt.Fprintf(&b, "%4d %12d %8d\n", r.Iteration, r.Violations, r.Deleted)
+		}
+	}
+
+	if fi := p.FaultInjection; fi != nil {
+		fmt.Fprintf(&b, "\nFault injection\n---------------\n")
+		fmt.Fprintf(&b, "injected faults: %d (fail=%d panic=%d straggle=%d)  segment retries: %d\n",
+			fi.Total(), fi.Injected["fail"], fi.Injected["panic"], fi.Injected["straggle"], fi.Retries)
+		if len(fi.BySegment) > 0 {
+			segs := make([]int, 0, len(fi.BySegment))
+			for s := range fi.BySegment {
+				segs = append(segs, s)
+			}
+			sort.Ints(segs)
+			b.WriteString("per-segment faults:")
+			for _, s := range segs {
+				fmt.Fprintf(&b, " seg%d=%d", s, fi.BySegment[s])
+			}
+			b.WriteByte('\n')
 		}
 	}
 

@@ -24,15 +24,22 @@ func NewMPPChecker(k *kb.KB, cluster *mpp.Cluster) *MPPChecker {
 }
 
 // Violations computes every violating entity over a distributed facts
-// table, one grouped join per functionality type.
-func (c *MPPChecker) Violations(dT *mpp.DistTable) []Violation {
+// table, one grouped join per functionality type. Plan failures (a
+// broken cluster, a cancelled context) come back as errors, never
+// panics.
+func (c *MPPChecker) Violations(dT *mpp.DistTable) ([]Violation, error) {
 	var out []Violation
-	out = append(out, c.violationsOfType(dT, kb.TypeI)...)
-	out = append(out, c.violationsOfType(dT, kb.TypeII)...)
-	return out
+	for _, typ := range []int{kb.TypeI, kb.TypeII} {
+		viol, err := c.violationsOfType(dT, typ)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, viol...)
+	}
+	return out, nil
 }
 
-func (c *MPPChecker) violationsOfType(dT *mpp.DistTable, typ int) []Violation {
+func (c *MPPChecker) violationsOfType(dT *mpp.DistTable, typ int) ([]Violation, error) {
 	fcFiltered := mpp.NewFilter(mpp.NewScan(c.fc),
 		fmt.Sprintf("FC.arg = %d", typ),
 		func(t *engine.Table, r int) bool {
@@ -74,7 +81,7 @@ func (c *MPPChecker) violationsOfType(dT *mpp.DistTable, typ int) []Violation {
 
 	dres, err := having.Run()
 	if err != nil {
-		panic(fmt.Sprintf("quality: distributed constraint query failed: %v", err))
+		return nil, fmt.Errorf("quality: distributed constraint query failed: %w", err)
 	}
 	res := mpp.Gather(dres)
 
@@ -89,5 +96,5 @@ func (c *MPPChecker) violationsOfType(dT *mpp.DistTable, typ int) []Violation {
 			Degree: int(res.Float64Col(5)[r]),
 		})
 	}
-	return out
+	return out, nil
 }

@@ -252,7 +252,10 @@ func TestMPPCheckerAgreesWithSingleNode(t *testing.T) {
 	for _, segs := range []int{1, 2, 5} {
 		cluster := mpp.NewCluster(segs)
 		dT := cluster.Distribute(tpi, []int{kb.TPiI})
-		got := NewMPPChecker(k, cluster).Violations(dT)
+		got, err := NewMPPChecker(k, cluster).Violations(dT)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(want) {
 			t.Fatalf("segs=%d: %d violations, want %d", segs, len(got), len(want))
 		}

@@ -12,6 +12,10 @@
 //	                                      arguments, and inferred flag
 //	GET  /explain?rel=&x=&y=&depth=       derivation tree (text/plain)
 //	GET  /sql?q=SELECT...                 run a SQL query (see probkb.QuerySQL)
+//	POST /sql {"q": "...", "segments": N} run a SQL query as a distributed
+//	                                      plan (see probkb.QueryDistSQL);
+//	                                      non-collocated joins are a 400,
+//	                                      never a crash
 //	GET  /metrics                         Prometheus text exposition (text/plain)
 //	GET  /debug/traces                    recent pipeline span trees (text/plain)
 //	GET  /debug/journal                   the served expansion's run journal events
@@ -51,6 +55,7 @@ func New(kb *probkb.KB, exp *probkb.Expansion) *Server {
 	s.mux.HandleFunc("GET /facts", instrument("/facts", s.handleFacts))
 	s.mux.HandleFunc("GET /explain", instrument("/explain", s.handleExplain))
 	s.mux.HandleFunc("GET /sql", instrument("/sql", s.handleSQL))
+	s.mux.HandleFunc("POST /sql", instrument("/sql", s.handleDistSQL))
 	s.mux.HandleFunc("GET /metrics", instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/traces", instrument("/debug/traces", s.handleTraces))
 	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.handleJournal))
@@ -188,6 +193,34 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.kb.QuerySQL(query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": res.Columns,
+		"rows":    res.Rows,
+	})
+}
+
+// handleDistSQL runs a SELECT as a distributed MPP plan. Invalid plans
+// — including joins whose inputs are not collocated, which once
+// panicked deep inside the MPP layer — come back as a 400 with the
+// planner's error; the process stays up.
+func (s *Server) handleDistSQL(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Q        string `json:"q"`
+		Segments int    `json:"segments"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q field"))
+		return
+	}
+	res, err := s.kb.QueryDistSQL(req.Q, req.Segments)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -184,6 +184,68 @@ func TestSQLEndpoint(t *testing.T) {
 	}
 }
 
+// postJSON posts a JSON body and decodes the JSON response.
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestDistSQLEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	// Happy path: the hash-distributed fact table joined against a
+	// replicated dictionary is collocated and runs distributed.
+	body := `{"q": "SELECT a.x, d.name FROM T a JOIN DE d ON a.x = d.id", "segments": 2}`
+	if code := postJSON(t, srv.URL+"/sql", body, &out); code != 200 {
+		t.Fatalf("distributed sql status %d", code)
+	}
+	if len(out.Columns) != 2 || len(out.Rows) == 0 {
+		t.Fatalf("distributed sql payload: %+v", out)
+	}
+	var errOut map[string]string
+	if code := postJSON(t, srv.URL+"/sql", `{"segments": 2}`, &errOut); code != 400 {
+		t.Fatalf("missing q status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/sql", `not json`, &errOut); code != 400 {
+		t.Fatalf("bad body status %d", code)
+	}
+}
+
+// TestDistSQLNonCollocatedJoin is the regression for the crash this PR
+// removes: a self-join of T on non-distribution columns is not
+// collocated, and the old MPP layer panicked while *constructing* the
+// plan — taking the whole server process down from a user query. Now
+// the violation surfaces as an error response and the server keeps
+// serving.
+func TestDistSQLNonCollocatedJoin(t *testing.T) {
+	srv := testServer(t)
+	var errOut map[string]string
+	body := `{"q": "SELECT a.I FROM T a JOIN T b ON a.x = b.y", "segments": 2}`
+	code := postJSON(t, srv.URL+"/sql", body, &errOut)
+	if code < 400 || code > 599 {
+		t.Fatalf("non-collocated join status = %d, want an error status", code)
+	}
+	if !strings.Contains(errOut["error"], "not collocated") {
+		t.Fatalf("error = %q, want a collocation violation", errOut["error"])
+	}
+	// The process must still be alive and serving.
+	var health map[string]string
+	if c := getJSON(t, srv.URL+"/healthz", &health); c != 200 || health["status"] != "ok" {
+		t.Fatalf("server did not survive the bad query: %d %v", c, health)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	// Warm the request-path metrics with one ordinary request.

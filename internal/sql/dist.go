@@ -1,0 +1,230 @@
+package sql
+
+import (
+	"fmt"
+
+	"probkb/internal/engine"
+	"probkb/internal/mpp"
+)
+
+// DistDB executes SELECTs as distributed plans over a simulated MPP
+// cluster. Planning is strictly *motion-free*: base tables stay where
+// the distribution spec placed them and the planner never inserts a
+// redistribution, so a join whose inputs are not collocated surfaces an
+// error at execution time — it does not crash, and it does not silently
+// ship rows. That makes DistDB the ad-hoc-query mirror of the paper's
+// collocation discipline: dimension tables are replicated, the big fact
+// table is hash-distributed, and every join must be local.
+type DistDB struct {
+	cluster *mpp.Cluster
+	tables  map[string]*mpp.DistTable
+}
+
+// NewDistDB distributes every catalog table across the cluster. Tables
+// with an entry in hashed are hash-distributed by those column indexes;
+// all others are replicated (the dimension-table default).
+func NewDistDB(cat *engine.Catalog, cluster *mpp.Cluster, hashed map[string][]int) *DistDB {
+	db := &DistDB{cluster: cluster, tables: map[string]*mpp.DistTable{}}
+	for _, name := range cat.Names() {
+		t := cat.MustGet(name)
+		if key, ok := hashed[name]; ok {
+			db.tables[name] = cluster.Distribute(t, key)
+		} else {
+			db.tables[name] = cluster.Replicate(t)
+		}
+	}
+	return db
+}
+
+// Query parses, plans, and runs a SELECT as a distributed plan, then
+// gathers the per-segment results into one table.
+func (db *DistDB) Query(text string) (*engine.Table, error) {
+	stmt, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Select == nil {
+		return nil, fmt.Errorf("sql: distributed Query requires a SELECT")
+	}
+	plan, err := db.planSelect(stmt.Select)
+	if err != nil {
+		return nil, err
+	}
+	out, err := plan.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := mpp.Gather(out)
+	res.SetName("result")
+	return res, nil
+}
+
+// planSelect is the distributed reduction of DB.planSelect: joins in
+// syntactic order, filters pushed to the earliest resolvable step, and
+// a final projection. Aggregation, DISTINCT, ORDER BY and LIMIT are not
+// supported distributed — the single-node DB covers those.
+func (db *DistDB) planSelect(s *SelectStmt) (mpp.Node, error) {
+	if len(s.GroupBy) > 0 || len(s.Having) > 0 || s.Distinct || len(s.OrderBy) > 0 || s.Limit >= 0 {
+		return nil, fmt.Errorf("sql: distributed queries support joins, filters and projection only")
+	}
+	for _, it := range s.Items {
+		if it.Expr.Agg != aggNone {
+			return nil, fmt.Errorf("sql: distributed queries do not support aggregates")
+		}
+	}
+
+	var pool []Condition
+	for _, j := range s.Joins {
+		pool = append(pool, j.On...)
+	}
+	pool = append(pool, s.Where...)
+	used := make([]bool, len(pool))
+
+	refs := append([]TableRef{s.From}, make([]TableRef, 0, len(s.Joins))...)
+	for _, j := range s.Joins {
+		refs = append(refs, j.Table)
+	}
+	seen := map[string]bool{}
+	for _, ref := range refs {
+		b := ref.Binding()
+		if seen[b] {
+			return nil, fmt.Errorf("sql: duplicate table binding %q", b)
+		}
+		seen[b] = true
+	}
+
+	first, err := db.distTable(refs[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	var plan mpp.Node = mpp.NewScan(first)
+	sc := scopeOfSchema(refs[0].Binding(), first.Schema())
+
+	applyFilters := func(plan mpp.Node, sc *scope) (mpp.Node, error) {
+		for i, c := range pool {
+			if used[i] || !condResolves(c, sc) {
+				continue
+			}
+			pred, err := compileCondition(c, sc)
+			if err != nil {
+				return nil, err
+			}
+			plan = mpp.NewFilter(plan, c.String(), pred)
+			used[i] = true
+		}
+		return plan, nil
+	}
+
+	for _, ref := range refs[1:] {
+		b := ref.Binding()
+		t, err := db.distTable(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		tScope := scopeOfSchema(b, t.Schema())
+
+		// Equality conjuncts bridging the current scope and the new table
+		// become hash keys, exactly as in the single-node planner.
+		var buildKeys, probeKeys []int
+		for i, c := range pool {
+			if used[i] || c.Op != "=" || c.Left.isLiteral() || c.Right.isLiteral() ||
+				c.Left.Agg != aggNone || c.Right.Agg != aggNone || c.IsNull || c.NotNul {
+				continue
+			}
+			var cur, next ColRef
+			switch {
+			case sc.has(c.Left.Col) && tScope.has(c.Right.Col):
+				cur, next = c.Left.Col, c.Right.Col
+			case sc.has(c.Right.Col) && tScope.has(c.Left.Col):
+				cur, next = c.Right.Col, c.Left.Col
+			default:
+				continue
+			}
+			bi, err := sc.resolve(cur)
+			if err != nil {
+				return nil, err
+			}
+			pi, err := tScope.resolve(next)
+			if err != nil {
+				return nil, err
+			}
+			if sc.cols[bi].typ != engine.Int32 || tScope.cols[pi].typ != engine.Int32 {
+				continue
+			}
+			buildKeys = append(buildKeys, bi)
+			probeKeys = append(probeKeys, pi)
+			used[i] = true
+		}
+		if len(buildKeys) == 0 {
+			return nil, fmt.Errorf("sql: distributed join with %s needs an integer equality condition", b)
+		}
+
+		var outs []engine.JoinOut
+		newScope := &scope{}
+		for i, c := range sc.cols {
+			outs = append(outs, engine.BuildCol(c.binding+"."+c.name, i))
+			newScope.cols = append(newScope.cols, c)
+		}
+		for i, c := range tScope.cols {
+			outs = append(outs, engine.ProbeCol(c.binding+"."+c.name, i))
+			newScope.cols = append(newScope.cols, c)
+		}
+		// A non-collocated pair records a deferred error inside the node;
+		// it surfaces when the plan runs.
+		plan = mpp.NewHashJoin(plan, mpp.NewScan(t), buildKeys, probeKeys, outs,
+			fmt.Sprintf("join %s", b))
+		sc = newScope
+
+		if plan, err = applyFilters(plan, sc); err != nil {
+			return nil, err
+		}
+	}
+	plan, err = applyFilters(plan, sc)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range pool {
+		if !used[i] {
+			return nil, fmt.Errorf("sql: condition %s does not resolve against the FROM tables", c)
+		}
+	}
+
+	var exprs []engine.OutExpr
+	for _, it := range s.Items {
+		name := it.OutName()
+		e := it.Expr
+		switch {
+		case e.IsNull:
+			exprs = append(exprs, engine.NullF64Expr(name))
+		case e.IsNumber:
+			exprs = append(exprs, engine.ConstF64Expr(name, e.Number))
+		case e.IsString:
+			exprs = append(exprs, engine.OutExpr{Name: name, Type: engine.String, Col: -1, Str: e.Str})
+		default:
+			idx, err := sc.resolve(e.Col)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, engine.ColExpr(name, idx))
+		}
+	}
+	return mpp.NewProject(plan, exprs...), nil
+}
+
+func (db *DistDB) distTable(name string) (*mpp.DistTable, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// scopeOfSchema builds the scope of a distributed base table under a
+// binding; the schema stands in for the table scopeOf would take.
+func scopeOfSchema(binding string, sch engine.Schema) *scope {
+	sc := &scope{}
+	for _, c := range sch.Cols {
+		sc.cols = append(sc.cols, scopeCol{binding: binding, name: c.Name, typ: c.Type})
+	}
+	return sc
+}

@@ -25,6 +25,7 @@ package probkb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -149,6 +150,69 @@ type Config struct {
 	// inference as it completes. It runs on the sampling goroutine; keep
 	// it cheap.
 	OnGibbsSweep func(GibbsSweep)
+
+	// Faults, when non-nil, deterministically injects failures, worker
+	// panics and stragglers into MPP segment tasks — chaos testing for
+	// the distributed path. Injected faults never change results (tasks
+	// are idempotent and retried), so this field is excluded from
+	// Hash(). Ignored by non-MPP engines.
+	Faults *FaultConfig
+	// SegmentRetries re-executes a failed MPP segment task up to this
+	// many times before the failure propagates; 0 disables retries.
+	// RetryBackoff is the base delay before retry k (scaled linearly by
+	// k). Both are excluded from Hash() for the same reason as Faults.
+	SegmentRetries int
+	RetryBackoff   time.Duration
+}
+
+// FaultConfig configures deterministic fault injection for MPP segment
+// tasks (see Config.Faults). Whether a given task attempt faults is a
+// pure function of the seed, so equal-seed runs inject identical faults
+// regardless of scheduling. Rates are per-attempt probabilities tested
+// in order (fail, panic, straggle) against one uniform draw; their sum
+// should stay at or below 1.
+type FaultConfig struct {
+	// Seed selects the fault sequence.
+	Seed int64
+	// FailRate injects plain task failures.
+	FailRate float64
+	// PanicRate injects worker panics, exercising the task runner's
+	// last-resort recover.
+	PanicRate float64
+	// StraggleRate injects stragglers that sleep StraggleDelay.
+	StraggleRate  float64
+	StraggleDelay time.Duration
+}
+
+// PartialError reports an expansion cut short by its context — the run
+// was cancelled or hit its deadline mid-phase. Partial carries the work
+// completed so far: the facts grounded up to the last finished
+// iteration and, when inference was interrupted after collecting at
+// least one sample, marginals normalized over the samples actually
+// collected. Partial.Stats().Converged is always false. The error
+// unwraps to the underlying context error, so
+// errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both see through it.
+type PartialError struct {
+	// Phase names the interrupted pipeline phase: "ground" or "infer".
+	Phase string
+	// Partial is the expansion built from the completed work.
+	Partial *Expansion
+	// Err is the context error that stopped the run.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("probkb: expansion interrupted during %s: %v", e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying context error to errors.Is/As.
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // GibbsSweep is one Gibbs sweep's progress report (see Config.OnGibbsSweep).
@@ -424,18 +488,33 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 			res, err = g.Ground()
 		}
 	case MPP, MPPNoViews:
-		segs := cfg.Segments
-		if segs <= 0 {
-			segs = 4
+		cl := mpp.NewCluster(segs)
+		cl.SetContext(ctx)
+		cl.SetJournal(jr)
+		if f := cfg.Faults; f != nil {
+			cl.SetFaults(&mpp.FaultPlan{
+				Seed: f.Seed, FailRate: f.FailRate, PanicRate: f.PanicRate,
+				StraggleRate: f.StraggleRate, StraggleDelay: f.StraggleDelay,
+			})
 		}
+		cl.SetRetry(mpp.RetryPolicy{MaxRetries: cfg.SegmentRetries, Backoff: cfg.RetryBackoff})
 		var g *ground.MPPGrounder
-		if g, err = ground.NewMPP(work, opts, mpp.NewCluster(segs), cfg.Engine == MPP); err == nil {
+		if g, err = ground.NewMPP(work, opts, cl, cfg.Engine == MPP); err == nil {
 			res, err = g.Ground()
 		}
 	default:
 		return nil, fmt.Errorf("probkb: unknown engine %v", cfg.Engine)
 	}
 	if err != nil {
+		// A cancelled or deadline-exceeded grounder still returns the
+		// facts derived so far; surface them instead of dropping the
+		// completed iterations.
+		if res != nil && isCtxErr(err) {
+			observeStage("ground", groundStart)
+			exp := &Expansion{kb: work, res: res, cfg: cfg, jr: jr}
+			exp.emitRunEnd()
+			return nil, &PartialError{Phase: "ground", Partial: exp, Err: err}
+		}
 		return nil, err
 	}
 	observeStage("ground", groundStart)
@@ -443,6 +522,14 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 	exp := &Expansion{kb: work, res: res, cfg: cfg, jr: jr}
 	if cfg.RunInference {
 		if err := exp.runInference(ctx); err != nil {
+			if isCtxErr(err) {
+				// The run as a whole did not complete: a partial
+				// expansion never reports Converged, even though the
+				// grounding fixpoint itself was reached.
+				res.Converged = false
+				exp.emitRunEnd()
+				return nil, &PartialError{Phase: "infer", Partial: exp, Err: err}
+			}
 			return nil, err
 		}
 	}

@@ -4,15 +4,17 @@ import (
 	"fmt"
 
 	"probkb/internal/engine"
+	"probkb/internal/kb"
 	"probkb/internal/mln"
+	"probkb/internal/mpp"
 	"probkb/internal/sql"
 )
 
-// sqlDB builds the relational catalog of Section 4.2 — T (facts), TC
-// (class membership), TR (relation signatures), FC (functional
+// sqlCatalog builds the relational catalog of Section 4.2 — T (facts),
+// TC (class membership), TR (relation signatures), FC (functional
 // constraints), the MLN partition tables M1..M6, and the dictionary
-// tables DE/DC/DR — and wraps it in a SQL executor.
-func (k *KB) sqlDB() (*sql.DB, error) {
+// tables DE/DC/DR.
+func (k *KB) sqlCatalog() (*engine.Catalog, error) {
 	parts, err := k.inner.MLNPartitions()
 	if err != nil {
 		return nil, err
@@ -28,6 +30,15 @@ func (k *KB) sqlDB() (*sql.DB, error) {
 	cat.Put(dictTable("DE", k.inner.Entities.Names()))
 	cat.Put(dictTable("DC", k.inner.Classes.Names()))
 	cat.Put(dictTable("DR", k.inner.RelDict.Names()))
+	return cat, nil
+}
+
+// sqlDB wraps the catalog in the single-node SQL executor.
+func (k *KB) sqlDB() (*sql.DB, error) {
+	cat, err := k.sqlCatalog()
+	if err != nil {
+		return nil, err
+	}
 	return sql.NewDB(cat), nil
 }
 
@@ -61,6 +72,11 @@ func (k *KB) QuerySQL(query string) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return renderResult(out), nil
+}
+
+// renderResult renders an engine table as display strings.
+func renderResult(out *engine.Table) *QueryResult {
 	res := &QueryResult{}
 	for _, c := range out.Schema().Cols {
 		res.Columns = append(res.Columns, c.Name)
@@ -72,7 +88,31 @@ func (k *KB) QuerySQL(query string) (*QueryResult, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return res
+}
+
+// QueryDistSQL runs a SELECT as a distributed plan over a simulated
+// MPP cluster with the given number of segments (0 means 4). The facts
+// table T is hash-distributed by its fact identifier; every other
+// table is replicated. Planning is strictly motion-free, so a join
+// whose inputs are not collocated returns an error instead of shipping
+// rows — and, since the MPP layer defers construction-time violations
+// to execution, instead of panicking.
+func (k *KB) QueryDistSQL(query string, segments int) (*QueryResult, error) {
+	cat, err := k.sqlCatalog()
+	if err != nil {
+		return nil, err
+	}
+	if segments <= 0 {
+		segments = 4
+	}
+	cluster := mpp.NewCluster(segments)
+	db := sql.NewDistDB(cat, cluster, map[string][]int{"T": {kb.TPiI}})
+	out, err := db.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return renderResult(out), nil
 }
 
 // ExplainSQL plans and runs a SELECT, returning the annotated physical
