@@ -3,7 +3,7 @@ GO ?= go
 # Baseline for bench-diff (write one with `make bench-baseline`).
 BENCH_BASE ?= BENCH_baseline.json
 
-.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke fmt
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke proptest fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,21 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet race report-smoke chaos-smoke
+check: build vet race proptest fuzz-smoke report-smoke chaos-smoke
+
+# Long-mode differential harness: thousands of random plans, each run
+# serial, morsel-parallel, and on 1/2/8-segment clusters, results
+# compared (plain `go test ./...` already runs the 500-case short mode).
+proptest:
+	$(GO) test -tags slow -run TestDifferentialLong ./internal/proptest
+
+# 30 seconds of coverage-guided fuzzing per SQL target: the parser
+# round-trip property and the distributed-vs-single-node query
+# differential. New interesting inputs stay in the build cache; promote
+# crashers into internal/sql/testdata/fuzz to pin them.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseSQL -fuzztime 30s ./internal/sql
+	$(GO) test -run '^$$' -fuzz FuzzDistSQL -fuzztime 30s ./internal/sql
 
 bench:
 	$(GO) run ./cmd/probkb-bench -exp all

@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, all)")
+	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, all)")
 	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	segments := flag.Int("segments", 4, "MPP cluster segments")
@@ -62,6 +62,7 @@ func main() {
 		{"fig7b", func() (any, error) { return bench.Fig7b(cfg, w) }},
 		{"growth", func() (any, error) { return bench.Growth(cfg, w) }},
 		{"feedback", func() (any, error) { return nil, bench.Feedback(cfg, w) }},
+		{"workers", func() (any, error) { return bench.Workers(cfg, w) }},
 	}
 
 	rep := bench.Report{

@@ -134,6 +134,7 @@ func cmdExpand(args []string) {
 	out := fs.String("out", "", "write the expanded KB to this directory")
 	engineName := fs.String("engine", "probkb", "probkb | probkb-p | probkb-pn | tuffy")
 	segments := fs.Int("segments", 4, "MPP segments")
+	engineWorkers := fs.Int("engine-workers", 0, "engine worker-pool size (0 = NumCPU single-node / serial segments on MPP; 1 = serial)")
 	iters := fs.Int("iters", 0, "max grounding iterations (0 = to convergence)")
 	noConstraints := fs.Bool("no-constraints", false, "disable semantic constraints")
 	theta := fs.Float64("theta", 1, "rule cleaning: keep top θ of rules (1 = off)")
@@ -162,6 +163,7 @@ func cmdExpand(args []string) {
 	cfg := probkb.Config{
 		Engine:           eng,
 		Segments:         *segments,
+		EngineWorkers:    *engineWorkers,
 		MaxIterations:    *iters,
 		ApplyConstraints: !*noConstraints,
 		RuleCleanTheta:   *theta,

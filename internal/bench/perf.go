@@ -216,6 +216,63 @@ func factSweep(cfg Config, w io.Writer, title string, systems []System, withFact
 	return points, nil
 }
 
+// WorkersRow is one worker count's measurement of the morsel-parallel
+// sweep.
+type WorkersRow struct {
+	Workers  int
+	Query    time.Duration
+	Inferred int
+	Factors  int
+}
+
+// Workers measures the grounding-dominated workload (Queries 1 and 2
+// over an S2-inflated facts table) at increasing engine worker-pool
+// sizes. Results must be identical at every worker count — the morsel
+// execution model guarantees it, internal/proptest verifies it, and this
+// experiment double-checks the row counts while reporting the speedup.
+func Workers(cfg Config, w io.Writer) ([]WorkersRow, error) {
+	cfg = cfg.withDefaults()
+	c, err := cfg.corpus()
+	if err != nil {
+		return nil, err
+	}
+	n := int(10e6 * cfg.Scale)
+	if n <= len(c.KB.Facts) {
+		n = len(c.KB.Facts) + 1000
+	}
+	k, err := synth.S2(c, n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "Morsel parallelism: grounding over %d facts vs engine workers (scale=%.3g)\n\n", n, cfg.Scale)
+	fmt.Fprintf(w, "  %8s %12s %12s %12s %10s\n", "workers", "query time", "#inferred", "#factors", "speedup")
+
+	var rows []WorkersRow
+	for _, nw := range []int{1, 2, 4, 8} {
+		res, err := ground.Ground(k, ground.Options{MaxIterations: 1, Workers: nw})
+		if err != nil {
+			return nil, fmt.Errorf("bench: workers=%d: %w", nw, err)
+		}
+		row := WorkersRow{
+			Workers:  nw,
+			Query:    res.AtomTime + res.FactorTime,
+			Inferred: res.InferredFacts(),
+			Factors:  res.Factors.NumRows(),
+		}
+		rows = append(rows, row)
+		if row.Inferred != rows[0].Inferred || row.Factors != rows[0].Factors {
+			return rows, fmt.Errorf("bench: workers=%d changed results: %d inferred / %d factors, want %d / %d",
+				nw, row.Inferred, row.Factors, rows[0].Inferred, rows[0].Factors)
+		}
+		fmt.Fprintf(w, "  %8d %12s %12d %12d %9.2fx\n",
+			nw, round(row.Query), row.Inferred, row.Factors,
+			float64(rows[0].Query)/float64(row.Query))
+	}
+	fmt.Fprintf(w, "\n  identical results at every worker count; speedup tracks available cores\n")
+	return rows, nil
+}
+
 // Fig4 reproduces the query-plan comparison: the M3 grounding join
 // against a large TΠ, planned with and without redistributed
 // materialized views, printed as annotated operator trees with motion

@@ -82,7 +82,7 @@ func (n *GroupByNode) Run() (*Table, error) {
 	}
 	in := ins[0]
 	return timeRun(&n.stats, func() (*Table, error) {
-		return groupByTable(in, n.keys, n.aggs, n.schema)
+		return groupByTable(in, n.keys, n.aggs, n.schema, n.exec, &n.stats)
 	})
 }
 
@@ -105,88 +105,190 @@ func GroupBySchema(in Schema, keys []int, aggs []AggSpec) Schema {
 }
 
 // GroupByTable runs the aggregation kernel directly on a materialized
-// table. The MPP layer calls it once per segment.
+// table, serially. Prefer GroupByTableOpts when a worker pool is
+// available.
 func GroupByTable(in *Table, keys []int, aggs []AggSpec) (*Table, error) {
-	return groupByTable(in, keys, aggs, GroupBySchema(in.Schema(), keys, aggs))
+	return GroupByTableOpts(in, keys, aggs, Opts{Workers: 1}, nil)
 }
 
-// groupByTable is the aggregation kernel, shared with the MPP layer.
-func groupByTable(in *Table, keys []int, aggs []AggSpec, schema Schema) (*Table, error) {
-	// Count per-kind slots so each group state sizes its slices once.
-	nDistinct, nMin, nMax, nSum := 0, 0, 0, 0
+// GroupByTableOpts runs the aggregation kernel under the given execution
+// options, recording worker/morsel counts into st when non-nil. The MPP
+// layer calls it once per segment.
+func GroupByTableOpts(in *Table, keys []int, aggs []AggSpec, o Opts, st *NodeStats) (*Table, error) {
+	return groupByTable(in, keys, aggs, GroupBySchema(in.Schema(), keys, aggs), o, st)
+}
+
+// aggSlots counts per-kind aggregate slots so group states size their
+// slices once.
+type aggSlots struct{ nDistinct, nMin, nMax, nSum int }
+
+func countAggSlots(aggs []AggSpec) aggSlots {
+	var s aggSlots
 	for _, a := range aggs {
 		switch a.Kind {
 		case AggCountDistinct:
-			nDistinct++
+			s.nDistinct++
 		case AggMinF64:
-			nMin++
+			s.nMin++
 		case AggMaxF64:
-			nMax++
+			s.nMax++
 		case AggSumF64:
-			nSum++
+			s.nSum++
 		}
 	}
+	return s
+}
 
-	groups := make(map[uint64][]*groupState)
+func newGroupState(r int, s aggSlots) *groupState {
+	g := &groupState{firstRow: r}
+	if s.nDistinct > 0 {
+		g.distinct = make([]map[int32]struct{}, s.nDistinct)
+		for i := range g.distinct {
+			g.distinct[i] = make(map[int32]struct{})
+		}
+	}
+	if s.nMin > 0 {
+		g.minv = make([]float64, s.nMin)
+		for i := range g.minv {
+			g.minv[i] = NullFloat64()
+		}
+	}
+	if s.nMax > 0 {
+		g.maxv = make([]float64, s.nMax)
+		for i := range g.maxv {
+			g.maxv[i] = NullFloat64()
+		}
+	}
+	if s.nSum > 0 {
+		g.sumv = make([]float64, s.nSum)
+	}
+	return g
+}
+
+// accumulateRow folds input row r into group g.
+func accumulateRow(g *groupState, in *Table, aggs []AggSpec, r int) {
+	g.count++
+	di, mi, xi, si := 0, 0, 0, 0
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggCountDistinct:
+			g.distinct[di][in.cols[a.Col].i32[r]] = struct{}{}
+			di++
+		case AggMinF64:
+			v := in.cols[a.Col].f64[r]
+			if IsNullFloat64(g.minv[mi]) || v < g.minv[mi] {
+				g.minv[mi] = v
+			}
+			mi++
+		case AggMaxF64:
+			v := in.cols[a.Col].f64[r]
+			if IsNullFloat64(g.maxv[xi]) || v > g.maxv[xi] {
+				g.maxv[xi] = v
+			}
+			xi++
+		case AggSumF64:
+			g.sumv[si] += in.cols[a.Col].f64[r]
+			si++
+		}
+	}
+}
+
+// mergeGroup folds one morsel's partial state for a group into the
+// global state. Merges happen in morsel-index order, which is what makes
+// float sums identical for every worker count.
+func mergeGroup(dst, src *groupState) {
+	dst.count += src.count
+	for i, set := range src.distinct {
+		for v := range set {
+			dst.distinct[i][v] = struct{}{}
+		}
+	}
+	for i, v := range src.minv {
+		if IsNullFloat64(v) {
+			continue
+		}
+		if IsNullFloat64(dst.minv[i]) || v < dst.minv[i] {
+			dst.minv[i] = v
+		}
+	}
+	for i, v := range src.maxv {
+		if IsNullFloat64(v) {
+			continue
+		}
+		if IsNullFloat64(dst.maxv[i]) || v > dst.maxv[i] {
+			dst.maxv[i] = v
+		}
+	}
+	for i, v := range src.sumv {
+		dst.sumv[i] += v
+	}
+}
+
+// aggPartial is one morsel's partial aggregation.
+type aggPartial struct {
+	groups map[uint64][]*groupState
+	order  []*groupState
+	hashes []uint64 // parallel to order: each group's key hash
+}
+
+// groupByTable is the aggregation kernel, shared with the MPP layer.
+//
+// Every worker count uses the same morsel path: each morsel aggregates
+// its rows into a partial (group order = first occurrence within the
+// morsel, firstRow = global row index), and partials merge sequentially
+// in morsel-index order. Group output order is therefore first occurrence
+// by (morsel index, row index) = global row order, and float sums add in
+// a fixed order — both independent of the worker count. A single-morsel
+// input skips the merge and is bitwise-identical to the historical serial
+// kernel.
+func groupByTable(in *Table, keys []int, aggs []AggSpec, schema Schema, o Opts, st *NodeStats) (*Table, error) {
+	slots := countAggSlots(aggs)
+
+	nm := morselCount(in.NumRows(), o.morsel())
+	parts := make([]aggPartial, nm)
+	runMorsels("groupby", in.NumRows(), o, st, func(m, lo, hi int) {
+		p := aggPartial{groups: make(map[uint64][]*groupState)}
+		for r := lo; r < hi; r++ {
+			h := HashRow(in, r, keys)
+			var g *groupState
+			for _, cand := range p.groups[h] {
+				if rowsEqualOn(in, cand.firstRow, keys, in, r, keys) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = newGroupState(r, slots)
+				p.groups[h] = append(p.groups[h], g)
+				p.order = append(p.order, g)
+				p.hashes = append(p.hashes, h)
+			}
+			accumulateRow(g, in, aggs, r)
+		}
+		parts[m] = p
+	})
+
 	var order []*groupState
-
-	for r := 0; r < in.NumRows(); r++ {
-		h := HashRow(in, r, keys)
-		var g *groupState
-		for _, cand := range groups[h] {
-			if rowsEqualOn(in, cand.firstRow, keys, in, r, keys) {
-				g = cand
-				break
-			}
-		}
-		if g == nil {
-			g = &groupState{firstRow: r}
-			if nDistinct > 0 {
-				g.distinct = make([]map[int32]struct{}, nDistinct)
-				for i := range g.distinct {
-					g.distinct[i] = make(map[int32]struct{})
+	if nm == 1 {
+		order = parts[0].order
+	} else if nm > 1 {
+		groups := make(map[uint64][]*groupState)
+		for _, p := range parts {
+			for i, src := range p.order {
+				h := p.hashes[i]
+				var g *groupState
+				for _, cand := range groups[h] {
+					if rowsEqualOn(in, cand.firstRow, keys, in, src.firstRow, keys) {
+						g = cand
+						break
+					}
 				}
-			}
-			if nMin > 0 {
-				g.minv = make([]float64, nMin)
-				for i := range g.minv {
-					g.minv[i] = NullFloat64()
+				if g == nil {
+					groups[h] = append(groups[h], src)
+					order = append(order, src)
+					continue
 				}
-			}
-			if nMax > 0 {
-				g.maxv = make([]float64, nMax)
-				for i := range g.maxv {
-					g.maxv[i] = NullFloat64()
-				}
-			}
-			if nSum > 0 {
-				g.sumv = make([]float64, nSum)
-			}
-			groups[h] = append(groups[h], g)
-			order = append(order, g)
-		}
-		g.count++
-		di, mi, xi, si := 0, 0, 0, 0
-		for _, a := range aggs {
-			switch a.Kind {
-			case AggCountDistinct:
-				g.distinct[di][in.cols[a.Col].i32[r]] = struct{}{}
-				di++
-			case AggMinF64:
-				v := in.cols[a.Col].f64[r]
-				if IsNullFloat64(g.minv[mi]) || v < g.minv[mi] {
-					g.minv[mi] = v
-				}
-				mi++
-			case AggMaxF64:
-				v := in.cols[a.Col].f64[r]
-				if IsNullFloat64(g.maxv[xi]) || v > g.maxv[xi] {
-					g.maxv[xi] = v
-				}
-				xi++
-			case AggSumF64:
-				g.sumv[si] += in.cols[a.Col].f64[r]
-				si++
+				mergeGroup(g, src)
 			}
 		}
 	}

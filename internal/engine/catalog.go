@@ -3,12 +3,17 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Catalog is a tiny name → table registry, playing the role of a database
-// schema for the CLI tools and the grounders. It is not synchronized;
-// callers that share a Catalog across goroutines must coordinate.
+// schema for the CLI tools and the grounders. All methods are safe for
+// concurrent use — the engine itself spawns worker goroutines now, and
+// callers run plans over a shared catalog from multiple goroutines. The
+// registry is what's synchronized, not the tables: a *Table read out of
+// the catalog must not be mutated while other goroutines scan it.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -19,12 +24,16 @@ func NewCatalog() *Catalog {
 
 // Put registers (or replaces) a table under its own name.
 func (c *Catalog) Put(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tables[t.Name()] = t
 }
 
 // Get returns the named table or an error.
 func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: no table %q in catalog", name)
 	}
@@ -42,18 +51,26 @@ func (c *Catalog) MustGet(name string) *Table {
 
 // Drop removes the named table; dropping a missing table is a no-op.
 func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	delete(c.tables, name)
 }
 
 // Names returns the registered table names in sorted order.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Len returns the number of registered tables.
-func (c *Catalog) Len() int { return len(c.tables) }
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}

@@ -92,7 +92,7 @@ func (n *HashJoinNode) Run() (*Table, error) {
 	}
 	bt, pt := ins[0], ins[1]
 	return timeRun(&n.stats, func() (*Table, error) {
-		return hashJoinTables(bt, pt, n.buildKeys, n.probeKeys, n.residual, n.outs, n.schema)
+		return hashJoinTables(bt, pt, n.buildKeys, n.probeKeys, n.residual, n.outs, n.schema, n.exec, &n.stats)
 	})
 }
 
@@ -111,75 +111,142 @@ func JoinSchema(buildSchema, probeSchema Schema, outs []JoinOut) Schema {
 }
 
 // HashJoinTables runs the hash-join kernel directly on materialized
-// tables. The MPP layer calls it once per segment.
+// tables, serially. The MPP layer's historical entry point; prefer
+// HashJoinTablesOpts when a worker pool is available.
 func HashJoinTables(bt, pt *Table, buildKeys, probeKeys []int,
 	residual func(b *Table, br int, p *Table, pr int) bool,
 	outs []JoinOut) (*Table, error) {
+	return HashJoinTablesOpts(bt, pt, buildKeys, probeKeys, residual, outs, Opts{Workers: 1}, nil)
+}
+
+// HashJoinTablesOpts runs the hash-join kernel under the given execution
+// options, recording worker/morsel counts into st when non-nil. The MPP
+// layer calls it once per segment.
+func HashJoinTablesOpts(bt, pt *Table, buildKeys, probeKeys []int,
+	residual func(b *Table, br int, p *Table, pr int) bool,
+	outs []JoinOut, o Opts, st *NodeStats) (*Table, error) {
 	return hashJoinTables(bt, pt, buildKeys, probeKeys, residual, outs,
-		JoinSchema(bt.Schema(), pt.Schema(), outs))
+		JoinSchema(bt.Schema(), pt.Schema(), outs), o, st)
+}
+
+// joinSrc precomputes one output column's source for the emit fast path.
+type joinSrc struct {
+	side int
+	col  int
+	typ  ColType
+}
+
+func joinSrcs(outs []JoinOut, schema Schema) []joinSrc {
+	srcs := make([]joinSrc, len(outs))
+	for i, o := range outs {
+		srcs[i] = joinSrc{side: o.Side, col: o.Col, typ: schema.Cols[i].Type}
+	}
+	return srcs
+}
+
+func emitJoinRow(out *Table, srcs []joinSrc, bt, pt *Table, br, pr int) {
+	for i, s := range srcs {
+		oc := out.cols[i]
+		src := bt
+		row := br
+		if s.side == ProbeSide {
+			src = pt
+			row = pr
+		}
+		ic := src.cols[s.col]
+		switch s.typ {
+		case Int32:
+			oc.i32 = append(oc.i32, ic.i32[row])
+		case Float64:
+			oc.f64 = append(oc.f64, ic.f64[row])
+		case String:
+			oc.str = append(oc.str, ic.str[row])
+		}
+	}
+	out.nrows++
 }
 
 // hashJoinTables is the join kernel, shared with the MPP layer (which runs
 // it once per segment).
+//
+// The serial contract — bucket candidates stored in increasing build-row
+// order, probe rows visited in order — fixes the output row order. The
+// parallel path reproduces it exactly: the partitioned build assigns each
+// hash to one partition and scans build rows in increasing order, so every
+// bucket's candidate list matches the serial one; the probe splits into
+// morsels whose output chunks concatenate in morsel-index order.
 func hashJoinTables(bt, pt *Table, buildKeys, probeKeys []int,
 	residual func(b *Table, br int, p *Table, pr int) bool,
-	outs []JoinOut, schema Schema) (*Table, error) {
-
-	// Build phase.
-	ht := make(map[uint64][]int32, bt.NumRows()*2)
-	for r := 0; r < bt.NumRows(); r++ {
-		h := HashRow(bt, r, buildKeys)
-		ht[h] = append(ht[h], int32(r))
-	}
+	outs []JoinOut, schema Schema, o Opts, st *NodeStats) (*Table, error) {
 
 	out := NewTable("join", schema)
+	srcs := joinSrcs(outs, schema)
+	w := o.workers()
 
-	// Fast paths for emitting output rows: precompute per-output source.
-	type outSrc struct {
-		side int
-		col  int
-		typ  ColType
-	}
-	srcs := make([]outSrc, len(outs))
-	for i, o := range outs {
-		srcs[i] = outSrc{side: o.Side, col: o.Col, typ: schema.Cols[i].Type}
-	}
-
-	emit := func(br, pr int) {
-		for i, s := range srcs {
-			oc := out.cols[i]
-			src := bt
-			row := br
-			if s.side == ProbeSide {
-				src = pt
-				row = pr
-			}
-			ic := src.cols[s.col]
-			switch s.typ {
-			case Int32:
-				oc.i32 = append(oc.i32, ic.i32[row])
-			case Float64:
-				oc.f64 = append(oc.f64, ic.f64[row])
-			case String:
-				oc.str = append(oc.str, ic.str[row])
+	if w <= 1 {
+		ht := make(map[uint64][]int32, bt.NumRows()*2)
+		for r := 0; r < bt.NumRows(); r++ {
+			h := HashRow(bt, r, buildKeys)
+			ht[h] = append(ht[h], int32(r))
+		}
+		for pr := 0; pr < pt.NumRows(); pr++ {
+			h := HashRow(pt, pr, probeKeys)
+			for _, cand := range ht[h] {
+				br := int(cand)
+				if !rowsEqualOn(bt, br, buildKeys, pt, pr, probeKeys) {
+					continue
+				}
+				if residual != nil && !residual(bt, br, pt, pr) {
+					continue
+				}
+				emitJoinRow(out, srcs, bt, pt, br, pr)
 			}
 		}
-		out.nrows++
+		return out, nil
 	}
 
-	// Probe phase.
-	for pr := 0; pr < pt.NumRows(); pr++ {
-		h := HashRow(pt, pr, probeKeys)
-		for _, cand := range ht[h] {
-			br := int(cand)
-			if !rowsEqualOn(bt, br, buildKeys, pt, pr, probeKeys) {
-				continue
-			}
-			if residual != nil && !residual(bt, br, pt, pr) {
-				continue
-			}
-			emit(br, pr)
+	// Parallel build: hash all build rows, then each worker owns the
+	// partition h % w and scans rows in increasing order.
+	bh := make([]uint64, bt.NumRows())
+	runMorsels("join-build", bt.NumRows(), o, st, func(m, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bh[r] = HashRow(bt, r, buildKeys)
 		}
+	})
+	parts := make([]map[uint64][]int32, w)
+	runParallel(w, func(p int) {
+		ht := make(map[uint64][]int32)
+		pp := uint64(p)
+		for r, h := range bh {
+			if h%uint64(w) == pp {
+				ht[h] = append(ht[h], int32(r))
+			}
+		}
+		parts[p] = ht
+	})
+
+	// Parallel probe: each morsel emits into its own chunk; chunks
+	// concatenate in morsel order.
+	chunks := make([]*Table, morselCount(pt.NumRows(), o.morsel()))
+	runMorsels("join-probe", pt.NumRows(), o, st, func(m, lo, hi int) {
+		chunk := NewTable("join", schema)
+		for pr := lo; pr < hi; pr++ {
+			h := HashRow(pt, pr, probeKeys)
+			for _, cand := range parts[h%uint64(w)][h] {
+				br := int(cand)
+				if !rowsEqualOn(bt, br, buildKeys, pt, pr, probeKeys) {
+					continue
+				}
+				if residual != nil && !residual(bt, br, pt, pr) {
+					continue
+				}
+				emitJoinRow(chunk, srcs, bt, pt, br, pr)
+			}
+		}
+		chunks[m] = chunk
+	})
+	for _, chunk := range chunks {
+		out.AppendTable(chunk)
 	}
 	return out, nil
 }

@@ -40,12 +40,35 @@ type NodeStats struct {
 	SegSeconds []float64
 	MovedRows  int
 	MovedBytes int64
+
+	// Workers and Morsels record the most recent Run's parallel footprint:
+	// the worker-goroutine count of the operator's widest parallel region
+	// and the total number of fixed-size morsels it processed (summed over
+	// regions; distributed operators sum over segments). Both stay zero
+	// for operators without parallel regions (scans, sorts, motions).
+	// Morsels is deterministic — a pure function of row counts and the
+	// morsel size — while Workers depends on the configured pool, so the
+	// journal strips only the latter when canonicalizing.
+	Workers int
+	Morsels int
+}
+
+// ExecNote renders the worker/morsel annotation Explain appends after
+// Extra, or "" for operators that ran no parallel region.
+func (st *NodeStats) ExecNote() string {
+	if st.Morsels == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" workers=%d morsels=%d", st.Workers, st.Morsels)
 }
 
 // base carries the bookkeeping shared by every operator.
 type base struct {
 	schema Schema
 	stats  NodeStats
+	// exec holds the parallel-execution options installed by Configure;
+	// the zero value means package defaults (see Opts).
+	exec Opts
 }
 
 func (b *base) OutSchema() Schema { return b.schema }
@@ -55,6 +78,7 @@ func (b *base) Stats() *NodeStats { return &b.stats }
 // elapsed time recorded is *self* time only (children timed separately),
 // matching the per-operator durations in Figure 4.
 func timeRun(st *NodeStats, body func() (*Table, error)) (*Table, error) {
+	st.Workers, st.Morsels = 0, 0
 	start := time.Now()
 	out, err := body()
 	st.Elapsed = time.Since(start)
@@ -90,8 +114,8 @@ func Explain(root Node) string {
 
 func explainNode(b *strings.Builder, n Node, depth int) {
 	st := n.Stats()
-	fmt.Fprintf(b, "%s-> %s  (rows=%d time=%s%s)\n",
-		strings.Repeat("  ", depth), n.Label(), st.Rows, st.Elapsed.Round(time.Microsecond), st.Extra)
+	fmt.Fprintf(b, "%s-> %s  (rows=%d time=%s%s%s)\n",
+		strings.Repeat("  ", depth), n.Label(), st.Rows, st.Elapsed.Round(time.Microsecond), st.Extra, st.ExecNote())
 	for _, k := range n.Children() {
 		explainNode(b, k, depth+1)
 	}

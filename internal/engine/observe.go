@@ -16,6 +16,19 @@ func init() {
 	obs.Default.Help("probkb_engine_plan_seconds", "Total self time of executed query plans, by query site.")
 	obs.Default.Help("probkb_engine_operator_seconds", "Per-operator self time of executed plan nodes.")
 	obs.Default.Help("probkb_engine_operator_rows_total", "Rows produced by executed plan nodes, by operator kind.")
+	obs.Default.Help("probkb_engine_morsels_total", "Morsels processed by parallel operator regions, by region kind.")
+	obs.Default.Help("probkb_engine_worker_utilization", "Fraction of worker-pool time spent busy per parallel region (0-1).")
+}
+
+// observeMorsels and observeUtilization feed the morsel-execution metrics
+// from runMorsels; op is the bounded region kind ("filter", "join-probe",
+// ...), not a free-form label.
+func observeMorsels(op string, nm int) {
+	obs.Default.Counter("probkb_engine_morsels_total", obs.L("op", op)).Add(int64(nm))
+}
+
+func observeUtilization(op string, u float64) {
+	obs.Default.Histogram("probkb_engine_worker_utilization", nil, obs.L("op", op)).Observe(u)
 }
 
 // PlanLike is the shape ObserveTree needs from a plan node; both

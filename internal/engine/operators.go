@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 )
 
@@ -55,14 +56,31 @@ func (n *FilterNode) Run() (*Table, error) {
 	}
 	in := ins[0]
 	return timeRun(&n.stats, func() (*Table, error) {
-		out := NewTable("filter", n.schema)
-		for r := 0; r < in.NumRows(); r++ {
-			if n.pred(in, r) {
-				out.appendFrom(in, r)
+		return FilterTableOpts(in, n.pred, n.exec, &n.stats), nil
+	})
+}
+
+// FilterTableOpts runs the filter kernel directly on a materialized
+// table under the given execution options; the MPP layer calls it once
+// per segment. Each morsel evaluates the predicate into a keep-list, and
+// the lists append in morsel order, reproducing the serial row order.
+func FilterTableOpts(in *Table, pred func(t *Table, row int) bool, o Opts, st *NodeStats) *Table {
+	out := NewTable("filter", in.Schema())
+	nr := in.NumRows()
+	keep := make([][]int32, morselCount(nr, o.morsel()))
+	runMorsels("filter", nr, o, st, func(m, lo, hi int) {
+		var rows []int32
+		for r := lo; r < hi; r++ {
+			if pred(in, r) {
+				rows = append(rows, int32(r))
 			}
 		}
-		return out, nil
+		keep[m] = rows
 	})
+	for _, rows := range keep {
+		out.AppendRowsFrom(in, rows)
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -145,20 +163,40 @@ func (n *ProjectNode) Run() (*Table, error) {
 	}
 	in := ins[0]
 	return timeRun(&n.stats, func() (*Table, error) {
-		out := NewTable("project", n.schema)
-		nr := in.NumRows()
-		out.Reserve(nr)
-		for c, e := range n.exprs {
+		return projectTable(in, n.exprs, n.schema, n.exec, &n.stats), nil
+	})
+}
+
+// projectTable is the projection kernel: output columns are allocated at
+// full length up front so each morsel fills a disjoint row range
+// concurrently — the merge is implicit and the row order trivially
+// matches serial execution.
+func projectTable(in *Table, exprs []OutExpr, schema Schema, o Opts, st *NodeStats) *Table {
+	out := NewTable("project", schema)
+	nr := in.NumRows()
+	for c := range exprs {
+		oc := out.cols[c]
+		switch oc.typ {
+		case Int32:
+			oc.i32 = make([]int32, nr)
+		case Float64:
+			oc.f64 = make([]float64, nr)
+		case String:
+			oc.str = make([]string, nr)
+		}
+	}
+	runMorsels("project", nr, o, st, func(m, lo, hi int) {
+		for c, e := range exprs {
 			oc := out.cols[c]
 			if e.Col >= 0 {
 				ic := in.cols[e.Col]
 				switch e.Type {
 				case Int32:
-					oc.i32 = append(oc.i32, ic.i32...)
+					copy(oc.i32[lo:hi], ic.i32[lo:hi])
 				case Float64:
-					oc.f64 = append(oc.f64, ic.f64...)
+					copy(oc.f64[lo:hi], ic.f64[lo:hi])
 				case String:
-					oc.str = append(oc.str, ic.str...)
+					copy(oc.str[lo:hi], ic.str[lo:hi])
 				}
 				continue
 			}
@@ -168,26 +206,26 @@ func (n *ProjectNode) Run() (*Table, error) {
 				if e.IsNul {
 					v = NullInt32
 				}
-				for i := 0; i < nr; i++ {
-					oc.i32 = append(oc.i32, v)
+				for i := lo; i < hi; i++ {
+					oc.i32[i] = v
 				}
 			case Float64:
 				v := e.F64
 				if e.IsNul {
 					v = NullFloat64()
 				}
-				for i := 0; i < nr; i++ {
-					oc.f64 = append(oc.f64, v)
+				for i := lo; i < hi; i++ {
+					oc.f64[i] = v
 				}
 			case String:
-				for i := 0; i < nr; i++ {
-					oc.str = append(oc.str, e.Str)
+				for i := lo; i < hi; i++ {
+					oc.str[i] = e.Str
 				}
 			}
 		}
-		out.nrows = nr
-		return out, nil
 	})
+	out.nrows = nr
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -219,18 +257,73 @@ func (n *DistinctNode) Run() (*Table, error) {
 	}
 	in := ins[0]
 	return timeRun(&n.stats, func() (*Table, error) {
-		out := NewTable("distinct", n.schema)
-		seen := NewRowSet(out, n.keys)
-		for r := 0; r < in.NumRows(); r++ {
-			if seen.Contains(in, r, n.keys) {
+		return distinctTable(in, n.keys, n.schema, n.exec, &n.stats), nil
+	})
+}
+
+// distinctTable is the duplicate-elimination kernel. The parallel path
+// partitions rows by key hash so each partition deduplicates
+// independently; the survivor of every key is its globally-first
+// occurrence in both paths, and survivors merge sorted by row index, so
+// the output is identical for every worker (and partition) count.
+func distinctTable(in *Table, keys []int, schema Schema, o Opts, st *NodeStats) *Table {
+	out := NewTable("distinct", schema)
+	nr := in.NumRows()
+	w := o.workers()
+	if w <= 1 || morselCount(nr, o.morsel()) <= 1 {
+		seen := NewRowSet(out, keys)
+		for r := 0; r < nr; r++ {
+			if seen.Contains(in, r, keys) {
 				continue
 			}
 			before := out.NumRows()
 			out.appendFrom(in, r)
 			seen.NoteAppended(before)
 		}
-		return out, nil
+		return out
+	}
+	hashes := make([]uint64, nr)
+	runMorsels("distinct", nr, o, st, func(m, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			hashes[r] = HashRow(in, r, keys)
+		}
 	})
+	parts := make([][]int32, w)
+	runParallel(w, func(p int) {
+		seen := make(map[uint64][]int32)
+		var surv []int32
+		pp := uint64(p)
+		for r := 0; r < nr; r++ {
+			h := hashes[r]
+			if h%uint64(w) != pp {
+				continue
+			}
+			dup := false
+			for _, cand := range seen[h] {
+				if rowsEqualOn(in, int(cand), keys, in, r, keys) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen[h] = append(seen[h], int32(r))
+			surv = append(surv, int32(r))
+		}
+		parts[p] = surv
+	})
+	total := 0
+	for _, s := range parts {
+		total += len(s)
+	}
+	all := make([]int32, 0, total)
+	for _, s := range parts {
+		all = append(all, s...)
+	}
+	slices.Sort(all)
+	out.AppendRowsFrom(in, all)
+	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Morsel-driven parallel execution (Leis et al., adapted to this
+// materialize-per-operator engine): operators split their input into
+// fixed-size row ranges — morsels — and a small worker pool processes
+// them, merging per-morsel results in morsel-index order. Because the
+// morsel boundaries depend only on the input row count and the morsel
+// size, never on the worker count, every operator produces bit-identical
+// output (row order included) for every Workers setting — the property
+// the differential harness in internal/proptest asserts.
+
+// DefaultMorselSize is the fixed number of rows per morsel. It is a
+// constant of the execution model, not a tuning knob derived from the
+// worker count: floating-point aggregates sum per morsel and then merge
+// in morsel order, so keeping the boundaries fixed is what makes results
+// identical across worker counts.
+const DefaultMorselSize = 4096
+
+// defaultWorkers overrides the package-wide worker default; 0 means
+// runtime.NumCPU().
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the worker count unconfigured plans run with
+// (the -engine-workers CLI flag lands here); n <= 0 restores the
+// runtime.NumCPU() default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Opts configures parallel plan execution.
+type Opts struct {
+	// Workers is the number of worker goroutines an operator's parallel
+	// regions may use. 0 means the package default (runtime.NumCPU(),
+	// unless SetDefaultWorkers changed it); 1 preserves serial execution.
+	Workers int
+	// MorselSize overrides DefaultMorselSize; 0 keeps the default. Runs
+	// that must produce identical float aggregates must use the same
+	// morsel size (the worker count never matters). Tests shrink it to
+	// exercise parallel merges on small inputs.
+	MorselSize int
+}
+
+func (o Opts) workers() int {
+	w := o.Workers
+	if w <= 0 {
+		w = int(defaultWorkers.Load())
+	}
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return w
+}
+
+func (o Opts) morsel() int {
+	if o.MorselSize > 0 {
+		return o.MorselSize
+	}
+	return DefaultMorselSize
+}
+
+// execNode is the optional interface Configure uses to install execution
+// options; every operator embedding base implements it.
+type execNode interface{ setExec(Opts) }
+
+func (b *base) setExec(o Opts) { b.exec = o }
+
+// Configure installs the execution options on every node of a plan tree.
+// Call it after building a plan and before Run; an unconfigured plan runs
+// with the package defaults.
+func Configure(root Node, o Opts) {
+	if root == nil {
+		return
+	}
+	if n, ok := root.(execNode); ok {
+		n.setExec(o)
+	}
+	for _, k := range root.Children() {
+		Configure(k, o)
+	}
+}
+
+// morselCount returns how many morsels cover rows at the given size.
+func morselCount(rows, size int) int {
+	if rows <= 0 {
+		return 0
+	}
+	return (rows + size - 1) / size
+}
+
+// runMorsels processes the half-open ranges covering [0, rows) on the
+// worker pool: f(m, lo, hi) handles morsel m. Morsels are handed out by
+// an atomic counter (work stealing); f must write only morsel-local
+// state, and callers merge per-morsel results in morsel-index order to
+// keep output deterministic. Worker and morsel counts accumulate into st
+// (which timeRun resets per Run), and the morsel/utilization metrics
+// feed the obs registry under the op label.
+//
+// A panic inside f is re-raised on the calling goroutine, so spawning
+// workers does not change the engine's panic behavior (the MPP segment
+// runner's recover still sees it).
+func runMorsels(op string, rows int, o Opts, st *NodeStats, f func(m, lo, hi int)) {
+	sz := o.morsel()
+	nm := morselCount(rows, sz)
+	if nm == 0 {
+		return
+	}
+	w := o.workers()
+	if w > nm {
+		w = nm
+	}
+	if st != nil {
+		if w > st.Workers {
+			st.Workers = w
+		}
+		st.Morsels += nm
+	}
+	observeMorsels(op, nm)
+	if w <= 1 {
+		for m := 0; m < nm; m++ {
+			f(m, m*sz, min((m+1)*sz, rows))
+		}
+		return
+	}
+	start := time.Now()
+	var next atomic.Int64
+	var busy atomic.Int64
+	var panicOnce sync.Once
+	var panicVal any
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			defer func() {
+				busy.Add(int64(time.Since(t0)))
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= nm {
+					return
+				}
+				f(m, m*sz, min((m+1)*sz, rows))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	if el := time.Since(start); el > 0 {
+		observeUtilization(op, float64(busy.Load())/(float64(el)*float64(w)))
+	}
+}
+
+// runParallel runs f(0), ..., f(n-1) concurrently on n goroutines,
+// re-raising the first panic on the caller like runMorsels does. It backs
+// the fixed-partition phases (hash-join build, distinct) where each task
+// owns one partition rather than pulling morsels.
+func runParallel(n int, f func(i int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var panicOnce sync.Once
+	var panicVal any
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -86,6 +86,7 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 		candidates := make([]*engine.Table, 0, len(active))
 		for _, p := range active {
 			for _, plan := range g.atomsPlans(p, tpi, delta) {
+				engine.Configure(plan, engine.Opts{Workers: g.opts.Workers})
 				planStart := time.Now()
 				out, err := plan.Run()
 				if err != nil {
@@ -168,6 +169,7 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 			return res, err
 		}
 		plan := g.factorsPlan(p, tpi)
+		engine.Configure(plan, engine.Opts{Workers: g.opts.Workers})
 		planStart := time.Now()
 		out, err := plan.Run()
 		if err != nil {

@@ -150,6 +150,11 @@ type Options struct {
 	// DESIGN.md calls out. After a constraint deletion the next
 	// iteration falls back to a full join (deltas cannot see removals).
 	SemiNaive bool
+	// Workers is the engine worker-pool size grounding query plans run
+	// with (engine.Opts.Workers): 0 means the engine default
+	// (runtime.NumCPU()), 1 forces serial execution. Results are
+	// identical for every setting.
+	Workers int
 	// OnIteration, when non-nil, observes each iteration's stats.
 	OnIteration func(IterStats)
 	// Observer, when non-nil, sees the facts table after each iteration's

@@ -43,20 +43,20 @@ func (n *FilterNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("filter", n.schema, n.dist)
+		opts := n.cluster.engineOpts()
+		segStats := make([]engine.NodeStats, n.cluster.nseg)
 		segSecs, err := n.cluster.forEachSegment(func(i int) error {
-			seg := in.segs[i]
-			keep := make([]int32, 0, seg.NumRows())
-			for r := 0; r < seg.NumRows(); r++ {
-				if n.pred(seg, r) {
-					keep = append(keep, int32(r))
-				}
-			}
-			t := engine.NewTable(fmt.Sprintf("filter.seg%d", i), n.schema)
-			t.AppendRowsFrom(seg, keep)
+			// Fresh local stats per attempt so a retried task stays
+			// idempotent; the slot is overwritten wholesale.
+			var st engine.NodeStats
+			t := engine.FilterTableOpts(in.segs[i], n.pred, opts, &st)
+			t.SetName(fmt.Sprintf("filter.seg%d", i))
 			out.segs[i] = t
+			segStats[i] = st
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})
 }
@@ -126,17 +126,22 @@ func (n *ProjectNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("project", n.schema, n.dist)
+		opts := n.cluster.engineOpts()
+		segStats := make([]engine.NodeStats, n.cluster.nseg)
 		segSecs, err := n.cluster.forEachSegment(func(i int) error {
 			p := engine.NewProject(engine.NewScan(in.segs[i]), n.exprs...)
+			engine.Configure(p, opts)
 			t, err := p.Run()
 			if err != nil {
 				return err
 			}
 			t.SetName(fmt.Sprintf("project.seg%d", i))
 			out.segs[i] = t
+			segStats[i] = *p.Stats()
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})
 }
@@ -259,16 +264,21 @@ func (n *HashJoinNode) Run() (*DistTable, error) {
 	bt, pt := ins[0], ins[1]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("join", n.schema, n.dist)
+		opts := n.cluster.engineOpts()
+		segStats := make([]engine.NodeStats, n.cluster.nseg)
 		segSecs, err := n.cluster.forEachSegment(func(i int) error {
-			t, err := engine.HashJoinTables(bt.segs[i], pt.segs[i], n.buildKeys, n.probeKeys, n.residual, n.outs)
+			var st engine.NodeStats
+			t, err := engine.HashJoinTablesOpts(bt.segs[i], pt.segs[i], n.buildKeys, n.probeKeys, n.residual, n.outs, opts, &st)
 			if err != nil {
 				return err
 			}
 			out.segs[i] = t
 			out.segs[i].SetName(fmt.Sprintf("join.seg%d", i))
+			segStats[i] = st
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		mergeExecStats(&n.stats, segStats)
 		if err != nil {
 			return nil, err
 		}
@@ -342,16 +352,22 @@ func (n *DistinctNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("distinct", n.schema, n.dist)
+		opts := n.cluster.engineOpts()
+		segStats := make([]engine.NodeStats, n.cluster.nseg)
 		segSecs, err := n.cluster.forEachSegment(func(i int) error {
-			t, err := engine.NewDistinct(engine.NewScan(in.segs[i]), n.keys).Run()
+			d := engine.NewDistinct(engine.NewScan(in.segs[i]), n.keys)
+			engine.Configure(d, opts)
+			t, err := d.Run()
 			if err != nil {
 				return err
 			}
 			t.SetName(fmt.Sprintf("distinct.seg%d", i))
 			out.segs[i] = t
+			segStats[i] = *d.Stats()
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})
 }
@@ -426,16 +442,21 @@ func (n *GroupByNode) Run() (*DistTable, error) {
 	in := ins[0]
 	return timeRunD(&n.stats, func() (*DistTable, error) {
 		out := n.cluster.newDistTable("groupby", n.schema, n.dist)
+		opts := n.cluster.engineOpts()
+		segStats := make([]engine.NodeStats, n.cluster.nseg)
 		segSecs, err := n.cluster.forEachSegment(func(i int) error {
-			t, err := engine.GroupByTable(in.segs[i], n.keys, n.aggs)
+			var st engine.NodeStats
+			t, err := engine.GroupByTableOpts(in.segs[i], n.keys, n.aggs, opts, &st)
 			if err != nil {
 				return err
 			}
 			t.SetName(fmt.Sprintf("groupby.seg%d", i))
 			out.segs[i] = t
+			segStats[i] = st
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})
 }

@@ -70,6 +70,10 @@ type Cluster struct {
 	retry   RetryPolicy
 	jr      *journal.Writer
 	taskSeq atomic.Int64
+
+	// workers is the per-segment worker budget; see SetWorkers.
+	workers    int
+	morselSize int
 }
 
 // NewCluster returns a cluster with n segments. A cluster with n < 1 is
@@ -102,6 +106,38 @@ func (c *Cluster) SetRetry(p RetryPolicy) { c.retry = p }
 // SetJournal attaches a run journal; injected faults and retries are
 // recorded as segment_fault / segment_retry events.
 func (c *Cluster) SetJournal(w *journal.Writer) { c.jr = w }
+
+// SetWorkers sets the worker budget each segment task hands to the engine
+// kernels it runs. The default (anything < 2) keeps the historical
+// behavior — segments execute their inner plans serially, and all
+// parallelism comes from the goroutine-per-segment in forEachSegment.
+// Results are identical for every setting (see engine.Opts).
+func (c *Cluster) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.workers = n
+}
+
+// SetMorselSize overrides engine.DefaultMorselSize for the engine kernels
+// segment tasks run (0 keeps the default). Like the worker budget it never
+// changes results, but tests shrink it so small per-segment partitions
+// still split into enough morsels to engage the worker pool.
+func (c *Cluster) SetMorselSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.morselSize = n
+}
+
+// engineOpts returns the engine execution options segment tasks run under.
+func (c *Cluster) engineOpts() engine.Opts {
+	w := c.workers
+	if w < 1 {
+		w = 1
+	}
+	return engine.Opts{Workers: w, MorselSize: c.morselSize}
+}
 
 // ctxErr returns the attached context's error, if any.
 func (c *Cluster) ctxErr() error {

@@ -58,6 +58,7 @@ func childBase(child Node, schema engine.Schema, dist Distribution) dbase {
 }
 
 func timeRunD(st *engine.NodeStats, body func() (*DistTable, error)) (*DistTable, error) {
+	st.Workers, st.Morsels = 0, 0
 	start := time.Now()
 	out, err := body()
 	st.Elapsed = time.Since(start)
@@ -69,6 +70,19 @@ func timeRunD(st *engine.NodeStats, body func() (*DistTable, error)) (*DistTable
 		}
 	}
 	return out, err
+}
+
+// mergeExecStats folds the per-segment kernel stats into a distributed
+// operator's stats: Workers is the widest parallel region on any segment,
+// Morsels sums over segments (still deterministic — segment partition
+// sizes are a pure function of the data and the hash).
+func mergeExecStats(dst *engine.NodeStats, segs []engine.NodeStats) {
+	for _, s := range segs {
+		if s.Workers > dst.Workers {
+			dst.Workers = s.Workers
+		}
+		dst.Morsels += s.Morsels
+	}
 }
 
 func runChildrenD(n Node) ([]*DistTable, error) {
@@ -94,8 +108,8 @@ func Explain(root Node) string {
 
 func explainNode(b *strings.Builder, n Node, depth int) {
 	st := n.Stats()
-	fmt.Fprintf(b, "%s-> %s  (rows=%d time=%s%s)\n",
-		strings.Repeat("  ", depth), n.Label(), st.Rows, st.Elapsed.Round(time.Microsecond), st.Extra)
+	fmt.Fprintf(b, "%s-> %s  (rows=%d time=%s%s%s)\n",
+		strings.Repeat("  ", depth), n.Label(), st.Rows, st.Elapsed.Round(time.Microsecond), st.Extra, st.ExecNote())
 	for _, k := range n.Children() {
 		explainNode(b, k, depth+1)
 	}

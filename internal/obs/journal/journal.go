@@ -72,15 +72,20 @@ type Iteration struct {
 // PlanNode is one operator of a captured plan tree: a NodeStats snapshot
 // plus children. SegRows/SegSeconds are nil on single-node plans.
 type PlanNode struct {
-	Label      string     `json:"label"`
-	Rows       int        `json:"rows"`
-	Seconds    float64    `json:"seconds"`
-	Extra      string     `json:"extra,omitempty"`
-	SegRows    []int      `json:"seg_rows,omitempty"`
-	SegSeconds []float64  `json:"seg_seconds,omitempty"`
-	MovedRows  int        `json:"moved_rows,omitempty"`
-	MovedBytes int64      `json:"moved_bytes,omitempty"`
-	Children   []PlanNode `json:"children,omitempty"`
+	Label      string    `json:"label"`
+	Rows       int       `json:"rows"`
+	Seconds    float64   `json:"seconds"`
+	Extra      string    `json:"extra,omitempty"`
+	SegRows    []int     `json:"seg_rows,omitempty"`
+	SegSeconds []float64 `json:"seg_seconds,omitempty"`
+	MovedRows  int       `json:"moved_rows,omitempty"`
+	MovedBytes int64     `json:"moved_bytes,omitempty"`
+	// Workers/Morsels mirror NodeStats: Morsels is a deterministic
+	// function of the data, while Workers tracks the configured pool and
+	// is stripped by Canonicalize (schedulingKeys).
+	Workers  int        `json:"workers,omitempty"`
+	Morsels  int        `json:"morsels,omitempty"`
+	Children []PlanNode `json:"children,omitempty"`
 }
 
 // QueryProfile is one executed grounding query's full operator tree,
@@ -308,6 +313,14 @@ var timingKeys = map[string]bool{
 	"infer_seconds":   true,
 }
 
+// schedulingKeys carry execution-resource choices (worker-pool sizes)
+// that don't affect results; Canonicalize removes them so runs at
+// different worker counts produce identical canonical journals. Morsel
+// counts are NOT here: they depend only on the data and stay.
+var schedulingKeys = map[string]bool{
+	"workers": true,
+}
+
 // nondeterministicTypes are event types whose presence or ordering
 // depends on goroutine scheduling or on the active fault plan, not on
 // the run's inputs; Canonicalize drops them (and renumbers Seq) so a
@@ -351,7 +364,7 @@ func stripTiming(v any) {
 	switch t := v.(type) {
 	case map[string]any:
 		for k, child := range t {
-			if timingKeys[k] {
+			if timingKeys[k] || schedulingKeys[k] {
 				delete(t, k)
 				continue
 			}

@@ -20,6 +20,8 @@ func Capture[N engine.PlanLike[N]](root N) PlanNode {
 		SegSeconds: append([]float64(nil), st.SegSeconds...),
 		MovedRows:  st.MovedRows,
 		MovedBytes: st.MovedBytes,
+		Workers:    st.Workers,
+		Morsels:    st.Morsels,
 	}
 	for _, k := range root.Children() {
 		pn.Children = append(pn.Children, Capture(k))

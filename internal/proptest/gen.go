@@ -1,0 +1,330 @@
+// Package proptest is the randomized differential-testing harness for
+// the relational layer: it generates random schemas, tables, and plans,
+// runs each plan on the serial engine (Workers=1), the morsel-parallel
+// engine, and MPP clusters of several segment counts, and asserts the
+// results agree. Failing cases shrink to a minimal plan before being
+// reported.
+//
+// The harness is what lets the morsel-parallel execution model
+// (internal/engine/parallel.go) change join/aggregate internals without
+// silently changing result sets: serial vs parallel must match
+// bit-for-bit including row order, and single-node vs MPP must match as
+// multisets (float aggregates may differ by ulps because per-segment
+// sums associate differently).
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"probkb/internal/engine"
+)
+
+// Op enumerates the plan operators the generator emits — exactly the
+// subset the MPP layer supports, so one spec drives both builds.
+type Op int
+
+// The generated operator kinds.
+const (
+	OpScan Op = iota
+	OpFilter
+	OpProject
+	OpDistinct
+	OpGroupBy
+	OpJoin
+)
+
+// TableSpec is one generated base table: NInt Int32 columns (column 0 is
+// the MPP distribution key) and, when HasFloat, one trailing Float64
+// column whose value is a pure function of the row's Int32 columns —
+// that invariant makes DISTINCT representatives identical across
+// engines regardless of which duplicate survives.
+type TableSpec struct {
+	Name       string
+	NInt       int
+	HasFloat   bool
+	Rows       [][]int32
+	Replicated bool // MPP placement: replicated instead of hashed by col 0
+}
+
+// floatOf derives the deterministic float column value for a row.
+func floatOf(ints []int32) float64 {
+	h := int32(7)
+	for _, v := range ints {
+		h = h*31 + v
+	}
+	if h < 0 {
+		h = -h
+	}
+	return float64(h%97) / 97
+}
+
+// AggSel selects one aggregate for a groupby spec.
+type AggSel struct {
+	Kind engine.AggKind
+	Col  int
+}
+
+// PlanSpec is one node of a generated plan tree.
+type PlanSpec struct {
+	Op    Op
+	Table int   // OpScan: index into Case.Tables
+	Col   int   // OpFilter: Int32 column compared
+	Val   int32 // OpFilter: threshold (keep rows with col > Val)
+	Cols  []int // OpProject: input columns to keep, in order
+	Keys  []int // OpDistinct / OpGroupBy keys; OpJoin build keys
+	PKeys []int // OpJoin probe keys
+	BOuts []int // OpJoin: build-side output columns
+	POuts []int // OpJoin: probe-side output columns
+	Aggs  []AggSel
+	Left  *PlanSpec
+	Right *PlanSpec
+}
+
+// Case is one generated differential test case.
+type Case struct {
+	Seed   int64
+	Tables []TableSpec
+	Plan   *PlanSpec
+}
+
+// String renders the case compactly for failure reports.
+func (c *Case) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", c.Seed)
+	for i, t := range c.Tables {
+		fmt.Fprintf(&b, "table %d %q: %d int cols, float=%v, %d rows, replicated=%v\n",
+			i, t.Name, t.NInt, t.HasFloat, len(t.Rows), t.Replicated)
+	}
+	b.WriteString("plan: ")
+	writeSpec(&b, c.Plan)
+	b.WriteString("\n")
+	return b.String()
+}
+
+func writeSpec(b *strings.Builder, p *PlanSpec) {
+	switch p.Op {
+	case OpScan:
+		fmt.Fprintf(b, "(scan %d)", p.Table)
+	case OpFilter:
+		fmt.Fprintf(b, "(filter c%d>%d ", p.Col, p.Val)
+		writeSpec(b, p.Left)
+		b.WriteString(")")
+	case OpProject:
+		fmt.Fprintf(b, "(project %v ", p.Cols)
+		writeSpec(b, p.Left)
+		b.WriteString(")")
+	case OpDistinct:
+		fmt.Fprintf(b, "(distinct %v ", p.Keys)
+		writeSpec(b, p.Left)
+		b.WriteString(")")
+	case OpGroupBy:
+		fmt.Fprintf(b, "(groupby %v aggs=%d ", p.Keys, len(p.Aggs))
+		writeSpec(b, p.Left)
+		b.WriteString(")")
+	case OpJoin:
+		fmt.Fprintf(b, "(join b%v=p%v bout=%v pout=%v ", p.Keys, p.PKeys, p.BOuts, p.POuts)
+		writeSpec(b, p.Left)
+		b.WriteString(" ")
+		writeSpec(b, p.Right)
+		b.WriteString(")")
+	}
+}
+
+// colTypes models a schema during generation: the Int32 column indexes
+// and the Float64 column indexes of the current intermediate result.
+type colTypes struct {
+	ints   []int
+	floats []int
+}
+
+func (ct colTypes) n() int { return len(ct.ints) + len(ct.floats) }
+
+// NewCase generates a random case from the seed. maxRows bounds the base
+// table sizes; the short test mode uses small tables with small value
+// domains so joins and groups collide constantly.
+func NewCase(seed int64, maxRows int) *Case {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Case{Seed: seed}
+
+	ntab := 1 + rng.Intn(3)
+	for i := 0; i < ntab; i++ {
+		ts := TableSpec{
+			Name:       fmt.Sprintf("t%d", i),
+			NInt:       1 + rng.Intn(3),
+			HasFloat:   rng.Intn(2) == 0,
+			Replicated: rng.Intn(4) == 0,
+		}
+		domain := int32(2 + rng.Intn(6))
+		nrows := rng.Intn(maxRows + 1)
+		for r := 0; r < nrows; r++ {
+			row := make([]int32, ts.NInt)
+			for c := range row {
+				row[c] = rng.Int31n(domain)
+			}
+			ts.Rows = append(ts.Rows, row)
+		}
+		c.Tables = append(c.Tables, ts)
+	}
+
+	g := &gen{rng: rng, tables: c.Tables}
+	c.Plan, _ = g.plan(2 + rng.Intn(2))
+	return c
+}
+
+type gen struct {
+	rng    *rand.Rand
+	tables []TableSpec
+}
+
+func (g *gen) scan() (*PlanSpec, colTypes) {
+	i := g.rng.Intn(len(g.tables))
+	t := g.tables[i]
+	ct := colTypes{}
+	for c := 0; c < t.NInt; c++ {
+		ct.ints = append(ct.ints, c)
+	}
+	if t.HasFloat {
+		ct.floats = append(ct.floats, t.NInt)
+	}
+	return &PlanSpec{Op: OpScan, Table: i}, ct
+}
+
+// pick returns k distinct random elements of xs (k clamped to len).
+func (g *gen) pick(xs []int, k int) []int {
+	idx := g.rng.Perm(len(xs))
+	if k > len(xs) {
+		k = len(xs)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = xs[idx[i]]
+	}
+	return out
+}
+
+func (g *gen) plan(depth int) (*PlanSpec, colTypes) {
+	if depth <= 0 {
+		return g.scan()
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return g.scan()
+	case 1: // filter
+		child, ct := g.plan(depth - 1)
+		col := ct.ints[g.rng.Intn(len(ct.ints))]
+		return &PlanSpec{Op: OpFilter, Col: col, Val: g.rng.Int31n(6), Left: child}, ct
+	case 2: // project: keep a non-empty subset (always ≥1 int col)
+		child, ct := g.plan(depth - 1)
+		keep := g.pick(ct.ints, 1+g.rng.Intn(len(ct.ints)))
+		if len(ct.floats) > 0 && g.rng.Intn(2) == 0 {
+			keep = append(keep, ct.floats[0])
+		}
+		out := colTypes{}
+		for i, c := range keep {
+			if contains(ct.floats, c) {
+				out.floats = append(out.floats, i)
+			} else {
+				out.ints = append(out.ints, i)
+			}
+		}
+		return &PlanSpec{Op: OpProject, Cols: keep, Left: child}, out
+	case 3: // distinct over ALL columns of an all-Int32 schema
+		child, ct := g.plan(depth - 1)
+		if len(ct.floats) > 0 {
+			// Drop the float columns first; DISTINCT with keys ⊂ columns
+			// keeps an engine-dependent representative, so the harness
+			// only generates the all-columns form.
+			child = &PlanSpec{Op: OpProject, Cols: append([]int(nil), ct.ints...), Left: child}
+			ct = colTypes{ints: seq(len(ct.ints))}
+		}
+		return &PlanSpec{Op: OpDistinct, Keys: seq(len(ct.ints)), Left: child}, ct
+	case 4: // groupby
+		child, ct := g.plan(depth - 1)
+		keys := g.pick(ct.ints, 1+g.rng.Intn(min(2, len(ct.ints))))
+		aggs := []AggSel{{Kind: engine.AggCount}}
+		out := colTypes{ints: seq(len(keys))}
+		next := len(keys)
+		out.ints = append(out.ints, next)
+		next++
+		if len(ct.ints) > len(keys) && g.rng.Intn(2) == 0 {
+			rest := diff(ct.ints, keys)
+			aggs = append(aggs, AggSel{Kind: engine.AggCountDistinct, Col: rest[g.rng.Intn(len(rest))]})
+			out.ints = append(out.ints, next)
+			next++
+		}
+		if len(ct.floats) > 0 {
+			for _, k := range []engine.AggKind{engine.AggMinF64, engine.AggMaxF64, engine.AggSumF64} {
+				if g.rng.Intn(2) == 0 {
+					aggs = append(aggs, AggSel{Kind: k, Col: ct.floats[0]})
+					out.floats = append(out.floats, next)
+					next++
+				}
+			}
+		}
+		return &PlanSpec{Op: OpGroupBy, Keys: keys, Aggs: aggs, Left: child}, out
+	default: // join
+		left, lct := g.plan(depth - 1)
+		right, rct := g.plan(depth - 1)
+		nk := 1 + g.rng.Intn(min(2, min(len(lct.ints), len(rct.ints))))
+		bk := g.pick(lct.ints, nk)
+		pk := g.pick(rct.ints, nk)
+		// Always emit ≥1 Int32 column from each side so every intermediate
+		// schema supports filters, join keys, and distribution keys above.
+		bouts := g.pick(lct.ints, 1+g.rng.Intn(len(lct.ints)))
+		if len(lct.floats) > 0 && g.rng.Intn(2) == 0 {
+			bouts = append(bouts, lct.floats[0])
+		}
+		pouts := g.pick(rct.ints, 1+g.rng.Intn(len(rct.ints)))
+		if len(rct.floats) > 0 && g.rng.Intn(2) == 0 {
+			pouts = append(pouts, rct.floats[0])
+		}
+		out := colTypes{}
+		i := 0
+		for _, c := range bouts {
+			if contains(lct.floats, c) {
+				out.floats = append(out.floats, i)
+			} else {
+				out.ints = append(out.ints, i)
+			}
+			i++
+		}
+		for _, c := range pouts {
+			if contains(rct.floats, c) {
+				out.floats = append(out.floats, i)
+			} else {
+				out.ints = append(out.ints, i)
+			}
+			i++
+		}
+		return &PlanSpec{Op: OpJoin, Keys: bk, PKeys: pk, BOuts: bouts, POuts: pouts, Left: left, Right: right}, out
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func diff(xs, drop []int) []int {
+	var out []int
+	for _, x := range xs {
+		if !contains(drop, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package proptest
+
+// Shrink reduces a failing case to a (locally) minimal one that still
+// fails, greedily applying two kinds of reduction until neither helps:
+//
+//   - plan shrinking: replace the plan with one of its subtrees (a
+//     subtree generated as part of a valid plan is itself a valid plan);
+//   - data shrinking: drop the first or second half of a base table's
+//     rows.
+//
+// fails must be side-effect free; Shrink calls it repeatedly. The
+// returned case fails and every single reduction step from it passes —
+// the classic QuickCheck minimum.
+func Shrink(c *Case, fails func(*Case) bool) *Case {
+	cur := c
+	for {
+		next, ok := shrinkStep(cur, fails)
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}
+
+func shrinkStep(c *Case, fails func(*Case) bool) (*Case, bool) {
+	// Plan shrinking first: a smaller plan usually obsoletes most data.
+	for _, sub := range subtrees(c.Plan) {
+		cand := &Case{Seed: c.Seed, Tables: c.Tables, Plan: sub}
+		if fails(cand) {
+			return cand, true
+		}
+	}
+	// Data shrinking: halve tables.
+	for ti := range c.Tables {
+		n := len(c.Tables[ti].Rows)
+		if n == 0 {
+			continue
+		}
+		for _, keep := range [][2]int{{0, n / 2}, {n / 2, n}} {
+			if keep[1]-keep[0] == n {
+				continue // no reduction
+			}
+			cand := &Case{Seed: c.Seed, Tables: cloneTables(c.Tables), Plan: c.Plan}
+			cand.Tables[ti].Rows = c.Tables[ti].Rows[keep[0]:keep[1]]
+			if fails(cand) {
+				return cand, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// subtrees lists the proper subtrees of p in breadth-first order, so the
+// shrinker tries the largest reductions first.
+func subtrees(p *PlanSpec) []*PlanSpec {
+	var out []*PlanSpec
+	queue := []*PlanSpec{p}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n != p {
+			out = append(out, n)
+		}
+		if n.Left != nil {
+			queue = append(queue, n.Left)
+		}
+		if n.Right != nil {
+			queue = append(queue, n.Right)
+		}
+	}
+	return out
+}
+
+func cloneTables(ts []TableSpec) []TableSpec {
+	out := make([]TableSpec, len(ts))
+	copy(out, ts)
+	return out
+}

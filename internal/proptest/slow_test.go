@@ -1,0 +1,16 @@
+//go:build slow
+
+package proptest
+
+import "testing"
+
+// TestDifferentialLong is the long-run differential sweep, enabled with
+// `go test -tags slow ./internal/proptest` (see `make proptest`): an
+// order of magnitude more cases over larger tables than the short run.
+func TestDifferentialLong(t *testing.T) {
+	n := 5000
+	if *flagN > 0 {
+		n = *flagN
+	}
+	runMany(t, n, 200)
+}

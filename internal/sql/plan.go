@@ -12,6 +12,7 @@ type DB struct {
 	cat      *engine.Catalog
 	stats    map[*engine.Table]cachedStats
 	optimize bool
+	workers  int
 }
 
 // NewDB wraps a catalog. The cost-based join-order optimizer is on by
@@ -21,6 +22,11 @@ func NewDB(cat *engine.Catalog) *DB { return &DB{cat: cat, optimize: true} }
 // SetOptimize toggles the join-order optimizer (useful for plan
 // comparisons and tests).
 func (db *DB) SetOptimize(on bool) { db.optimize = on }
+
+// SetWorkers sets the engine worker-pool size planned queries run with
+// (engine.Opts.Workers): 0 means the engine default, 1 forces serial
+// execution. Results are identical for every setting.
+func (db *DB) SetWorkers(n int) { db.workers = n }
 
 // Query parses, plans, and runs a SELECT; it returns the result table.
 func (db *DB) Query(text string) (*engine.Table, error) {
@@ -40,7 +46,12 @@ func (db *DB) Plan(text string) (engine.Node, error) {
 	if stmt.Select == nil {
 		return nil, fmt.Errorf("sql: Plan requires a SELECT")
 	}
-	return db.planSelect(stmt.Select)
+	plan, err := db.planSelect(stmt.Select)
+	if err != nil {
+		return nil, err
+	}
+	engine.Configure(plan, engine.Opts{Workers: db.workers})
+	return plan, nil
 }
 
 // Explain runs a SELECT and renders its annotated physical plan.

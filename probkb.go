@@ -100,6 +100,14 @@ type Config struct {
 	Engine   Engine
 	Segments int
 
+	// EngineWorkers sizes the morsel-parallel worker pool relational
+	// query plans run with. On SingleNode, 0 means runtime.NumCPU() and
+	// 1 forces serial execution; on MPP it is the per-segment budget,
+	// where 0 (and 1) keep the historical serial-per-segment behavior.
+	// Results — and canonical journals — are identical for every
+	// setting, which is why Hash excludes it (like Faults and retries).
+	EngineWorkers int
+
 	// MaxIterations caps the grounding fixpoint loop; 0 runs to
 	// convergence. Machine-built KBs without constraints can blow up
 	// (Section 6.1.1), so runs with ApplyConstraints=false should set a
@@ -253,6 +261,9 @@ func DefaultConfig() Config {
 // excluded.
 func (c Config) Hash() string {
 	h := fnv.New64a()
+	// EngineWorkers is deliberately absent: worker counts never change
+	// results (engine.Opts), so runs differing only in parallelism
+	// remain journal-comparable.
 	fmt.Fprintf(h, "engine=%d segments=%d maxiter=%d constraints=%t theta=%g cic=%t infer=%t burnin=%d samples=%d parallel=%t seed=%d",
 		int(c.Engine), c.Segments, c.MaxIterations, c.ApplyConstraints,
 		c.RuleCleanTheta, c.ConstraintInformedCleaning, c.RunInference,
@@ -491,6 +502,7 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 		cl := mpp.NewCluster(segs)
 		cl.SetContext(ctx)
 		cl.SetJournal(jr)
+		cl.SetWorkers(cfg.EngineWorkers)
 		if f := cfg.Faults; f != nil {
 			cl.SetFaults(&mpp.FaultPlan{
 				Seed: f.Seed, FailRate: f.FailRate, PanicRate: f.PanicRate,
@@ -558,7 +570,7 @@ func journaledHook(jr *journal.Writer, checker *quality.Checker) func(*engine.Ta
 // groundOptions builds the grounding options shared by ExpandContext and
 // ExtendWith: the tracing context plus the progress-callback bridge.
 func groundOptions(ctx context.Context, cfg Config) ground.Options {
-	opts := ground.Options{MaxIterations: cfg.MaxIterations, Ctx: ctx}
+	opts := ground.Options{MaxIterations: cfg.MaxIterations, Ctx: ctx, Workers: cfg.EngineWorkers}
 	if cfg.OnIteration != nil {
 		cb := cfg.OnIteration
 		opts.OnIteration = func(st ground.IterStats) {
