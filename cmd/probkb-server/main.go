@@ -6,6 +6,12 @@
 //
 //	probkb-server -kb DIR [-addr :8080] [-engine probkb] [-iters N]
 //	              [-no-constraints] [-theta F] [-no-inference]
+//	              [-persist DIR]
+//
+// -persist makes the startup expansion durable (created from -kb when
+// the directory is empty, recovered and resumed when it already holds a
+// store) and enables POST /admin/snapshot to checkpoint it while
+// serving.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 	theta := flag.Float64("theta", 1, "rule cleaning: keep top θ of rules (1 = off)")
 	noInference := flag.Bool("no-inference", false, "skip Gibbs marginal inference")
 	seed := flag.Int64("seed", 0, "inference seed")
+	persistDir := flag.String("persist", "", "durable store directory: created from -kb if empty, recovered if it already holds a store")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -45,6 +52,30 @@ func main() {
 		logger.Error("load failed", "err", err)
 		os.Exit(1)
 	}
+	var pst *probkb.Store
+	if *persistDir != "" {
+		ok, err := probkb.StoreExists(*persistDir)
+		if err != nil {
+			logger.Error("store check failed", "err", err)
+			os.Exit(1)
+		}
+		if ok {
+			if pst, err = probkb.OpenStore(*persistDir); err != nil {
+				logger.Error("store recovery failed", "err", err)
+				os.Exit(1)
+			}
+			k = pst.KB()
+			logger.Info("recovered store", "dir", *persistDir,
+				"gen", pst.Gen(), "wal_records", pst.WALRecords(), "facts", pst.Facts())
+		} else {
+			if pst, err = probkb.CreateStore(*persistDir, k); err != nil {
+				logger.Error("store create failed", "err", err)
+				os.Exit(1)
+			}
+			logger.Info("initialized store", "dir", *persistDir)
+		}
+		defer pst.Close()
+	}
 	st := k.Stats()
 	logger.Info("loaded KB", "facts", st.Facts, "rules", st.Rules,
 		"entities", st.Entities, "constraints", st.Constraints)
@@ -57,6 +88,7 @@ func main() {
 		RunInference:     !*noInference,
 		GibbsParallel:    true,
 		Seed:             *seed,
+		Persist:          pst,
 		OnIteration: func(it probkb.IterationStats) {
 			logger.Debug("grounding iteration", "iter", it.Iteration,
 				"new_facts", it.NewFacts, "deleted", it.Deleted, "queries", it.Queries)
@@ -71,8 +103,13 @@ func main() {
 		"base_facts", est.BaseFacts, "inferred_facts", est.InferredFacts,
 		"factors", est.Factors, "grounding", est.GroundingTime, "inference", est.InferenceTime)
 
+	var opts []server.Option
+	if pst != nil {
+		opts = append(opts, server.WithStore(pst))
+		logger.Info("store durable", "gen", pst.Gen(), "wal_records", pst.WALRecords())
+	}
 	logger.Info("serving", "addr", *addr)
-	if err := http.ListenAndServe(*addr, server.New(k, exp)); err != nil {
+	if err := http.ListenAndServe(*addr, server.New(k, exp, opts...)); err != nil {
 		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}

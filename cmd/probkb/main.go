@@ -8,7 +8,7 @@
 //	probkb expand  -kb DIR [-out DIR] [-engine probkb|probkb-p|probkb-pn|tuffy]
 //	               [-segments N] [-iters N] [-no-constraints] [-theta F]
 //	               [-no-inference] [-burnin N] [-samples N] [-seed N] [-v] [-trace]
-//	               [-journal FILE]
+//	               [-journal FILE] [-persist DIR]
 //	               [-chaos-seed N] [-chaos-fail P] [-chaos-panic P]
 //	               [-chaos-straggle P] [-chaos-delay D]
 //	               [-retries N] [-retry-backoff D]
@@ -21,6 +21,22 @@
 //	    deterministically inject segment-task failures, panics, and
 //	    stragglers into MPP runs; -retries re-executes failed segment
 //	    tasks (results are unchanged — see probkb report's fault section).
+//	    -persist makes the run durable: a columnar snapshot plus a WAL of
+//	    every completed grounding iteration land in DIR as the run goes.
+//	    An empty DIR is initialized from -kb; a DIR that already holds a
+//	    store is recovered (snapshot + WAL replay) and expansion resumes
+//	    from the recovered facts — kill the process at any point and
+//	    re-run the same command.
+//
+//	probkb save    -kb DIR -store DIR
+//	    Initialize a durable store from a KB: generation-1 snapshot plus
+//	    an empty WAL.
+//
+//	probkb load    -store DIR [-out DIR] [-checkpoint]
+//	    Recover the store (snapshot load, WAL replay, torn-tail
+//	    truncation) and print what was recovered. -out writes the
+//	    recovered KB as a text directory; -checkpoint folds the WAL into
+//	    a fresh snapshot before exiting.
 //
 //	probkb report  [-top N] [-skew N] [-json] JOURNAL
 //	    Analyze a run journal written by expand -journal: per-phase time
@@ -69,6 +85,10 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "expand":
 		cmdExpand(os.Args[2:])
+	case "save":
+		cmdSave(os.Args[2:])
+	case "load":
+		cmdLoad(os.Args[2:])
 	case "report":
 		cmdReport(os.Args[2:])
 	case "explain":
@@ -83,7 +103,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|report|explain|rules|sql} [flags]; see -h of each subcommand")
+	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|rules|sql} [flags]; see -h of each subcommand")
 	os.Exit(2)
 }
 
@@ -146,6 +166,7 @@ func cmdExpand(args []string) {
 	trace := fs.Bool("trace", false, "print the expansion's span tree (per-stage timings)")
 	factorsDir := fs.String("factors", "", "export the ground factor graph (variables.tsv, factors.tsv) to this directory")
 	journalPath := fs.String("journal", "", "stream the run journal (JSONL events) to this file; analyze with probkb report")
+	persistDir := fs.String("persist", "", "durable store directory: created from -kb if empty, recovered and resumed if it already holds a store")
 	chaosSeed := fs.Int64("chaos-seed", 0, "fault-injection seed (MPP engines)")
 	chaosFail := fs.Float64("chaos-fail", 0, "per-segment-task probability of an injected failure")
 	chaosPanic := fs.Float64("chaos-panic", 0, "per-segment-task probability of an injected worker panic")
@@ -155,7 +176,35 @@ func cmdExpand(args []string) {
 	retryBackoff := fs.Duration("retry-backoff", time.Millisecond, "base delay before segment retry k (scaled linearly)")
 	fs.Parse(args)
 
-	k := loadKB(*dir)
+	var (
+		k   *probkb.KB
+		pst *probkb.Store
+	)
+	if *persistDir != "" {
+		ok, err := probkb.StoreExists(*persistDir)
+		if err != nil {
+			die(err)
+		}
+		if ok {
+			// A store already lives here: recover it and resume from the
+			// recovered facts; -kb is not consulted.
+			if pst, err = probkb.OpenStore(*persistDir); err != nil {
+				die(err)
+			}
+			k = pst.KB()
+			fmt.Printf("resumed store %s: gen %d, %d WAL records replayed, %d facts\n",
+				*persistDir, pst.Gen(), pst.WALRecords(), pst.Facts())
+		} else {
+			k = loadKB(*dir)
+			if pst, err = probkb.CreateStore(*persistDir, k); err != nil {
+				die(err)
+			}
+			fmt.Printf("initialized store %s\n", *persistDir)
+		}
+		defer pst.Close()
+	} else {
+		k = loadKB(*dir)
+	}
 	eng, err := engineByName(*engineName)
 	if err != nil {
 		die(err)
@@ -176,6 +225,7 @@ func cmdExpand(args []string) {
 		SegmentRetries:   *retries,
 		RetryBackoff:     *retryBackoff,
 	}
+	cfg.Persist = pst
 	if *chaosFail > 0 || *chaosPanic > 0 || *chaosStraggle > 0 {
 		cfg.Faults = &probkb.FaultConfig{
 			Seed:          *chaosSeed,
@@ -246,7 +296,15 @@ func cmdExpand(args []string) {
 		if *factorsDir != "" || *out != "" {
 			fmt.Fprintln(os.Stderr, "probkb: run was interrupted; skipping -out/-factors output")
 		}
+		if pst != nil {
+			pst.Close()
+			fmt.Fprintf(os.Stderr, "probkb: durable state through the last completed iteration is in %s; re-run with -persist to resume\n", pst.Dir())
+		}
 		os.Exit(1)
+	}
+	if pst != nil {
+		fmt.Printf("store %s: gen %d, %d WAL records, %d facts durable\n",
+			pst.Dir(), pst.Gen(), pst.WALRecords(), pst.Facts())
 	}
 	if *factorsDir != "" {
 		if err := exp.SaveFactorGraph(*factorsDir); err != nil {
@@ -259,6 +317,61 @@ func cmdExpand(args []string) {
 			die(err)
 		}
 		fmt.Printf("expanded KB written to %s\n", *out)
+	}
+}
+
+func cmdSave(args []string) {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory")
+	storeDir := fs.String("store", "", "store directory to initialize")
+	fs.Parse(args)
+	if *storeDir == "" {
+		die(fmt.Errorf("missing -store DIR"))
+	}
+	k := loadKB(*dir)
+	st, err := probkb.CreateStore(*storeDir, k)
+	if err != nil {
+		die(err)
+	}
+	if err := st.Close(); err != nil {
+		die(err)
+	}
+	fmt.Printf("store %s: gen %d snapshot, %d bytes, %d facts\n",
+		*storeDir, st.Gen(), st.SnapshotBytes(), st.Facts())
+}
+
+func cmdLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory to recover")
+	out := fs.String("out", "", "write the recovered KB as a text directory")
+	checkpoint := fs.Bool("checkpoint", false, "fold the WAL into a fresh snapshot after recovery")
+	fs.Parse(args)
+	if *storeDir == "" {
+		die(fmt.Errorf("missing -store DIR"))
+	}
+	st, err := probkb.OpenStore(*storeDir)
+	if err != nil {
+		die(err)
+	}
+	defer st.Close()
+	fmt.Printf("recovered store %s: gen %d, %d WAL records replayed\n",
+		*storeDir, st.Gen(), st.WALRecords())
+	k := st.KB()
+	s := k.Stats()
+	fmt.Printf("# relations  %8d    # entities %8d\n", s.Relations, s.Entities)
+	fmt.Printf("# rules      %8d    # facts    %8d\n", s.Rules, s.Facts)
+	fmt.Printf("# classes    %8d    # constraints %5d\n", s.Classes, s.Constraints)
+	if *checkpoint {
+		if err := st.Checkpoint(); err != nil {
+			die(err)
+		}
+		fmt.Printf("checkpointed: gen %d snapshot, %d bytes\n", st.Gen(), st.SnapshotBytes())
+	}
+	if *out != "" {
+		if err := k.Save(*out); err != nil {
+			die(err)
+		}
+		fmt.Printf("recovered KB written to %s\n", *out)
 	}
 }
 

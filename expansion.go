@@ -373,6 +373,11 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 	opts := groundOptions(ctx, e.cfg)
 	opts.SemiNaive = true
 	opts.Journal = jr
+	if p := e.cfg.Persist; p != nil {
+		p.inner.SetJournal(jr)
+		defer p.inner.SetJournal(nil)
+		attachPersist(&opts, p, e.kb)
+	}
 	if e.cfg.ApplyConstraints {
 		opts.ConstraintHook = journaledHook(jr, quality.NewChecker(e.kb))
 	}
@@ -380,9 +385,15 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := persistFinal(e.cfg.Persist, e.kb, res.Facts); err != nil {
+		return nil, err
+	}
 	next := &Expansion{kb: e.kb, res: res, cfg: e.cfg, jr: jr}
 	if e.cfg.RunInference {
 		if err := next.runInference(ctx); err != nil {
+			return nil, err
+		}
+		if err := persistFinal(e.cfg.Persist, e.kb, res.Facts); err != nil {
 			return nil, err
 		}
 	}

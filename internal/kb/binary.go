@@ -223,6 +223,9 @@ func readBinary(r io.Reader) (*KB, error) {
 		if err := binary.Read(r, le, rec[:]); err != nil {
 			return nil, err
 		}
+		if int(rec[0]) >= k.RelDict.Len() {
+			return nil, fmt.Errorf("kb: relation name id %d out of range", rec[0])
+		}
 		k.AddRelation(k.RelDict.Name(int32(rec[0])), int32(rec[1]), int32(rec[2]))
 	}
 	for i := uint32(0); i < counts[3]; i++ {
@@ -261,7 +264,7 @@ func readBinary(r io.Reader) (*KB, error) {
 		if err := binary.Read(r, le, &w); err != nil {
 			return nil, err
 		}
-		c, err := clauseFromShape(int(shape), int32(rec[0]), int32(rec[1]), int32(rec[2]),
+		c, err := ClauseFromShape(int(shape), int32(rec[0]), int32(rec[1]), int32(rec[2]),
 			int32(rec[3]), int32(rec[4]), int32(rec[5]), w)
 		if err != nil {
 			return nil, err
@@ -292,11 +295,33 @@ func readBinary(r io.Reader) (*KB, error) {
 		if err := binary.Read(r, le, rec[:]); err != nil {
 			return nil, err
 		}
+		if int(rec[0]) >= k.Classes.Len() || int(rec[1]) >= k.Classes.Len() {
+			return nil, fmt.Errorf("kb: taxonomy edge %d ⊆ %d out of class range", rec[0], rec[1])
+		}
 		if err := k.DeclareSubclass(int32(rec[0]), int32(rec[1])); err != nil {
 			return nil, err
 		}
 	}
 	return k, nil
+}
+
+// WriteBinary writes the KB snapshot to w. Exported for the storage
+// engine: the byte stream is a deterministic function of the KB
+// (dictionaries in ID order, slices in insertion order), so it doubles
+// as the canonical dump the crash-recovery harness compares bit-wise.
+func (k *KB) WriteBinary(w io.Writer) error { return k.writeBinary(w) }
+
+// ReadBinary reads a snapshot written by WriteBinary.
+func ReadBinary(r io.Reader) (*KB, error) { return readBinary(r) }
+
+// ClauseFromShape reconstructs a canonical clause from its partition
+// shape and identifier tuple, rejecting (never panicking on) an
+// out-of-range shape — decoders feed it untrusted bytes.
+func ClauseFromShape(part int, head, b0, b1, c1, c2, c3 int32, w float64) (mln.Clause, error) {
+	if part < mln.P1 || part > mln.P6 {
+		return mln.Clause{}, fmt.Errorf("kb: rule shape %d out of range", part)
+	}
+	return clauseFromShape(part, head, b0, b1, c1, c2, c3, w)
 }
 
 // clauseFromShape reconstructs a canonical clause from its partition

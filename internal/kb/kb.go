@@ -269,6 +269,47 @@ func (k *KB) HasFact(key Key) bool {
 	return ok
 }
 
+// SetWeight assigns the weight of the fact with the given key and
+// reports whether the fact exists. Assignment (not max-merge) makes it
+// idempotent — the storage engine replays marginal updates through it,
+// and a duplicated WAL tail must not change the outcome.
+func (k *KB) SetWeight(key Key, w float64) bool {
+	i, ok := k.factSet[key]
+	if !ok {
+		return false
+	}
+	k.Facts[i].W = w
+	return true
+}
+
+// DeleteFacts removes the facts whose keys appear in keys, preserving
+// the order of the survivors, and returns how many were removed.
+// Class memberships are untouched (the paper's Query 3 deletes facts,
+// not typings). Deleting absent keys is a no-op, which makes WAL
+// replay of deletions idempotent.
+func (k *KB) DeleteFacts(keys map[Key]bool) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	kept := make([]Fact, 0, len(k.Facts))
+	for _, f := range k.Facts {
+		if !keys[f.Key()] {
+			kept = append(kept, f)
+		}
+	}
+	deleted := len(k.Facts) - len(kept)
+	if deleted > 0 {
+		k.Facts = k.Facts[:0:0]
+		k.factSet = make(map[Key]int, len(kept))
+		for _, f := range kept {
+			i := len(k.Facts)
+			k.Facts = append(k.Facts, f)
+			k.factSet[f.Key()] = i
+		}
+	}
+	return deleted
+}
+
 // AddRule appends a deductive Horn clause to H. Hard rules (infinite
 // weight) belong in Constraints, not H; AddRule rejects them.
 func (k *KB) AddRule(c mln.Clause) error {

@@ -1,0 +1,485 @@
+package mpp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"probkb/internal/engine"
+	"probkb/internal/store"
+)
+
+// Distributed persistence: a DistStore makes one DistTable durable as
+// per-segment files in a directory — each segment owns a columnar
+// snapshot of its local shard plus an append-only WAL of the row deltas
+// appended since. Segments persist and recover in parallel, and the
+// snapshot records the table's distribution, so a recovered cluster
+// resumes with every row already on its hash-correct segment: no
+// redistribution motion is ever needed after recovery.
+//
+// Cross-segment consistency uses aligned WALs: every appended delta
+// gets one record (possibly with zero rows) in every segment's WAL,
+// all carrying the same sequence number. A crash can tear the tails
+// unevenly; recovery computes the highest sequence durable on *every*
+// segment and truncates all WALs back to it, so the recovered table is
+// always a delta-atomic prefix of the append history. Snapshots written
+// by Checkpoint record the sequence they cover; a checkpoint that
+// crashes half-way leaves some segments on the new snapshot and some on
+// the old WAL, which recovery reconciles by replaying each segment only
+// between its own snapshot sequence and the common durable sequence.
+
+// Per-segment file names inside a DistStore directory.
+func segSnapName(i int) string { return fmt.Sprintf("seg-%03d.pks", i) }
+func segWALName(i int) string  { return fmt.Sprintf("seg-%03d.wal", i) }
+
+// segMetaName is the per-segment metadata table stored ahead of the
+// shard data in each snapshot file.
+const segMetaName = "segmeta"
+
+// segMetaVersion is the logical layout version of DistStore snapshots.
+const segMetaVersion = 1
+
+func segMetaSchema() engine.Schema {
+	return engine.NewSchema(
+		engine.C("key", engine.String),
+		engine.C("ival", engine.Int32),
+		engine.C("sval", engine.String),
+	)
+}
+
+// DistStore is a durable DistTable. It is not safe for concurrent use;
+// callers serialize appends, as the grounding loop already does.
+type DistStore struct {
+	fs   store.FS
+	dir  string
+	d    *DistTable
+	wals []store.File
+	seq  uint64 // sequence of the last durable delta
+}
+
+// Table returns the live distributed table. Callers must treat it as
+// read-only; mutations go through AppendFrom.
+func (s *DistStore) Table() *DistTable { return s.d }
+
+// Seq returns the sequence number of the last durable delta.
+func (s *DistStore) Seq() uint64 { return s.seq }
+
+// parallelSegs runs f(i) for every segment concurrently and returns the
+// first error.
+func parallelSegs(n int, f func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segMetaTable renders segment i's metadata rows.
+func (s *DistStore) segMetaTable(i int, baseSeq uint64) *engine.Table {
+	keys, ivals, svals := []string{"format", "nseg", "seg", "replicated", "seqlo", "seqhi", "name"},
+		[]int32{segMetaVersion, int32(len(s.d.segs)), int32(i), 0, int32(baseSeq & 0xffffffff), int32(baseSeq >> 32), 0},
+		[]string{"", "", "", "", "", "", s.d.name}
+	if s.d.dist.Replicated {
+		ivals[3] = 1
+	}
+	for k, col := range s.d.dist.Key {
+		keys = append(keys, fmt.Sprintf("key%d", k))
+		ivals = append(ivals, int32(col))
+		svals = append(svals, "")
+	}
+	return engine.TableFromColumns(segMetaName, segMetaSchema(), keys, ivals, svals)
+}
+
+// writeSegSnapshot atomically replaces segment i's snapshot file,
+// recording baseSeq as the sequence the shard data already includes.
+func (s *DistStore) writeSegSnapshot(i int, baseSeq uint64) error {
+	data := store.EncodeTables([]*engine.Table{s.segMetaTable(i, baseSeq), s.d.segs[i]})
+	return store.WriteAtomic(s.fs, s.dir, segSnapName(i), data)
+}
+
+// CreateDistStore initializes dir (created if missing) with per-segment
+// snapshots of d and empty per-segment WALs, written in parallel. The
+// store takes ownership of d: further mutations must go through
+// AppendFrom so they are logged.
+func CreateDistStore(fs store.FS, dir string, d *DistTable) (*DistStore, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.dist.Random() {
+		return nil, fmt.Errorf("mpp: cannot persist randomly distributed table %s", d.name)
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	s := &DistStore{fs: fs, dir: dir, d: d, wals: make([]store.File, len(d.segs))}
+	err := parallelSegs(len(d.segs), func(i int) error {
+		if err := s.writeSegSnapshot(i, 0); err != nil {
+			return err
+		}
+		w, err := fs.Create(s.dir + "/" + segWALName(i))
+		if err != nil {
+			return err
+		}
+		if err := w.Sync(); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		if err := fs.SyncDir(s.dir); err != nil {
+			return err
+		}
+		s.wals[i], err = fs.Append(s.dir + "/" + segWALName(i))
+		return err
+	})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// encodeSegRecord renders one aligned WAL record: the delta sequence
+// number followed by the segment's (possibly empty) slice of the delta.
+func encodeSegRecord(seq uint64, delta *engine.Table) []byte {
+	var p bytes.Buffer
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	p.Write(b[:])
+	p.Write(store.EncodeTables([]*engine.Table{delta}))
+	return store.EncodeBlob(p.Bytes())
+}
+
+// decodeSegRecord parses one WAL record payload.
+func decodeSegRecord(payload []byte) (seq uint64, delta *engine.Table, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("mpp: segment WAL record too short (%d bytes)", len(payload))
+	}
+	seq = binary.LittleEndian.Uint64(payload[:8])
+	tables, err := store.DecodeTables(payload[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(tables) != 1 {
+		return 0, nil, fmt.Errorf("mpp: segment WAL record holds %d tables, want 1", len(tables))
+	}
+	return seq, tables[0], nil
+}
+
+// AppendFrom durably appends rows [from, t.NumRows()) of t to the
+// distributed table: the delta is scattered by the table's distribution
+// (or replicated), each segment's slice is WAL-appended and fsynced in
+// parallel, and only then applied to the in-memory shards. Every
+// segment logs a record for every delta — empty slices included — so
+// the WALs stay sequence-aligned for recovery. Durable when it returns.
+func (s *DistStore) AppendFrom(t *engine.Table, from int) error {
+	if s.wals == nil {
+		return fmt.Errorf("mpp: dist store closed")
+	}
+	n := t.NumRows()
+	if from >= n {
+		return nil
+	}
+	rows := make([]int32, 0, n-from)
+	for r := from; r < n; r++ {
+		rows = append(rows, int32(r))
+	}
+	delta := engine.NewTable("delta", s.d.schema)
+	delta.AppendRowsFrom(t, rows)
+
+	nseg := len(s.d.segs)
+	parts := make([]*engine.Table, nseg)
+	for i := range parts {
+		parts[i] = engine.NewTable("delta", s.d.schema)
+	}
+	if s.d.Replicated() {
+		for i := range parts {
+			parts[i].AppendTable(delta)
+		}
+	} else {
+		perSeg := make([][]int32, nseg)
+		for r := 0; r < delta.NumRows(); r++ {
+			seg := segmentOf(delta, r, s.d.dist.Key, nseg)
+			perSeg[seg] = append(perSeg[seg], int32(r))
+		}
+		for i, segRows := range perSeg {
+			if len(segRows) > 0 {
+				parts[i].AppendRowsFrom(delta, segRows)
+			}
+		}
+	}
+
+	seq := s.seq + 1
+	err := parallelSegs(nseg, func(i int) error {
+		if _, err := s.wals[i].Write(encodeSegRecord(seq, parts[i])); err != nil {
+			return err
+		}
+		return s.wals[i].Sync()
+	})
+	if err != nil {
+		return err
+	}
+	for i, part := range parts {
+		if part.NumRows() > 0 {
+			s.d.segs[i].AppendTable(part)
+		}
+	}
+	s.seq = seq
+	return nil
+}
+
+// Checkpoint rewrites every segment's snapshot at the current sequence
+// (in parallel) and resets the WALs. Crash-safe: a half-finished
+// checkpoint leaves a mix of new snapshots and old snapshot+WAL pairs,
+// and recovery replays each segment only from its own snapshot's
+// sequence, so every mix recovers to the same table.
+func (s *DistStore) Checkpoint() error {
+	if s.wals == nil {
+		return fmt.Errorf("mpp: dist store closed")
+	}
+	if err := parallelSegs(len(s.d.segs), func(i int) error {
+		return s.writeSegSnapshot(i, s.seq)
+	}); err != nil {
+		return err
+	}
+	// The snapshots cover everything; the WAL records are now stale
+	// (their sequences are ≤ the snapshot's) and can be dropped. A crash
+	// between the snapshot writes and these truncations is fine: replay
+	// skips records at or below the snapshot sequence.
+	return parallelSegs(len(s.d.segs), func(i int) error {
+		return s.fs.Truncate(s.dir+"/"+segWALName(i), 0)
+	})
+}
+
+// segRecovery is one segment's recovered state before cross-segment
+// reconciliation.
+type segRecovery struct {
+	baseSeq    uint64
+	data       *engine.Table
+	recs       []segRec
+	durableSeq uint64
+	name       string
+	nseg       int
+	replicated bool
+	key        []int
+}
+
+type segRec struct {
+	seq   uint64
+	delta *engine.Table
+	end   int64 // byte offset just past this record in the WAL
+}
+
+// readSegMeta validates and decodes a segment snapshot's metadata.
+func readSegMeta(t *engine.Table) (*segRecovery, error) {
+	if t.Name() != segMetaName || t.Schema().NumCols() != 3 {
+		return nil, fmt.Errorf("mpp: segment snapshot starts with %q, want %q", t.Name(), segMetaName)
+	}
+	keys, ivals, svals := t.StringCol(0), t.Int32Col(1), t.StringCol(2)
+	rec := &segRecovery{}
+	var lo, hi uint32
+	kcols := map[int]int32{}
+	for r := 0; r < t.NumRows(); r++ {
+		switch k := keys[r]; k {
+		case "format":
+			if ivals[r] != segMetaVersion {
+				return nil, fmt.Errorf("mpp: segment snapshot format %d, want %d", ivals[r], segMetaVersion)
+			}
+		case "nseg":
+			rec.nseg = int(ivals[r])
+		case "seg":
+		case "replicated":
+			rec.replicated = ivals[r] != 0
+		case "seqlo":
+			lo = uint32(ivals[r])
+		case "seqhi":
+			hi = uint32(ivals[r])
+		case "name":
+			rec.name = svals[r]
+		default:
+			var idx int
+			if _, err := fmt.Sscanf(k, "key%d", &idx); err != nil {
+				return nil, fmt.Errorf("mpp: unknown segment meta key %q", k)
+			}
+			kcols[idx] = ivals[r]
+		}
+	}
+	rec.baseSeq = uint64(hi)<<32 | uint64(lo)
+	if rec.nseg < 1 {
+		return nil, fmt.Errorf("mpp: segment snapshot declares %d segments", rec.nseg)
+	}
+	for i := 0; i < len(kcols); i++ {
+		col, ok := kcols[i]
+		if !ok {
+			return nil, fmt.Errorf("mpp: segment meta missing key%d", i)
+		}
+		rec.key = append(rec.key, int(col))
+	}
+	if !rec.replicated && len(rec.key) == 0 {
+		return nil, fmt.Errorf("mpp: segment snapshot has neither a distribution key nor the replicated flag")
+	}
+	return rec, nil
+}
+
+// recoverSegment loads one segment's snapshot and the durable prefix of
+// its WAL.
+func recoverSegment(fs store.FS, dir string, i int) (*segRecovery, error) {
+	raw, err := fs.ReadFile(dir + "/" + segSnapName(i))
+	if err != nil {
+		return nil, fmt.Errorf("mpp: segment %d snapshot: %w", i, err)
+	}
+	tables, err := store.DecodeTables(raw)
+	if err != nil {
+		return nil, fmt.Errorf("mpp: segment %d snapshot: %w", i, err)
+	}
+	if len(tables) != 2 {
+		return nil, fmt.Errorf("mpp: segment %d snapshot holds %d tables, want 2", i, len(tables))
+	}
+	rec, err := readSegMeta(tables[0])
+	if err != nil {
+		return nil, err
+	}
+	rec.data = tables[1]
+	rec.durableSeq = rec.baseSeq
+
+	walPath := dir + "/" + segWALName(i)
+	if ok, err := fs.Exists(walPath); err != nil {
+		return nil, err
+	} else if ok {
+		data, err := fs.ReadFile(walPath)
+		if err != nil {
+			return nil, err
+		}
+		payloads, _, err := store.DecodeBlobs(data)
+		if err != nil {
+			return nil, err
+		}
+		off := int64(0)
+		for _, p := range payloads {
+			off += int64(len(p)) + 8
+			seq, delta, err := decodeSegRecord(p)
+			if err != nil {
+				return nil, fmt.Errorf("mpp: segment %d WAL: %w", i, err)
+			}
+			rec.recs = append(rec.recs, segRec{seq: seq, delta: delta, end: off})
+			if seq > rec.durableSeq {
+				rec.durableSeq = seq
+			}
+		}
+	}
+	return rec, nil
+}
+
+// OpenDistStore recovers the DistTable persisted in dir onto cluster c,
+// all segments in parallel. The common durable sequence is the highest
+// delta every segment holds; later records (torn tails of a crash) are
+// truncated away, and each segment replays only the records between its
+// own snapshot's sequence and the common one. The recovered table keeps
+// its recorded distribution, so no redistribution runs afterwards.
+func OpenDistStore(fs store.FS, dir string, c *Cluster) (*DistStore, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	recs := make([]*segRecovery, c.nseg)
+	if err := parallelSegs(c.nseg, func(i int) error {
+		r, err := recoverSegment(fs, dir, i)
+		if err == nil {
+			recs[i] = r
+			// A crash can leave a stale temp file next to any segment.
+			if ok, _ := fs.Exists(dir + "/" + segSnapName(i) + ".tmp"); ok {
+				_ = fs.Remove(dir + "/" + segSnapName(i) + ".tmp")
+				_ = fs.SyncDir(dir)
+			}
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Cross-segment reconciliation: the durable sequence is the minimum
+	// over segments; everything later is a torn multi-segment append.
+	common := recs[0].durableSeq
+	for i, r := range recs {
+		if r.nseg != c.nseg {
+			return nil, fmt.Errorf("mpp: store has %d segments, cluster has %d", r.nseg, c.nseg)
+		}
+		if r.name != recs[0].name || r.replicated != recs[0].replicated || !keysEqual(r.key, recs[0].key) {
+			return nil, fmt.Errorf("mpp: segment %d metadata disagrees with segment 0", i)
+		}
+		if r.durableSeq < common {
+			common = r.durableSeq
+		}
+	}
+	for i, r := range recs {
+		if r.baseSeq > common {
+			return nil, fmt.Errorf("mpp: segment %d snapshot at sequence %d is past the common durable sequence %d",
+				i, r.baseSeq, common)
+		}
+	}
+
+	dist := ReplicatedDist()
+	if !recs[0].replicated {
+		dist = HashedBy(recs[0].key...)
+	}
+	d := c.newDistTable(recs[0].name, recs[0].data.Schema(), dist)
+	s := &DistStore{fs: fs, dir: dir, d: d, wals: make([]store.File, c.nseg), seq: common}
+	if err := parallelSegs(c.nseg, func(i int) error {
+		r := recs[i]
+		d.segs[i].AppendTable(r.data)
+		keep := int64(0)
+		for _, rec := range r.recs {
+			if rec.seq > common {
+				break
+			}
+			keep = rec.end
+			if rec.seq > r.baseSeq && rec.delta.NumRows() > 0 {
+				d.segs[i].AppendTable(rec.delta)
+			}
+		}
+		walPath := dir + "/" + segWALName(i)
+		if ok, _ := fs.Exists(walPath); ok {
+			if err := fs.Truncate(walPath, keep); err != nil {
+				return err
+			}
+		}
+		var err error
+		s.wals[i], err = fs.Append(walPath)
+		return err
+	}); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close releases the per-segment WAL handles; the store stays
+// recoverable at its last durable sequence.
+func (s *DistStore) Close() error {
+	if s.wals == nil {
+		return nil
+	}
+	var first error
+	for _, w := range s.wals {
+		if w == nil {
+			continue
+		}
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.wals = nil
+	return first
+}

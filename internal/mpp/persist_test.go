@@ -1,0 +1,233 @@
+package mpp
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"probkb/internal/engine"
+	"probkb/internal/store"
+	"probkb/internal/store/crashtest"
+)
+
+// factsTable builds a small Int32 relation with rows 0..n-1 keyed on
+// the first column.
+func factsTable(name string, n, base int) *engine.Table {
+	t := engine.NewTable(name, engine.NewSchema(
+		engine.C("x", engine.Int32), engine.C("y", engine.Int32),
+	))
+	for i := 0; i < n; i++ {
+		t.AppendRow(int32(base+i), int32(2*(base+i)))
+	}
+	return t
+}
+
+// dumpDist renders every segment's shard as canonical snapshot bytes —
+// the bitwise-equality yardstick for recovered clusters.
+func dumpDist(d *DistTable) []byte {
+	var buf bytes.Buffer
+	for _, s := range d.segs {
+		buf.Write(store.EncodeTables([]*engine.Table{s}))
+	}
+	return buf.Bytes()
+}
+
+func TestDistStoreRoundTrip(t *testing.T) {
+	for _, replicated := range []bool{false, true} {
+		name := "hashed"
+		if replicated {
+			name = "replicated"
+		}
+		t.Run(name, func(t *testing.T) {
+			fs := store.OSFS{}
+			dir := filepath.Join(t.TempDir(), "dist")
+			c := NewCluster(3)
+			base := factsTable("T", 17, 0)
+			var d *DistTable
+			if replicated {
+				d = c.Replicate(base)
+			} else {
+				d = c.Distribute(base, []int{0})
+			}
+			ds, err := CreateDistStore(fs, dir, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two durable deltas, one of them empty on some segments.
+			grown := base.Clone()
+			grown.AppendRow(int32(100), int32(200))
+			grown.AppendRow(int32(101), int32(202))
+			if err := ds.AppendFrom(grown, 17); err != nil {
+				t.Fatal(err)
+			}
+			grown.AppendRow(int32(102), int32(204))
+			if err := ds.AppendFrom(grown, 19); err != nil {
+				t.Fatal(err)
+			}
+			want := dumpDist(ds.Table())
+			wantRows := ds.Table().NumRows()
+			if err := ds.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := OpenDistStore(fs, dir, NewCluster(3))
+			if err != nil {
+				t.Fatalf("OpenDistStore: %v", err)
+			}
+			defer re.Close()
+			if got := dumpDist(re.Table()); !bytes.Equal(want, got) {
+				t.Fatal("recovered shards differ from the live cluster")
+			}
+			if re.Table().NumRows() != wantRows {
+				t.Fatalf("recovered %d rows, want %d", re.Table().NumRows(), wantRows)
+			}
+			if re.Seq() != 2 {
+				t.Fatalf("recovered seq %d, want 2", re.Seq())
+			}
+			if re.Table().Dist().String() != d.Dist().String() {
+				t.Fatalf("recovered distribution %v, want %v", re.Table().Dist(), d.Dist())
+			}
+			// Appends resume with the recovered sequence.
+			grown.AppendRow(int32(103), int32(206))
+			if err := re.AppendFrom(grown, 20); err != nil {
+				t.Fatal(err)
+			}
+			if re.Seq() != 3 {
+				t.Fatalf("resumed seq %d, want 3", re.Seq())
+			}
+		})
+	}
+}
+
+func TestDistStoreWrongClusterSize(t *testing.T) {
+	fs := store.OSFS{}
+	dir := filepath.Join(t.TempDir(), "dist")
+	ds, err := CreateDistStore(fs, dir, NewCluster(3).Distribute(factsTable("T", 9, 0), []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+	if _, err := OpenDistStore(fs, dir, NewCluster(4)); err == nil {
+		t.Fatal("recovery onto a different-size cluster must fail, not redistribute silently")
+	}
+}
+
+func TestDistStoreRejectsRandomDistribution(t *testing.T) {
+	c := NewCluster(2)
+	d := c.newDistTable("T", engine.NewSchema(engine.C("x", engine.Int32)), RandomDist())
+	if _, err := CreateDistStore(store.OSFS{}, filepath.Join(t.TempDir(), "d"), d); err == nil {
+		t.Fatal("persisting a randomly distributed table must fail")
+	}
+}
+
+// TestDistStoreTornTailTruncation crashes an append after some segment
+// WALs got the record and others did not: recovery must roll every
+// segment back to the last delta durable on all of them.
+func TestDistStoreTornTailTruncation(t *testing.T) {
+	fs := crashtest.NewMemFS()
+	c := NewCluster(3)
+	base := factsTable("T", 17, 0)
+	ds, err := CreateDistStore(fs, "dist", c.Distribute(base, []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := base.Clone()
+	grown.AppendRow(int32(100), int32(200))
+	grown.AppendRow(int32(101), int32(202))
+	if err := ds.AppendFrom(grown, 17); err != nil {
+		t.Fatal(err)
+	}
+	oracle := dumpDist(ds.Table())
+
+	// Second delta: give the byte budget roughly one record, so some
+	// segment WAL writes land while another tears mid-record.
+	fs.Arm(100, -1, crashtest.KeepTorn)
+	grown.AppendRow(int32(102), int32(204))
+	if err := ds.AppendFrom(grown, 19); err == nil {
+		t.Fatal("expected the torn append to fail")
+	}
+
+	re, err := OpenDistStore(fs.DurableView(), "dist", NewCluster(3))
+	if err != nil {
+		t.Fatalf("recovery after torn append: %v", err)
+	}
+	defer re.Close()
+	if re.Seq() != 1 {
+		t.Fatalf("recovered seq %d, want 1 (the torn delta must be rolled back)", re.Seq())
+	}
+	if got := dumpDist(re.Table()); !bytes.Equal(oracle, got) {
+		t.Fatal("recovered shards differ from the pre-crash durable state")
+	}
+}
+
+// TestDistStoreCheckpointCrashWindows checkpoints, then verifies that a
+// recovery from every op-budget crash window around Checkpoint yields
+// either the pre-checkpoint or post-checkpoint durable state — both of
+// which dump identically, since checkpoints never change table content.
+func TestDistStoreCheckpointCrashWindows(t *testing.T) {
+	// Clean run to count FS ops.
+	run := func(fs *crashtest.MemFS) (string, error) {
+		c := NewCluster(2)
+		base := factsTable("T", 9, 0)
+		ds, err := CreateDistStore(fs, "dist", c.Distribute(base, []int{0}))
+		if err != nil {
+			return "", err
+		}
+		defer ds.Close()
+		grown := base.Clone()
+		grown.AppendRow(int32(100), int32(200))
+		if err := ds.AppendFrom(grown, 9); err != nil {
+			return "", err
+		}
+		if err := ds.Checkpoint(); err != nil {
+			return "", err
+		}
+		grown.AppendRow(int32(101), int32(202))
+		if err := ds.AppendFrom(grown, 10); err != nil {
+			return "", err
+		}
+		return string(dumpDist(ds.Table())), nil
+	}
+	clean := crashtest.NewMemFS()
+	finalDump, err := run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalOps := clean.Ops()
+
+	for opN := int64(1); opN <= totalOps; opN++ {
+		fs := crashtest.NewMemFS()
+		fs.Arm(-1, opN, crashtest.KeepTorn)
+		_, runErr := run(fs)
+		re, err := OpenDistStore(fs.DurableView(), "dist", NewCluster(2))
+		if err != nil {
+			// Before the first snapshots are complete there is nothing to
+			// recover; that window must be before any append succeeded.
+			if runErr == nil {
+				t.Fatalf("op %d: clean run but recovery failed: %v", opN, err)
+			}
+			continue
+		}
+		// Whatever the window, the recovered table must be a delta-atomic
+		// prefix: seq ∈ {0, 1, 2} and the dump must match a clean run cut
+		// at that sequence.
+		got := dumpDist(re.Table())
+		switch re.Seq() {
+		case 0:
+			if re.Table().NumRows() != 9 {
+				t.Fatalf("op %d: seq 0 with %d rows", opN, re.Table().NumRows())
+			}
+		case 1:
+			if re.Table().NumRows() != 10 {
+				t.Fatalf("op %d: seq 1 with %d rows", opN, re.Table().NumRows())
+			}
+		case 2:
+			if string(got) != finalDump {
+				t.Fatalf("op %d: seq 2 dump differs from the clean run", opN)
+			}
+		default:
+			t.Fatalf("op %d: impossible recovered seq %d", opN, re.Seq())
+		}
+		re.Close()
+	}
+}

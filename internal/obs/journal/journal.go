@@ -35,6 +35,8 @@ const (
 	TypeGibbsCheckpoint  = "gibbs_checkpoint"
 	TypeSegmentFault     = "segment_fault"
 	TypeSegmentRetry     = "segment_retry"
+	TypeSnapshotWritten  = "snapshot_written"
+	TypeWALReplayed      = "wal_replayed"
 	TypeRunEnd           = "run_end"
 )
 
@@ -162,6 +164,31 @@ type SegmentRetry struct {
 	Segment int    `json:"segment"`
 	Attempt int    `json:"attempt"`
 	Cause   string `json:"cause,omitempty"`
+}
+
+// SnapshotWritten is one durable checkpoint by the storage engine: the
+// whole KB rewritten as a columnar snapshot and the WAL rotated to a
+// fresh generation. The payload is a function of the KB state, so
+// Canonicalize keeps the event (only Seconds is stripped) — persisted
+// and replayed runs stay byte-diffable.
+type SnapshotWritten struct {
+	Gen     uint32  `json:"gen"`
+	Bytes   int64   `json:"bytes"`
+	Facts   int     `json:"facts"`
+	Seconds float64 `json:"seconds"`
+}
+
+// WALReplayed is one recovery: a snapshot load plus the replay of its
+// WAL generation's durable record prefix. Canonicalize keeps it, like
+// SnapshotWritten.
+type WALReplayed struct {
+	Gen     uint32 `json:"gen"`
+	Records int64  `json:"records"`
+	// TruncatedBytes counts torn tail bytes dropped at the end of the
+	// WAL (zero after a clean shutdown).
+	TruncatedBytes int64   `json:"truncated_bytes,omitempty"`
+	Facts          int     `json:"facts"`
+	Seconds        float64 `json:"seconds"`
 }
 
 // RunEnd is the run_end payload: the expansion summary plus journal

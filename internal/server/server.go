@@ -23,6 +23,10 @@
 //	                                      costs, per-segment skew, motions, Gibbs
 //	                                      convergence timeline)
 //	GET  /debug/pprof/*                   Go runtime profiles
+//	POST /admin/snapshot                  checkpoint the attached durable
+//	                                      store: fold its WAL into a fresh
+//	                                      columnar snapshot (409 when the
+//	                                      server runs without a store)
 //
 // Every endpoint runs behind middleware that records per-endpoint
 // request counts and latency histograms, an in-flight gauge, recovers
@@ -42,14 +46,27 @@ import (
 
 // Server serves one expansion.
 type Server struct {
-	kb  *probkb.KB
-	exp *probkb.Expansion
-	mux *http.ServeMux
+	kb    *probkb.KB
+	exp   *probkb.Expansion
+	store *probkb.Store
+	mux   *http.ServeMux
+}
+
+// Option configures optional server wiring.
+type Option func(*Server)
+
+// WithStore attaches the durable store the served expansion persisted
+// into, enabling POST /admin/snapshot.
+func WithStore(st *probkb.Store) Option {
+	return func(s *Server) { s.store = st }
 }
 
 // New builds the handler for an expanded KB.
-func New(kb *probkb.KB, exp *probkb.Expansion) *Server {
+func New(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) *Server {
 	s := &Server{kb: kb, exp: exp, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /stats", instrument("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /facts", instrument("/facts", s.handleFacts))
@@ -60,6 +77,7 @@ func New(kb *probkb.KB, exp *probkb.Expansion) *Server {
 	s.mux.HandleFunc("GET /debug/traces", instrument("/debug/traces", s.handleTraces))
 	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.handleJournal))
 	s.mux.HandleFunc("GET /debug/profile", instrument("/debug/profile", s.handleProfile))
+	s.mux.HandleFunc("POST /admin/snapshot", instrument("/admin/snapshot", s.handleSnapshot))
 	s.registerDebug()
 	return s
 }
@@ -184,6 +202,26 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, text)
+}
+
+// handleSnapshot checkpoints the attached store: the WAL folds into a
+// fresh columnar snapshot and the next recovery loads one file.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("no durable store attached (start with -persist)"))
+		return
+	}
+	if err := s.store.Checkpoint(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"gen":           s.store.Gen(),
+		"walRecords":    s.store.WALRecords(),
+		"snapshotBytes": s.store.SnapshotBytes(),
+		"facts":         s.store.Facts(),
+		"dir":           s.store.Dir(),
+	})
 }
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {

@@ -411,3 +411,55 @@ func TestDebugProfile(t *testing.T) {
 		t.Fatal("profile has no convergence timeline")
 	}
 }
+
+// TestAdminSnapshot drives the checkpoint endpoint: without a store it
+// is a 409; with one, a POST folds the WAL into a fresh snapshot and
+// reports the new generation.
+func TestAdminSnapshot(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot without a store: %d, want 409", resp.StatusCode)
+	}
+
+	k := probkb.New()
+	k.AddFact("born_in", "Ruth_Gruber", "Writer", "Brooklyn", "Place", 0.93)
+	k.MustAddRule("1.40 live_in(x:Writer, y:Place) :- born_in(x:Writer, y:Place)")
+	st, err := probkb.CreateStore(t.TempDir()+"/store", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	exp, err := k.Expand(probkb.Config{Engine: probkb.SingleNode, Persist: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WALRecords() == 0 {
+		t.Fatal("persisted expansion appended no WAL records")
+	}
+	withStore := httptest.NewServer(New(k, exp, WithStore(st)))
+	defer withStore.Close()
+	resp, err = http.Post(withStore.URL+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Gen        uint32 `json:"gen"`
+		WALRecords int64  `json:"walRecords"`
+		Facts      int    `json:"facts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || out.Gen != 2 || out.WALRecords != 0 {
+		t.Fatalf("snapshot: %d %+v, want 200 gen=2 walRecords=0", resp.StatusCode, out)
+	}
+	if out.Facts != exp.Stats().TotalFacts {
+		t.Fatalf("snapshot reports %d facts, expansion holds %d", out.Facts, exp.Stats().TotalFacts)
+	}
+}

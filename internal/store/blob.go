@@ -1,0 +1,42 @@
+package store
+
+import "bytes"
+
+// Opaque-blob framing: the same length+CRC frame the KB snapshot and
+// WAL use, exposed for other subsystems that keep their own logs in the
+// store's format — the MPP layer's per-segment WALs append framed blobs
+// whose payloads it defines itself.
+
+// EncodeBlob wraps one opaque payload in a frame ready to append to a
+// log file.
+func EncodeBlob(payload []byte) []byte {
+	var buf bytes.Buffer
+	appendFrame(&buf, payload)
+	return buf.Bytes()
+}
+
+// DecodeBlobs splits a log of framed blobs, tolerating a torn tail like
+// DecodeWAL: it returns the payloads of the longest valid prefix and
+// the byte offset where that prefix ends. Framing damage past valid
+// frames is not an error — that is what a crash leaves behind; payload
+// semantics are the caller's to check.
+func DecodeBlobs(data []byte) (payloads [][]byte, validLen int, err error) {
+	off := 0
+	for off < len(data) {
+		payload, next, ferr := nextFrame(data, off)
+		if ferr != nil {
+			return payloads, off, nil
+		}
+		payloads = append(payloads, payload)
+		off = next
+	}
+	return payloads, off, nil
+}
+
+// WriteAtomic atomically replaces dir/name with data using the snapshot
+// protocol: write dir/name.tmp, fsync, rename over dir/name, fsync the
+// directory. At every crash point the directory holds either the
+// complete old file or the complete new one.
+func WriteAtomic(fs FS, dir, name string, data []byte) error {
+	return writeFileAtomic(fs, dir, name+".tmp", name, data)
+}

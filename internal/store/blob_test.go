@@ -1,0 +1,126 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBlobFraming pins the exported blob helpers other subsystems build
+// their logs on (the MPP layer's per-segment WALs): framing round-trip,
+// torn-tail tolerance, and CRC rejection.
+func TestBlobFraming(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma")}
+	var log bytes.Buffer
+	for _, p := range payloads {
+		log.Write(EncodeBlob(p))
+	}
+	got, validLen, err := DecodeBlobs(log.Bytes())
+	if err != nil || validLen != log.Len() || len(got) != len(payloads) {
+		t.Fatalf("clean decode: %d payloads, %d/%d bytes, %v", len(got), validLen, log.Len(), err)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d: %q != %q", i, got[i], payloads[i])
+		}
+	}
+
+	// A torn tail stops the decode at the last complete frame.
+	torn := log.Bytes()[:log.Len()-2]
+	got, validLen, err = DecodeBlobs(torn)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("torn decode: %d payloads, %v", len(got), err)
+	}
+	if want := len(EncodeBlob(payloads[0])) + len(EncodeBlob(payloads[1])); validLen != want {
+		t.Fatalf("torn validLen %d, want %d", validLen, want)
+	}
+
+	// A flipped bit inside a frame is indistinguishable from a torn
+	// tail at the framing layer: decode stops there without error.
+	bad := append([]byte{}, log.Bytes()...)
+	bad[8] ^= 0x01 // first byte of the first frame's payload
+	got, validLen, err = DecodeBlobs(bad)
+	if err != nil || len(got) != 0 || validLen != 0 {
+		t.Fatalf("corrupt decode: %d payloads at %d, %v", len(got), validLen, err)
+	}
+}
+
+// TestWriteAtomicReplaces drives the exported atomic-replace helper on
+// the real filesystem: the target holds the new bytes, the temp file is
+// gone.
+func TestWriteAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	fs := OSFS{}
+	if err := WriteAtomic(fs, dir, "data.bin", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(fs, dir, "data.bin", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "data.bin"))
+	if err != nil || string(got) != "new" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "data.bin.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestStoreAccessors covers the small read-only surface end to end on
+// the real filesystem: Exists before/after Create, Dir, SnapshotBytes,
+// SetJournal tolerance of nil, and FactRecOf's symbolic rendering.
+func TestStoreAccessors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "kb")
+	fs := OSFS{}
+	if ok, err := Exists(fs, dir); err != nil || ok {
+		t.Fatalf("Exists on missing dir: %v %v", ok, err)
+	}
+	k := fuzzSeedKB()
+	s, err := Create(fs, dir, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if ok, err := Exists(fs, dir); err != nil || !ok {
+		t.Fatalf("Exists after Create: %v %v", ok, err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("Dir() = %q", s.Dir())
+	}
+	if s.SnapshotBytes() <= 8 {
+		t.Fatalf("SnapshotBytes() = %d", s.SnapshotBytes())
+	}
+	s.SetJournal(nil)
+	if err := s.AppendFacts([]FactRec{{Rel: "born_in", X: "eve", XClass: "Person", Y: "oslo", YClass: "Place", W: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := FactRecOf(s.KB(), s.KB().Facts[len(s.KB().Facts)-1])
+	if rec.Rel != "born_in" || rec.X != "eve" || rec.YClass != "Place" || rec.W != 0.5 {
+		t.Fatalf("FactRecOf = %+v", rec)
+	}
+
+	// Open exercises the OSFS read/truncate path with a torn tail: chop
+	// the WAL mid-record and recovery must truncate it back.
+	walPath := filepath.Join(dir, WALName(s.Gen()))
+	s.Close()
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.WALRecords() != 0 {
+		t.Fatalf("torn-only WAL replayed %d records", re.WALRecords())
+	}
+	if got, _ := os.ReadFile(walPath); len(got) != 0 {
+		t.Fatalf("torn tail not truncated: %d bytes", len(got))
+	}
+}

@@ -1,0 +1,417 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"probkb/internal/engine"
+)
+
+// On-disk building block, shared by snapshot files and WAL records:
+//
+//	frame   := u32 payloadLen | u32 crc32(payload) | payload
+//	payload := u8 kind | body          (little-endian throughout)
+//
+// A snapshot file is the 8-byte magic followed by frames; a WAL file is
+// frames only. Every frame is independently checksummed, so torn writes
+// and bit flips are detected at the frame where they happen and never
+// propagate: the decoder returns an error (snapshot) or stops at the
+// last valid prefix (WAL), but must never panic on arbitrary input —
+// FuzzSnapshotDecode and FuzzWALReplay pin exactly that.
+//
+// Snapshot frames encode named engine tables as typed column blocks:
+//
+//	kind=frameTableHeader: u16 nameLen | name | u32 nrows | u16 ncols |
+//	                       ncols × (u16 nameLen | name | u8 colType)
+//	kind=frameColumn:      u16 colIdx | u8 colType | u32 count | data
+//
+// where data is count × 4 bytes (Int32), count × 8 bytes (Float64 bit
+// patterns, so NaN payloads round-trip), or count × (u32 len | bytes)
+// for String columns. Columns follow their table header in schema
+// order; a header with zero columns is legal (and unused).
+
+// snapshotMagic identifies a columnar snapshot file; the trailing "01"
+// is the format version. Bump it (and the golden files) deliberately.
+var snapshotMagic = [8]byte{'P', 'K', 'S', 'N', 'A', 'P', '0', '1'}
+
+// Frame kinds.
+const (
+	frameTableHeader = 1
+	frameColumn      = 2
+)
+
+// Decoder sanity limits: corrupt length fields must fail fast instead
+// of attempting huge allocations.
+const (
+	maxFrameLen  = 1 << 30 // one frame's payload
+	maxRows      = 1 << 28 // rows per table / records per WAL batch
+	maxCols      = 1 << 12 // columns per table
+	maxSymbolLen = 1 << 24 // one string value
+	maxNameLen   = 1 << 10 // table / column names
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame wraps payload in the length+CRC frame and appends it.
+func appendFrame(buf *bytes.Buffer, payload []byte) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+}
+
+// nextFrame reads one frame from data at off, verifying the checksum.
+// It returns the payload and the offset past the frame. Any framing
+// problem — short header, short payload, oversized length, checksum
+// mismatch — is an error; the caller decides whether that means
+// corruption (snapshot) or a torn tail (WAL).
+func nextFrame(data []byte, off int) (payload []byte, next int, err error) {
+	if len(data)-off < 8 {
+		return nil, off, fmt.Errorf("store: short frame header at offset %d", off)
+	}
+	n := binary.LittleEndian.Uint32(data[off:])
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if n > maxFrameLen {
+		return nil, off, fmt.Errorf("store: frame length %d implausible at offset %d", n, off)
+	}
+	body := data[off+8:]
+	if uint32(len(body)) < n {
+		return nil, off, fmt.Errorf("store: frame at offset %d truncated (%d of %d bytes)", off, len(body), n)
+	}
+	payload = body[:n]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, off, fmt.Errorf("store: frame checksum mismatch at offset %d", off)
+	}
+	return payload, off + 8 + int(n), nil
+}
+
+// cursor is a bounds-checked little-endian reader over one payload.
+type cursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("store: "+format, args...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || len(c.data)-c.off < n {
+		c.fail("payload truncated at byte %d (want %d more)", c.off, n)
+		return nil
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// str reads a u32-length-prefixed string bounded by max.
+func (c *cursor) str(max int) string {
+	n := c.u32()
+	if c.err != nil {
+		return ""
+	}
+	if int(n) > max {
+		c.fail("string length %d exceeds limit %d", n, max)
+		return ""
+	}
+	b := c.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// name reads a u16-length-prefixed short name.
+func (c *cursor) name() string {
+	n := c.u16()
+	if c.err != nil {
+		return ""
+	}
+	if int(n) > maxNameLen {
+		c.fail("name length %d exceeds limit %d", n, maxNameLen)
+		return ""
+	}
+	b := c.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// done checks that the payload was consumed exactly.
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.data) {
+		return fmt.Errorf("store: payload has %d trailing bytes", len(c.data)-c.off)
+	}
+	return nil
+}
+
+// putName appends a u16-length-prefixed short name.
+func putName(buf *bytes.Buffer, s string) {
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+	buf.Write(l[:])
+	buf.WriteString(s)
+}
+
+// putStr appends a u32-length-prefixed string.
+func putStr(buf *bytes.Buffer, s string) {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+	buf.Write(l[:])
+	buf.WriteString(s)
+}
+
+func putU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func putU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+// encodeTable appends one table's frames — a header frame then one
+// column frame per schema column — to buf.
+func encodeTable(buf *bytes.Buffer, t *engine.Table) {
+	schema := t.Schema()
+	var p bytes.Buffer
+	p.WriteByte(frameTableHeader)
+	putName(&p, t.Name())
+	putU32(&p, uint32(t.NumRows()))
+	var nc [2]byte
+	binary.LittleEndian.PutUint16(nc[:], uint16(schema.NumCols()))
+	p.Write(nc[:])
+	for _, col := range schema.Cols {
+		putName(&p, col.Name)
+		p.WriteByte(byte(col.Type))
+	}
+	appendFrame(buf, p.Bytes())
+
+	for i, col := range schema.Cols {
+		p.Reset()
+		p.WriteByte(frameColumn)
+		var ci [2]byte
+		binary.LittleEndian.PutUint16(ci[:], uint16(i))
+		p.Write(ci[:])
+		p.WriteByte(byte(col.Type))
+		putU32(&p, uint32(t.NumRows()))
+		switch col.Type {
+		case engine.Int32:
+			for _, v := range t.Int32Col(i) {
+				putU32(&p, uint32(v))
+			}
+		case engine.Float64:
+			for _, v := range t.Float64Col(i) {
+				putU64(&p, math.Float64bits(v))
+			}
+		case engine.String:
+			for _, v := range t.StringCol(i) {
+				putStr(&p, v)
+			}
+		}
+		appendFrame(buf, p.Bytes())
+	}
+}
+
+// EncodeTables renders tables as one snapshot byte stream (magic plus
+// table frames, in order). The encoding is a pure function of the
+// tables, so equal inputs always produce equal bytes — what the golden
+// layout test and the crash harness's canonical dumps rely on.
+func EncodeTables(tables []*engine.Table) []byte {
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	for _, t := range tables {
+		encodeTable(&buf, t)
+	}
+	return buf.Bytes()
+}
+
+// pendingTable is a table whose header has been decoded but whose
+// column frames are still arriving.
+type pendingTable struct {
+	name  string
+	nrows int
+	cols  []engine.ColDef
+	data  []any // one []int32/[]float64/[]string per decoded column
+}
+
+func (p *pendingTable) complete() bool { return len(p.data) == len(p.cols) }
+
+func (p *pendingTable) materialize() *engine.Table {
+	return engine.TableFromColumns(p.name, engine.NewSchema(p.cols...), p.data...)
+}
+
+// DecodeTables parses a snapshot byte stream back into tables. It is
+// the strict counterpart of EncodeTables: every framing, checksum,
+// type, or count inconsistency is an error, and arbitrary corrupt
+// input must never panic (FuzzSnapshotDecode).
+func DecodeTables(data []byte) ([]*engine.Table, error) {
+	if len(data) < len(snapshotMagic) || !bytes.Equal(data[:len(snapshotMagic)], snapshotMagic[:]) {
+		return nil, fmt.Errorf("store: not a columnar snapshot (bad magic)")
+	}
+	off := len(snapshotMagic)
+	var tables []*engine.Table
+	var cur *pendingTable
+	for off < len(data) {
+		payload, next, err := nextFrame(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		c := &cursor{data: payload}
+		switch kind := c.u8(); kind {
+		case frameTableHeader:
+			if cur != nil && !cur.complete() {
+				return nil, fmt.Errorf("store: table %s has %d of %d columns", cur.name, len(cur.data), len(cur.cols))
+			}
+			if cur != nil {
+				tables = append(tables, cur.materialize())
+			}
+			name := c.name()
+			nrows := c.u32()
+			ncols := c.u16()
+			if c.err == nil && nrows > maxRows {
+				c.fail("row count %d implausible", nrows)
+			}
+			if c.err == nil && ncols > maxCols {
+				c.fail("column count %d implausible", ncols)
+			}
+			cols := make([]engine.ColDef, 0, ncols)
+			for i := 0; i < int(ncols) && c.err == nil; i++ {
+				cn := c.name()
+				ct := engine.ColType(c.u8())
+				if c.err == nil && ct != engine.Int32 && ct != engine.Float64 && ct != engine.String {
+					c.fail("table %s column %s: unknown type %d", name, cn, ct)
+				}
+				cols = append(cols, engine.C(cn, ct))
+			}
+			if err := c.done(); err != nil {
+				return nil, err
+			}
+			cur = &pendingTable{name: name, nrows: int(nrows), cols: cols}
+		case frameColumn:
+			if cur == nil {
+				return nil, fmt.Errorf("store: column frame before any table header")
+			}
+			idx := c.u16()
+			ct := engine.ColType(c.u8())
+			count := c.u32()
+			if c.err != nil {
+				return nil, c.err
+			}
+			if len(cur.data) >= len(cur.cols) {
+				return nil, fmt.Errorf("store: table %s: extra column frame", cur.name)
+			}
+			if int(idx) != len(cur.data) {
+				return nil, fmt.Errorf("store: table %s: column %d out of order (want %d)", cur.name, idx, len(cur.data))
+			}
+			def := cur.cols[len(cur.data)]
+			if ct != def.Type {
+				return nil, fmt.Errorf("store: table %s column %s: type %d does not match header %d", cur.name, def.Name, ct, def.Type)
+			}
+			if int(count) != cur.nrows {
+				return nil, fmt.Errorf("store: table %s column %s: %d values for %d rows", cur.name, def.Name, count, cur.nrows)
+			}
+			vals, err := decodeColumn(def.Type, int(count), c)
+			if err != nil {
+				return nil, err
+			}
+			cur.data = append(cur.data, vals)
+		default:
+			return nil, fmt.Errorf("store: unknown frame kind %d", kind)
+		}
+	}
+	if cur != nil && !cur.complete() {
+		return nil, fmt.Errorf("store: table %s has %d of %d columns", cur.name, len(cur.data), len(cur.cols))
+	}
+	if cur != nil {
+		tables = append(tables, cur.materialize())
+	}
+	return tables, nil
+}
+
+// decodeColumn reads count typed values, consuming the cursor exactly.
+func decodeColumn(ct engine.ColType, count int, c *cursor) (any, error) {
+	// Reject before allocating: a corrupt header can declare maxRows
+	// rows while the frame holds a handful of bytes, and the cursor
+	// would only notice after make() committed gigabytes.
+	min := count * 4
+	if ct == engine.Float64 {
+		min = count * 8
+	}
+	if remaining := len(c.data) - c.off; remaining < min {
+		return nil, fmt.Errorf("store: column frame holds %d bytes for %d values", remaining, count)
+	}
+	switch ct {
+	case engine.Int32:
+		vals := make([]int32, count)
+		for i := range vals {
+			vals[i] = int32(c.u32())
+		}
+		return vals, c.done()
+	case engine.Float64:
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = c.f64()
+		}
+		return vals, c.done()
+	default:
+		vals := make([]string, count)
+		for i := range vals {
+			vals[i] = c.str(maxSymbolLen)
+		}
+		return vals, c.done()
+	}
+}

@@ -1,0 +1,13 @@
+//go:build slow
+
+package crashtest
+
+import "testing"
+
+// TestCrashMatrixLong is the full crash matrix behind the slow tag
+// (`make crashtest`): many random KBs, every record boundary, three
+// intra-record offsets per record, every filesystem-operation window,
+// in both survival modes.
+func TestCrashMatrixLong(t *testing.T) {
+	runCrashMatrix(t, 40, 3, 424242)
+}

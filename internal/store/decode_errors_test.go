@@ -1,0 +1,189 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probkb/internal/engine"
+)
+
+// frameWith builds one CRC-valid frame around an arbitrary payload —
+// the corruption the WAL decoder must treat as a hard error, since no
+// crash can produce a checksummed frame with a malformed payload.
+func frameWith(payload []byte) []byte {
+	var buf bytes.Buffer
+	appendFrame(&buf, payload)
+	return buf.Bytes()
+}
+
+// TestDecodeWALRejectsValidFrameBadPayload pins the torn-tail/corruption
+// distinction: framing damage is a clean stop, but a CRC-valid frame
+// whose payload does not decode is an error.
+func TestDecodeWALRejectsValidFrameBadPayload(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown record type": {99, 0, 0, 0, 0},
+		"implausible count": func() []byte {
+			var p bytes.Buffer
+			p.WriteByte(RecFacts)
+			putU32(&p, maxRows+1)
+			return p.Bytes()
+		}(),
+		"count without facts": func() []byte {
+			var p bytes.Buffer
+			p.WriteByte(RecFacts)
+			putU32(&p, 3)
+			return p.Bytes()
+		}(),
+		"trailing bytes": func() []byte {
+			rec := EncodeRecord(Record{Type: RecFacts, Facts: []FactRec{{Rel: "r"}}})
+			payload := rec[8:]
+			return append(append([]byte{}, payload...), 0xAA)
+		}(),
+		"oversized symbol": func() []byte {
+			var p bytes.Buffer
+			p.WriteByte(RecFacts)
+			putU32(&p, 1)
+			putU32(&p, maxSymbolLen+1)
+			p.Write(make([]byte, 40))
+			return p.Bytes()
+		}(),
+	}
+	for name, payload := range cases {
+		good := EncodeRecord(Record{Type: RecDeletes, Facts: []FactRec{{Rel: "r"}}})
+		data := append(append([]byte{}, good...), frameWith(payload)...)
+		recs, validLen, err := DecodeWAL(data)
+		if err == nil {
+			t.Errorf("%s: no error (got %d records)", name, len(recs))
+			continue
+		}
+		if len(recs) != 1 || validLen != len(good) {
+			t.Errorf("%s: prefix %d records / %d bytes, want 1 / %d", name, len(recs), validLen, len(good))
+		}
+	}
+}
+
+// TestDecodeTablesRejectsCorruptFrames drives the snapshot decoder's
+// strict error paths with CRC-valid but semantically broken frames.
+func TestDecodeTablesRejectsCorruptFrames(t *testing.T) {
+	header := func(name string, nrows uint32, cols ...engine.ColDef) []byte {
+		var p bytes.Buffer
+		p.WriteByte(frameTableHeader)
+		putName(&p, name)
+		putU32(&p, nrows)
+		var nc [2]byte
+		binary.LittleEndian.PutUint16(nc[:], uint16(len(cols)))
+		p.Write(nc[:])
+		for _, c := range cols {
+			putName(&p, c.Name)
+			p.WriteByte(byte(c.Type))
+		}
+		return p.Bytes()
+	}
+	column := func(idx uint16, ct engine.ColType, count uint32, body []byte) []byte {
+		var p bytes.Buffer
+		p.WriteByte(frameColumn)
+		var ci [2]byte
+		binary.LittleEndian.PutUint16(ci[:], idx)
+		p.Write(ci[:])
+		p.WriteByte(byte(ct))
+		putU32(&p, count)
+		p.Write(body)
+		return p.Bytes()
+	}
+	snap := func(payloads ...[]byte) []byte {
+		out := append([]byte{}, snapshotMagic[:]...)
+		for _, p := range payloads {
+			out = append(out, frameWith(p)...)
+		}
+		return out
+	}
+	intCol := engine.C("v", engine.Int32)
+
+	cases := map[string][]byte{
+		"bad magic":               []byte("NOTASNAP"),
+		"unknown frame kind":      snap([]byte{7}),
+		"column before header":    snap(column(0, engine.Int32, 0, nil)),
+		"implausible rows":        snap(header("t", maxRows+1, intCol)),
+		"unknown column type":     snap(header("t", 0, engine.C("v", engine.ColType(9)))),
+		"missing columns at next": snap(header("t", 0, intCol), header("u", 0, intCol)),
+		"missing columns at EOF":  snap(header("t", 0, intCol)),
+		"extra column frame":      snap(header("t", 0), column(0, engine.Int32, 0, nil)),
+		"column out of order":     snap(header("t", 0, intCol, engine.C("w", engine.Int32)), column(1, engine.Int32, 0, nil)),
+		"column type mismatch":    snap(header("t", 0, intCol), column(0, engine.Float64, 0, nil)),
+		"column count mismatch":   snap(header("t", 2, intCol), column(0, engine.Int32, 1, []byte{1, 0, 0, 0})),
+		"column body too short":   snap(header("t", 2, intCol), column(0, engine.Int32, 2, []byte{1, 0, 0, 0})),
+		"truncated header":        snap([]byte{frameTableHeader, 5, 0}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeTables(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestKBFromTablesRejectsWrongShape covers the reconstruction guards:
+// table count, table names, schemas, and out-of-range IDs must all fail
+// cleanly instead of panicking later.
+func TestKBFromTablesRejectsWrongShape(t *testing.T) {
+	tables, err := KBTables(fuzzSeedKB(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := KBFromTables(tables[:3]); err == nil || !strings.Contains(err.Error(), "tables") {
+		t.Fatalf("short table set: %v", err)
+	}
+
+	renamed := append([]*engine.Table{}, tables...)
+	renamed[2] = engine.NewTable("wrong", renamed[2].Schema())
+	if _, _, err := KBFromTables(renamed); err == nil {
+		t.Fatal("renamed table accepted")
+	}
+
+	reschemad := append([]*engine.Table{}, tables...)
+	reschemad[1] = engine.NewTable(tables[1].Name(), engine.NewSchema(engine.C("name", engine.Int32)))
+	if _, _, err := KBFromTables(reschemad); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+
+	// An out-of-range dictionary ID in the facts table must be caught by
+	// the range checks, not crash Dict.Name downstream.
+	badFacts := append([]*engine.Table{}, tables...)
+	factsIdx := -1
+	for i, tb := range tables {
+		if tb.Name() == "facts" {
+			factsIdx = i
+		}
+	}
+	if factsIdx < 0 {
+		t.Fatal("no facts table in snapshot layout")
+	}
+	ft := tables[factsIdx].Clone()
+	ft.Int32Col(0)[0] = 9999
+	badFacts[factsIdx] = ft
+	if _, _, err := KBFromTables(badFacts); err == nil {
+		t.Fatal("out-of-range relation ID accepted")
+	}
+}
+
+// TestOSFSOpen covers the streaming read handle the FS interface
+// exposes.
+func TestOSFSOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OSFS{}.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package store is the durable storage engine under the knowledge base:
+// a versioned columnar snapshot format for engine tables plus an
+// append-only write-ahead log for post-snapshot mutations. Recovery is
+// load-snapshot + replay-WAL and reproduces the in-memory KB
+// bit-identically (the crash harness in store/crashtest proves the
+// "bit" part against an oracle at every write offset).
+//
+// The paper's ProbKB inherits durability from PostgreSQL/Greenplum; a
+// pure-Go reproduction has to supply the equivalent substrate itself,
+// and — in the spirit of the differential test harness of
+// internal/proptest — supply it *provably* crash-safe rather than
+// plausibly so. Hence everything in this package runs through the FS
+// interface below, which tests replace with a crash-injecting
+// filesystem that kills the writer at arbitrary byte offsets.
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the storage engine runs on. The
+// production implementation is OSFS; crashtest.MemFS implements the
+// same contract with injectable crash points (torn writes, dropped
+// fsyncs, undurable renames).
+//
+// Durability contract, mirroring POSIX:
+//
+//   - bytes written to a File are durable only after Sync returns;
+//   - namespace operations (Create, Rename, Remove) are durable only
+//     after SyncDir on the containing directory returns;
+//   - Rename atomically replaces the destination.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Append opens path for appending, creating it if absent.
+	Append(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// ReadFile reads the whole file.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically renames oldPath to newPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes the file; removing a missing file is an error.
+	Remove(path string) error
+	// Truncate cuts the file to size bytes (recovery drops torn WAL
+	// tails with it before appending resumes).
+	Truncate(path string, size int64) error
+	// Exists reports whether path exists.
+	Exists(path string) (bool, error)
+	// SyncDir makes preceding namespace operations in dir durable.
+	SyncDir(dir string) error
+}
+
+// File is a writable file handle.
+type File interface {
+	io.Writer
+	// Sync makes all bytes written so far durable.
+	Sync() error
+	// Close closes the handle; it does not imply Sync.
+	Close() error
+}
+
+// OSFS is the production FS backed by the operating system.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+// Append implements FS.
+func (OSFS) Append(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Exists implements FS.
+func (OSFS) Exists(path string) (bool, error) {
+	_, err := os.Stat(path)
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// SyncDir implements FS: fsync on the directory makes renames durable.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

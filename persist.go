@@ -1,0 +1,203 @@
+package probkb
+
+import (
+	"fmt"
+	"math"
+
+	"probkb/internal/engine"
+	"probkb/internal/ground"
+	"probkb/internal/kb"
+	"probkb/internal/store"
+)
+
+// Store is a durable KB directory: a columnar snapshot plus an
+// append-only WAL of everything since (fact inserts from grounding,
+// constraint-repair deletes, marginal-probability updates). Attach one
+// to Config.Persist and Expand makes the run durable as it goes: after
+// a crash, OpenStore recovers the KB exactly as of the last completed
+// grounding iteration — bit-identical to the in-memory state, which
+// the crash harness in internal/store/crashtest verifies byte by byte.
+//
+// Only the knowledge itself is persisted. Derived artifacts — ground
+// factor graphs, query plans, journals — are rebuilt by re-running
+// Expand on the recovered KB, and rule-cleaning (RuleCleanTheta) never
+// rewrites the durable rule set: the store always keeps the rules it
+// was created with.
+type Store struct {
+	inner *store.Store
+	// err latches the first persistence failure signalled from inside a
+	// grounding observer (which cannot return errors); ExpandContext
+	// checks it after every phase and fails the run loudly.
+	err error
+}
+
+// CreateStore initializes dir as a durable copy of k: a generation-1
+// snapshot plus an empty WAL. It refuses to overwrite an existing
+// store — recover those with OpenStore instead. The store keeps its
+// own mirror of k; later mutations of the caller's KB are not seen.
+func CreateStore(dir string, k *KB) (*Store, error) {
+	fs := store.OSFS{}
+	if ok, err := store.Exists(fs, dir); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("probkb: %s already holds a store (use OpenStore)", dir)
+	}
+	inner, err := store.Create(fs, dir, k.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner}, nil
+}
+
+// StoreExists reports whether dir already holds a durable store — the
+// check behind "create or resume" flows like `probkb expand -persist`.
+func StoreExists(dir string) (bool, error) {
+	return store.Exists(store.OSFS{}, dir)
+}
+
+// OpenStore recovers the store at dir: snapshot load, WAL replay,
+// torn-tail truncation. The recovered KB is ready for further
+// expansion; appends resume where the last durable record left off.
+func OpenStore(dir string) (*Store, error) {
+	inner, err := store.Open(store.OSFS{}, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner}, nil
+}
+
+// KB returns a copy of the durable KB — the recovered state after
+// OpenStore, or the live mirror of everything appended so far.
+func (s *Store) KB() *KB { return &KB{inner: s.inner.KB().Clone()} }
+
+// Checkpoint folds the WAL into a fresh snapshot: the next recovery
+// loads one file instead of replaying the log. Crash-safe at every
+// point; the old snapshot stays authoritative until the new one lands.
+func (s *Store) Checkpoint() error { return s.inner.Checkpoint() }
+
+// Gen returns the current snapshot/WAL generation.
+func (s *Store) Gen() uint32 { return s.inner.Gen() }
+
+// WALRecords returns how many records the current WAL generation holds.
+func (s *Store) WALRecords() int64 { return s.inner.WALRecords() }
+
+// SnapshotBytes returns the size of the last snapshot this store wrote.
+func (s *Store) SnapshotBytes() int64 { return s.inner.SnapshotBytes() }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.inner.Dir() }
+
+// Facts returns how many facts the durable KB currently holds.
+func (s *Store) Facts() int { return len(s.inner.KB().Facts) }
+
+// Close releases the WAL handle. The directory stays recoverable.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// Err returns the first persistence failure recorded during an
+// expansion run, if any.
+func (s *Store) Err() error { return s.err }
+
+// sync diffs the grounding fact table against the store's mirror and
+// appends the delta: inserts for rows the mirror lacks, deletes for
+// mirror facts the table dropped (constraint repairs), and marginal
+// updates where only the weight bits changed (inference). Records
+// carry symbolic facts rendered through src's dictionaries, so replay
+// re-interns in live order and recovery stays bit-identical. Calling
+// it again with an unchanged table appends nothing — which is what
+// makes the per-iteration observer plus the final post-inference sync
+// safe to combine.
+func (s *Store) sync(src *kb.KB, tpi *engine.Table) error {
+	if s.err != nil {
+		return s.err
+	}
+	mirror := s.inner.KB()
+	have := make(map[kb.Key]float64, len(mirror.Facts))
+	for _, f := range mirror.Facts {
+		have[f.Key()] = f.W
+	}
+	seen := make(map[kb.Key]bool, tpi.NumRows())
+	var adds, margs []store.FactRec
+	for r := 0; r < tpi.NumRows(); r++ {
+		f := kb.FactAtRow(tpi, r)
+		// The mirror's dictionaries can assign different IDs than src's
+		// (src may have interned symbols the store never saw), so the
+		// membership check must go through symbols, not raw keys.
+		rec := store.FactRecOf(src, f)
+		key, ok := lookupMirrorKey(mirror, rec)
+		if !ok {
+			adds = append(adds, rec)
+			continue
+		}
+		seen[key] = true
+		if w, present := have[key]; !present {
+			adds = append(adds, rec)
+		} else if math.Float64bits(w) != math.Float64bits(f.W) {
+			margs = append(margs, rec)
+		}
+	}
+	var dels []store.FactRec
+	for _, f := range mirror.Facts {
+		if !seen[f.Key()] {
+			dels = append(dels, store.FactRecOf(mirror, f))
+		}
+	}
+	if err := s.inner.AppendDeletes(dels); err != nil {
+		return err
+	}
+	if err := s.inner.AppendFacts(adds); err != nil {
+		return err
+	}
+	return s.inner.AppendMarginals(margs)
+}
+
+// lookupMirrorKey resolves a symbolic fact to the mirror's ID space.
+func lookupMirrorKey(mirror *kb.KB, rec store.FactRec) (kb.Key, bool) {
+	rel, ok1 := mirror.RelDict.Lookup(rec.Rel)
+	x, ok2 := mirror.Entities.Lookup(rec.X)
+	xc, ok3 := mirror.Classes.Lookup(rec.XClass)
+	y, ok4 := mirror.Entities.Lookup(rec.Y)
+	yc, ok5 := mirror.Classes.Lookup(rec.YClass)
+	if !(ok1 && ok2 && ok3 && ok4 && ok5) {
+		return kb.Key{}, false
+	}
+	return kb.Key{Rel: rel, X: x, XClass: xc, Y: y, YClass: yc}, true
+}
+
+// observe is the per-iteration grounding observer: it syncs the
+// iteration's fact table into the WAL, latching any failure for
+// ExpandContext to surface (ground.Options.Observer cannot error).
+func (s *Store) observe(src *kb.KB) func(iter int, tpi *engine.Table) {
+	return func(_ int, tpi *engine.Table) {
+		if s.err == nil {
+			s.err = s.sync(src, tpi)
+		}
+	}
+}
+
+// attachPersist wires a store into grounding options: each completed
+// iteration's delta becomes durable before the next one starts.
+func attachPersist(opts *ground.Options, p *Store, src *kb.KB) {
+	if p == nil {
+		return
+	}
+	prev := opts.Observer
+	obs := p.observe(src)
+	opts.Observer = func(iter int, tpi *engine.Table) {
+		if prev != nil {
+			prev(iter, tpi)
+		}
+		obs(iter, tpi)
+	}
+}
+
+// persistFinal runs the end-of-phase sync (grounding result or
+// inference marginals) and reports the first error the run hit.
+func persistFinal(p *Store, src *kb.KB, tpi *engine.Table) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.sync(src, tpi); err != nil {
+		return fmt.Errorf("probkb: persisting expansion: %w", err)
+	}
+	return nil
+}

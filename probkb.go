@@ -159,6 +159,15 @@ type Config struct {
 	// it cheap.
 	OnGibbsSweep func(GibbsSweep)
 
+	// Persist, when non-nil, makes the run durable: each completed
+	// grounding iteration's delta (new facts and constraint-repair
+	// deletes) is appended to the store's WAL before the next iteration
+	// starts, and inferred marginals are appended after inference. A
+	// crash at any point recovers to the last completed iteration via
+	// OpenStore. Persistence never changes results, so the field is
+	// excluded from Hash() like the callbacks.
+	Persist *Store
+
 	// Faults, when non-nil, deterministically injects failures, worker
 	// panics and stragglers into MPP segment tasks — chaos testing for
 	// the distributed path. Injected faults never change results (tasks
@@ -467,6 +476,11 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 
 	opts := groundOptions(ctx, cfg)
 	opts.Journal = jr
+	if p := cfg.Persist; p != nil {
+		p.inner.SetJournal(jr)
+		defer p.inner.SetJournal(nil)
+		attachPersist(&opts, p, work)
+	}
 	if cfg.ApplyConstraints {
 		// Query 3 runs once before inference starts (Section 6.1.1), and
 		// again after every grounding iteration (Algorithm 1).
@@ -530,6 +544,12 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 		return nil, err
 	}
 	observeStage("ground", groundStart)
+	// The observer already made each iteration durable; this final sync
+	// catches engines that do not invoke it and surfaces any append
+	// error latched inside the observer.
+	if err := persistFinal(cfg.Persist, work, res.Facts); err != nil {
+		return nil, err
+	}
 
 	exp := &Expansion{kb: work, res: res, cfg: cfg, jr: jr}
 	if cfg.RunInference {
@@ -542,6 +562,11 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 				exp.emitRunEnd()
 				return nil, &PartialError{Phase: "infer", Partial: exp, Err: err}
 			}
+			return nil, err
+		}
+		// Inference rewrote inferred facts' weights in place; persist
+		// the marginals so recovery carries the probabilities too.
+		if err := persistFinal(cfg.Persist, work, res.Facts); err != nil {
 			return nil, err
 		}
 	}
