@@ -3,7 +3,7 @@ GO ?= go
 # Baseline for bench-diff (write one with `make bench-baseline`).
 BENCH_BASE ?= BENCH_baseline.json
 
-.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke proptest fuzz-smoke crash-smoke crashtest cover-store fmt
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,13 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke
+check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke
+
+# Metric hygiene: every Counter/Gauge/Histogram name is probkb_-prefixed
+# snake_case with the right unit suffix and a Help() string (see
+# cmd/lint-metrics for the exact rules and the gauge exemption).
+lint-metrics:
+	$(GO) run ./cmd/lint-metrics .
 
 # Long-mode differential harness: thousands of random plans, each run
 # serial, morsel-parallel, and on 1/2/8-segment clusters, results

@@ -6,12 +6,20 @@
 //
 //	probkb-server -kb DIR [-addr :8080] [-engine probkb] [-iters N]
 //	              [-no-constraints] [-theta F] [-no-inference]
-//	              [-persist DIR]
+//	              [-persist DIR] [-slow DUR]
 //
 // -persist makes the startup expansion durable (created from -kb when
 // the directory is empty, recovered and resumed when it already holds a
 // store) and enables POST /admin/snapshot to checkpoint it while
 // serving.
+//
+// The server binds its port immediately: /healthz answers 200 and
+// /readyz answers 503 while the store recovers and the startup
+// expansion runs, then /readyz flips to 200 — so orchestrators can
+// distinguish "starting" from "dead" instead of timing out on connect.
+//
+// -slow enables the slow-query log: requests over the threshold retain
+// their EXPLAIN ANALYZE plan at GET /debug/slow and log a warning.
 package main
 
 import (
@@ -34,6 +42,7 @@ func main() {
 	noInference := flag.Bool("no-inference", false, "skip Gibbs marginal inference")
 	seed := flag.Int64("seed", 0, "inference seed")
 	persistDir := flag.String("persist", "", "durable store directory: created from -kb if empty, recovered if it already holds a store")
+	slowThreshold := flag.Duration("slow", 0, "slow-query threshold for /debug/slow (0 = off), e.g. 250ms")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -47,6 +56,20 @@ func main() {
 		logger.Error("missing -kb DIR")
 		os.Exit(1)
 	}
+	obs.DefaultSlowLog.SetThreshold(*slowThreshold)
+
+	// Bind the port before the (possibly long) recovery and expansion:
+	// /healthz and /metrics serve immediately, /readyz stays 503 until
+	// the expansion below attaches.
+	srv := server.NewPending()
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		if err := http.ListenAndServe(*addr, srv); err != nil {
+			logger.Error("server exited", "err", err)
+			os.Exit(1)
+		}
+	}()
+
 	k, err := probkb.Load(*dir)
 	if err != nil {
 		logger.Error("load failed", "err", err)
@@ -108,9 +131,8 @@ func main() {
 		opts = append(opts, server.WithStore(pst))
 		logger.Info("store durable", "gen", pst.Gen(), "wal_records", pst.WALRecords())
 	}
-	logger.Info("serving", "addr", *addr)
-	if err := http.ListenAndServe(*addr, server.New(k, exp, opts...)); err != nil {
-		logger.Error("server exited", "err", err)
-		os.Exit(1)
-	}
+	srv.Attach(k, exp, opts...)
+	srv.SetReady(true)
+	logger.Info("ready", "addr", *addr)
+	select {}
 }

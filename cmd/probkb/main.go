@@ -56,6 +56,15 @@
 //	    catalog holds T (facts), TC, TR, FC (constraints), and the MLN
 //	    partition tables M1..M6 — the paper's grounding queries run
 //	    verbatim.
+//
+//	probkb top     [-addr URL] [-interval D] [-once]
+//	    Live terminal view of a running probkb-server: qps, p50/p99
+//	    request latency, in-flight queries with phase and rows so far,
+//	    Gibbs sampling throughput, and Go runtime health — polled from
+//	    the server's /metrics and /debug/queries endpoints. Rates and
+//	    quantiles are computed over the poll interval; values marked *
+//	    are lifetime cumulative (shown until two polls have landed).
+//	    -once prints a single frame and exits.
 package main
 
 import (
@@ -74,6 +83,7 @@ import (
 	"probkb"
 	"probkb/internal/obs"
 	"probkb/internal/obs/journal"
+	"probkb/internal/top"
 )
 
 func main() {
@@ -97,13 +107,15 @@ func main() {
 		cmdRules(os.Args[2:])
 	case "sql":
 		cmdSQL(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|rules|sql} [flags]; see -h of each subcommand")
+	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|rules|sql|top} [flags]; see -h of each subcommand")
 	os.Exit(2)
 }
 
@@ -469,6 +481,37 @@ func cmdSQL(args []string) {
 		fmt.Printf("... (%d of %d rows shown)\n", *limit, total)
 	} else {
 		fmt.Printf("(%d rows)\n", total)
+	}
+}
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "probkb-server base URL")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "print a single frame and exit")
+	fs.Parse(args)
+
+	client := &top.Client{Base: strings.TrimRight(*addr, "/")}
+	var prev *top.Scrape
+	for {
+		cur, err := client.Metrics()
+		if err != nil {
+			die(err)
+		}
+		queries, err := client.Queries()
+		if err != nil {
+			die(err)
+		}
+		frame := top.Render(prev, cur, queries)
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Home the cursor and clear to end of screen between frames so
+		// the view repaints in place like top(1).
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		prev = cur
+		time.Sleep(*interval)
 	}
 }
 

@@ -81,7 +81,7 @@ func (n *GroupByNode) Run() (*Table, error) {
 		return nil, err
 	}
 	in := ins[0]
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		return groupByTable(in, n.keys, n.aggs, n.schema, n.exec, &n.stats)
 	})
 }

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// EXPLAIN ANALYZE: render a just-run plan with the optimizer's estimates
+// NEXT TO the actuals the run collected, so per-operator estimation
+// error is visible at a glance — the view a DBA uses to find the join
+// whose cardinality model went wrong. The classic Explain output stays
+// untouched (golden files pin it); this is a second renderer over the
+// same NodeStats.
+
+// estNode is the optional interface SetEstRows uses; every operator
+// embedding base implements it.
+type estNode interface{ setEstRows(float64) }
+
+func (b *base) setEstRows(est float64) { b.stats.EstRows = est }
+
+// SetEstRows records the optimizer's cardinality estimate on a plan
+// node. Nodes that never received an estimate render without one.
+func SetEstRows(n Node, est float64) {
+	if e, ok := n.(estNode); ok {
+		e.setEstRows(est)
+	}
+}
+
+// ExplainAnalyze renders the plan tree with actuals and estimates from
+// the most recent Run: actual rows vs estimated rows (with the error
+// factor), self time, output bytes, motion volumes, per-segment row
+// counts, retries, and the worker/morsel footprint. Everything but the
+// time is deterministic for a fixed input, so golden files pin it.
+func ExplainAnalyze(root Node) string { return ExplainAnalyzeOf[Node](root) }
+
+// ExplainAnalyzeOf is ExplainAnalyze over any plan-shaped tree; the mpp
+// package reuses it for distributed plans.
+func ExplainAnalyzeOf[N PlanLike[N]](root N) string {
+	var b strings.Builder
+	analyzeNode(&b, root, 0)
+	return b.String()
+}
+
+func analyzeNode[N PlanLike[N]](b *strings.Builder, n N, depth int) {
+	st := n.Stats()
+	fmt.Fprintf(b, "%s-> %s  (rows=%d%s time=%s mem=%dB%s%s%s%s)\n",
+		strings.Repeat("  ", depth), n.Label(),
+		st.Rows, estNote(st), st.Elapsed.Round(time.Microsecond), st.OutBytes,
+		st.Extra, st.ExecNote(), segNote(st), retryNote(st))
+	for _, k := range n.Children() {
+		analyzeNode(b, k, depth+1)
+	}
+}
+
+// estNote renders " est=N off=K.Kx" for nodes carrying an estimate: the
+// off factor is how far the optimizer's guess was from reality, in
+// whichever direction (>=1.0; 1.0x is a perfect estimate).
+func estNote(st *NodeStats) string {
+	if st.EstRows <= 0 {
+		return ""
+	}
+	est := st.EstRows
+	note := fmt.Sprintf(" est=%.0f", est)
+	if st.Rows > 0 {
+		off := float64(st.Rows) / est
+		if off < 1 {
+			off = 1 / off
+		}
+		note += fmt.Sprintf(" off=%.1fx", off)
+	}
+	return note
+}
+
+// segNote renders the per-segment actual row counts of a distributed
+// operator, or "" single-node.
+func segNote(st *NodeStats) string {
+	if st.SegRows == nil {
+		return ""
+	}
+	return fmt.Sprintf(" seg_rows=%v", st.SegRows)
+}
+
+func retryNote(st *NodeStats) string {
+	if st.Retries == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" retries=%d", st.Retries)
+}

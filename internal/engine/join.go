@@ -91,7 +91,7 @@ func (n *HashJoinNode) Run() (*Table, error) {
 		return nil, err
 	}
 	bt, pt := ins[0], ins[1]
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		return hashJoinTables(bt, pt, n.buildKeys, n.probeKeys, n.residual, n.outs, n.schema, n.exec, &n.stats)
 	})
 }

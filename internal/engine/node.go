@@ -31,6 +31,22 @@ type NodeStats struct {
 	// MPP motion) that Explain appends to the label.
 	Extra string
 
+	// EstRows is the optimizer's cardinality estimate for this operator,
+	// set at plan time by SetEstRows; 0 means no estimate was recorded.
+	// ExplainAnalyze renders it next to the actual row count so the
+	// estimation error of every operator is visible.
+	EstRows float64
+	// OutBytes is the byte size of the operator's materialized output —
+	// the peak batch memory the operator pinned. Table.ByteSize is a pure
+	// function of the data, so the value is deterministic across worker
+	// counts and safe to pin in golden EXPLAIN ANALYZE files.
+	OutBytes int64
+	// Retries counts segment-task re-executions a distributed operator
+	// needed during its most recent Run (always 0 single-node). It
+	// depends on the active fault plan, so the journal strips it when
+	// canonicalizing.
+	Retries int
+
 	// Per-segment breakdowns, filled only by distributed (mpp) operators
 	// and nil on single-node plans. SegRows is the output row count per
 	// segment; SegSeconds the per-segment task wall time — the raw
@@ -76,14 +92,26 @@ func (b *base) Stats() *NodeStats { return &b.stats }
 
 // timeRun wraps an operator body with timing and row accounting. The
 // elapsed time recorded is *self* time only (children timed separately),
-// matching the per-operator durations in Figure 4.
-func timeRun(st *NodeStats, body func() (*Table, error)) (*Table, error) {
-	st.Workers, st.Morsels = 0, 0
+// matching the per-operator durations in Figure 4. The execution options
+// carry the per-query hooks: Cancel is checked before the body runs, so
+// a cancelled query stops at the next operator boundary, and OnRows
+// reports the rows this operator produced to the active-query registry.
+func timeRun(st *NodeStats, o Opts, body func() (*Table, error)) (*Table, error) {
+	if o.Cancel != nil {
+		if err := o.Cancel(); err != nil {
+			return nil, err
+		}
+	}
+	st.Workers, st.Morsels, st.Retries = 0, 0, 0
 	start := time.Now()
 	out, err := body()
 	st.Elapsed = time.Since(start)
 	if out != nil {
 		st.Rows = out.NumRows()
+		st.OutBytes = out.ByteSize()
+	}
+	if o.OnRows != nil && err == nil {
+		o.OnRows(st.Rows)
 	}
 	return out, err
 }

@@ -17,7 +17,7 @@ func init() {
 	obs.Default.Help("probkb_engine_operator_seconds", "Per-operator self time of executed plan nodes.")
 	obs.Default.Help("probkb_engine_operator_rows_total", "Rows produced by executed plan nodes, by operator kind.")
 	obs.Default.Help("probkb_engine_morsels_total", "Morsels processed by parallel operator regions, by region kind.")
-	obs.Default.Help("probkb_engine_worker_utilization", "Fraction of worker-pool time spent busy per parallel region (0-1).")
+	obs.Default.Help("probkb_engine_worker_utilization_ratio", "Fraction of worker-pool time spent busy per parallel region (0-1).")
 }
 
 // observeMorsels and observeUtilization feed the morsel-execution metrics
@@ -28,7 +28,7 @@ func observeMorsels(op string, nm int) {
 }
 
 func observeUtilization(op string, u float64) {
-	obs.Default.Histogram("probkb_engine_worker_utilization", nil, obs.L("op", op)).Observe(u)
+	obs.Default.Histogram("probkb_engine_worker_utilization_ratio", nil, obs.L("op", op)).Observe(u)
 }
 
 // PlanLike is the shape ObserveTree needs from a plan node; both

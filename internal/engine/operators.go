@@ -26,7 +26,7 @@ func (n *ScanNode) Label() string    { return "Seq Scan on " + n.t.Name() }
 
 // Run returns the scanned table.
 func (n *ScanNode) Run() (*Table, error) {
-	return timeRun(&n.stats, func() (*Table, error) { return n.t, nil })
+	return timeRun(&n.stats, n.exec, func() (*Table, error) { return n.t, nil })
 }
 
 // ---------------------------------------------------------------------------
@@ -55,7 +55,7 @@ func (n *FilterNode) Run() (*Table, error) {
 		return nil, err
 	}
 	in := ins[0]
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		return FilterTableOpts(in, n.pred, n.exec, &n.stats), nil
 	})
 }
@@ -162,7 +162,7 @@ func (n *ProjectNode) Run() (*Table, error) {
 		return nil, err
 	}
 	in := ins[0]
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		return projectTable(in, n.exprs, n.schema, n.exec, &n.stats), nil
 	})
 }
@@ -256,7 +256,7 @@ func (n *DistinctNode) Run() (*Table, error) {
 		return nil, err
 	}
 	in := ins[0]
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		return distinctTable(in, n.keys, n.schema, n.exec, &n.stats), nil
 	})
 }
@@ -354,7 +354,7 @@ func (n *UnionAllNode) Run() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		out := NewTable("union_all", n.schema)
 		for _, in := range ins {
 			out.AppendTable(in)
@@ -396,7 +396,7 @@ func (n *SortNode) Run() (*Table, error) {
 		return nil, err
 	}
 	in := ins[0]
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		out := in.Clone()
 		out.SortBy(n.keys)
 		return out, nil
@@ -425,7 +425,7 @@ func (n *LimitNode) Run() (*Table, error) {
 		return nil, err
 	}
 	in := ins[0]
-	return timeRun(&n.stats, func() (*Table, error) {
+	return timeRun(&n.stats, n.exec, func() (*Table, error) {
 		if in.NumRows() <= n.n {
 			return in, nil
 		}

@@ -48,6 +48,16 @@ type Opts struct {
 	// morsel size (the worker count never matters). Tests shrink it to
 	// exercise parallel merges on small inputs.
 	MorselSize int
+
+	// Cancel, when set, is consulted at every operator boundary: a
+	// non-nil return aborts the plan with that error before the next
+	// operator runs. Queries wire it to their context so DELETE
+	// /debug/queries/{id} (and client disconnects) stop a running plan.
+	Cancel func() error
+	// OnRows, when set, receives each operator's output row count as it
+	// materializes — the "rows produced so far" feed of the active-query
+	// registry. It may be called from the plan's driving goroutine only.
+	OnRows func(rows int)
 }
 
 func (o Opts) workers() int {

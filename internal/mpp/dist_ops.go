@@ -45,7 +45,7 @@ func (n *FilterNode) Run() (*DistTable, error) {
 		out := n.cluster.newDistTable("filter", n.schema, n.dist)
 		opts := n.cluster.engineOpts()
 		segStats := make([]engine.NodeStats, n.cluster.nseg)
-		segSecs, err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, retries, err := n.cluster.forEachSegment(func(i int) error {
 			// Fresh local stats per attempt so a retried task stays
 			// idempotent; the slot is overwritten wholesale.
 			var st engine.NodeStats
@@ -56,6 +56,7 @@ func (n *FilterNode) Run() (*DistTable, error) {
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		n.stats.Retries = retries
 		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})
@@ -128,7 +129,7 @@ func (n *ProjectNode) Run() (*DistTable, error) {
 		out := n.cluster.newDistTable("project", n.schema, n.dist)
 		opts := n.cluster.engineOpts()
 		segStats := make([]engine.NodeStats, n.cluster.nseg)
-		segSecs, err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, retries, err := n.cluster.forEachSegment(func(i int) error {
 			p := engine.NewProject(engine.NewScan(in.segs[i]), n.exprs...)
 			engine.Configure(p, opts)
 			t, err := p.Run()
@@ -141,6 +142,7 @@ func (n *ProjectNode) Run() (*DistTable, error) {
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		n.stats.Retries = retries
 		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})
@@ -266,7 +268,7 @@ func (n *HashJoinNode) Run() (*DistTable, error) {
 		out := n.cluster.newDistTable("join", n.schema, n.dist)
 		opts := n.cluster.engineOpts()
 		segStats := make([]engine.NodeStats, n.cluster.nseg)
-		segSecs, err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, retries, err := n.cluster.forEachSegment(func(i int) error {
 			var st engine.NodeStats
 			t, err := engine.HashJoinTablesOpts(bt.segs[i], pt.segs[i], n.buildKeys, n.probeKeys, n.residual, n.outs, opts, &st)
 			if err != nil {
@@ -278,6 +280,7 @@ func (n *HashJoinNode) Run() (*DistTable, error) {
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		n.stats.Retries = retries
 		mergeExecStats(&n.stats, segStats)
 		if err != nil {
 			return nil, err
@@ -354,7 +357,7 @@ func (n *DistinctNode) Run() (*DistTable, error) {
 		out := n.cluster.newDistTable("distinct", n.schema, n.dist)
 		opts := n.cluster.engineOpts()
 		segStats := make([]engine.NodeStats, n.cluster.nseg)
-		segSecs, err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, retries, err := n.cluster.forEachSegment(func(i int) error {
 			d := engine.NewDistinct(engine.NewScan(in.segs[i]), n.keys)
 			engine.Configure(d, opts)
 			t, err := d.Run()
@@ -367,6 +370,7 @@ func (n *DistinctNode) Run() (*DistTable, error) {
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		n.stats.Retries = retries
 		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})
@@ -444,7 +448,7 @@ func (n *GroupByNode) Run() (*DistTable, error) {
 		out := n.cluster.newDistTable("groupby", n.schema, n.dist)
 		opts := n.cluster.engineOpts()
 		segStats := make([]engine.NodeStats, n.cluster.nseg)
-		segSecs, err := n.cluster.forEachSegment(func(i int) error {
+		segSecs, retries, err := n.cluster.forEachSegment(func(i int) error {
 			var st engine.NodeStats
 			t, err := engine.GroupByTableOpts(in.segs[i], n.keys, n.aggs, opts, &st)
 			if err != nil {
@@ -456,6 +460,7 @@ func (n *GroupByNode) Run() (*DistTable, error) {
 			return nil
 		})
 		n.stats.SegSeconds = segSecs
+		n.stats.Retries = retries
 		mergeExecStats(&n.stats, segStats)
 		return out, err
 	})

@@ -2,6 +2,7 @@ package mpp
 
 import (
 	"flag"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -161,6 +162,103 @@ func TestGoldenExplain(t *testing.T) {
 				t.Fatal(err)
 			}
 			checkGolden(t, "explain_"+p.name+"_mpp", normalizeExplain(Explain(plan)))
+		})
+	}
+}
+
+// execNoteRe strips the whole worker/morsel annotation when comparing
+// runs at DIFFERENT worker counts: workers=1 takes the serial path (no
+// parallel region, no annotation at all), so the note can't be part of
+// the cross-worker invariant. The per-worker-count golden files keep
+// it — that is where morsel counts are pinned.
+var execNoteRe = regexp.MustCompile(` workers=\d+ morsels=\d+`)
+
+// TestGoldenExplainAnalyze pins the EXPLAIN ANALYZE output — actual
+// rows, estimate/error annotations, output bytes, morsel counts,
+// per-segment rows, and motion volumes — for the same three grounding
+// plans, single-node and distributed, at 1 and 8 workers. Only the
+// time= field is normalized: everything else, including mem= and
+// morsels=, must be bit-stable for a fixed fixture.
+// Refresh with: go test ./internal/mpp -run TestGoldenExplainAnalyze -update
+func TestGoldenExplainAnalyze(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		opts := engine.Opts{Workers: workers, MorselSize: 64}
+		suffix := fmt.Sprintf("_w%d", workers)
+		for _, p := range goldenPlans() {
+			t.Run(fmt.Sprintf("%s/engine/w%d", p.name, workers), func(t *testing.T) {
+				facts, mln := goldenTables()
+				plan := p.engine(facts, mln)
+				// Stamp a plausible estimate on the root so the golden
+				// pins the est=/off= rendering alongside the actuals.
+				engine.SetEstRows(plan, 100)
+				engine.Configure(plan, opts)
+				if _, err := plan.Run(); err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, "analyze_"+p.name+"_engine"+suffix,
+					normalizeExplain(engine.ExplainAnalyze(plan)))
+			})
+			t.Run(fmt.Sprintf("%s/mpp/w%d", p.name, workers), func(t *testing.T) {
+				facts, mln := goldenTables()
+				cl := NewCluster(2)
+				cl.SetWorkers(opts.Workers)
+				cl.SetMorselSize(opts.MorselSize)
+				plan := p.mpp(cl, facts, mln)
+				SetEstRows(plan, 100)
+				if _, err := plan.Run(); err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, "analyze_"+p.name+"_mpp"+suffix,
+					normalizeExplain(ExplainAnalyze(plan)))
+			})
+		}
+	}
+}
+
+// TestAnalyzeActualsWorkerInvariant asserts the determinism contract
+// EXPLAIN ANALYZE relies on: for a fixed-seed KB fixture, every
+// operator's actual rows, output bytes, per-segment rows, and motion
+// volumes are identical at 1, 2, and 8 workers — only time and the
+// worker/morsel execution note may differ.
+func TestAnalyzeActualsWorkerInvariant(t *testing.T) {
+	normalize := func(s string) string {
+		return execNoteRe.ReplaceAllString(normalizeExplain(s), "")
+	}
+	for _, p := range goldenPlans() {
+		t.Run(p.name, func(t *testing.T) {
+			var baseEngine, baseMPP string
+			for i, workers := range []int{1, 2, 8} {
+				facts, mln := goldenTables()
+				plan := p.engine(facts, mln)
+				engine.Configure(plan, engine.Opts{Workers: workers, MorselSize: 64})
+				if _, err := plan.Run(); err != nil {
+					t.Fatal(err)
+				}
+				gotEngine := normalize(engine.ExplainAnalyze(plan))
+
+				facts, mln = goldenTables()
+				cl := NewCluster(2)
+				cl.SetWorkers(workers)
+				cl.SetMorselSize(64)
+				dplan := p.mpp(cl, facts, mln)
+				if _, err := dplan.Run(); err != nil {
+					t.Fatal(err)
+				}
+				gotMPP := normalize(ExplainAnalyze(dplan))
+
+				if i == 0 {
+					baseEngine, baseMPP = gotEngine, gotMPP
+					continue
+				}
+				if gotEngine != baseEngine {
+					t.Errorf("engine actuals differ at workers=%d\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+						workers, baseEngine, workers, gotEngine)
+				}
+				if gotMPP != baseMPP {
+					t.Errorf("mpp actuals differ at workers=%d\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+						workers, baseMPP, workers, gotMPP)
+				}
+			}
 		})
 	}
 }

@@ -239,6 +239,18 @@ func (d *DistTable) Replicated() bool { return d.dist.Replicated }
 // Segment returns segment i's local slice of the table.
 func (d *DistTable) Segment(i int) *engine.Table { return d.segs[i] }
 
+// ByteSize returns the total bytes the table's segment slices pin —
+// every copy counted, so a replicated table costs nseg copies. Like
+// engine.Table.ByteSize it is a pure function of the data, making it
+// safe to pin in golden EXPLAIN ANALYZE files.
+func (d *DistTable) ByteSize() int64 {
+	var n int64
+	for _, s := range d.segs {
+		n += s.ByteSize()
+	}
+	return n
+}
+
 // NumRows returns the logical row count: the sum over segments for a
 // distributed table, or one copy's count for a replicated one.
 func (d *DistTable) NumRows() int {
@@ -364,9 +376,11 @@ func Gather(d *DistTable) *engine.Table {
 }
 
 // forEachSegment runs f(i) for every segment index concurrently and
-// returns each segment task's wall time in seconds plus the first error.
-// The times also land in /metrics; operators additionally stash them in
-// their NodeStats so per-operator straggler analysis can see them.
+// returns each segment task's wall time in seconds, the number of
+// segment-task re-executions the retry policy performed, and the first
+// error. The times also land in /metrics; operators additionally stash
+// them (and the retry count) in their NodeStats so per-operator
+// straggler and fault analysis can see them.
 //
 // Each per-segment execution goes through the segment-task runner, which
 // honors the cluster context, injects faults from the active FaultPlan,
@@ -374,18 +388,19 @@ func Gather(d *DistTable) *engine.Table {
 // attempts under the retry policy. Segment tasks must be pure functions
 // of their input partitions (build fresh output, assign at the end) so
 // re-execution is idempotent.
-func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, error) {
+func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, int, error) {
 	if c.err != nil {
-		return nil, c.err
+		return nil, 0, c.err
 	}
 	if err := c.ctxErr(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Task IDs are assigned in plan-execution order, which is sequential
 	// per cluster, so fault draws are deterministic; the counter is
 	// atomic only to stay race-clean if plans ever overlap.
 	task := c.taskSeq.Add(1)
 	var wg sync.WaitGroup
+	var retries atomic.Int64
 	errs := make([]error, c.nseg)
 	secs := make([]float64, c.nseg)
 	for i := 0; i < c.nseg; i++ {
@@ -393,7 +408,9 @@ func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, error) {
 		go func(i int) {
 			defer wg.Done()
 			start := time.Now()
-			errs[i] = c.runSegmentTask(task, i, f)
+			r, err := c.runSegmentTask(task, i, f)
+			errs[i] = err
+			retries.Add(int64(r))
 			secs[i] = time.Since(start).Seconds()
 			obs.Default.Histogram("probkb_mpp_segment_seconds", nil,
 				obs.L("segment", strconv.Itoa(i))).Observe(secs[i])
@@ -402,41 +419,44 @@ func (c *Cluster) forEachSegment(f func(i int) error) ([]float64, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return secs, err
+			return secs, int(retries.Load()), err
 		}
 	}
-	return secs, nil
+	return secs, int(retries.Load()), nil
 }
 
 // runSegmentTask executes one segment's share of a task, retrying failed
-// attempts up to the retry policy's bound with linear backoff.
-// Cancellation is never retried.
-func (c *Cluster) runSegmentTask(task int64, seg int, f func(i int) error) error {
+// attempts up to the retry policy's bound with linear backoff; it
+// returns how many re-executions it needed. Cancellation is never
+// retried.
+func (c *Cluster) runSegmentTask(task int64, seg int, f func(i int) error) (int, error) {
 	var lastErr error
+	retried := 0
 	for attempt := 0; attempt <= c.retry.MaxRetries; attempt++ {
 		if err := c.ctxErr(); err != nil {
-			return err
+			return retried, err
 		}
 		if attempt > 0 {
+			retried++
 			c.noteRetry(task, seg, attempt, lastErr)
 			if err := c.sleep(time.Duration(attempt) * c.retry.Backoff); err != nil {
-				return err
+				return retried, err
 			}
 		}
 		err := c.attemptSegmentTask(task, seg, attempt, f)
 		if err == nil {
-			return nil
+			return retried, nil
 		}
 		if isCtxErr(err) {
-			return err
+			return retried, err
 		}
 		lastErr = err
 	}
 	if c.retry.MaxRetries > 0 {
-		return fmt.Errorf("mpp: segment %d task %d failed after %d attempts: %w",
+		return retried, fmt.Errorf("mpp: segment %d task %d failed after %d attempts: %w",
 			seg, task, c.retry.MaxRetries+1, lastErr)
 	}
-	return lastErr
+	return retried, lastErr
 }
 
 // attemptSegmentTask is one attempt: draw (and apply) any injected

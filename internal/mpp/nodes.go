@@ -43,6 +43,17 @@ func (b *dbase) OutSchema() engine.Schema { return b.schema }
 func (b *dbase) OutDist() Distribution    { return b.dist }
 func (b *dbase) Stats() *engine.NodeStats { return &b.stats }
 
+func (b *dbase) setEstRows(est float64) { b.stats.EstRows = est }
+
+// SetEstRows records the planner's cardinality estimate on a
+// distributed plan node, for ExplainAnalyze — the distributed twin of
+// engine.SetEstRows.
+func SetEstRows(n Node, est float64) {
+	if e, ok := n.(interface{ setEstRows(float64) }); ok {
+		e.setEstRows(est)
+	}
+}
+
 // childBase builds a dbase for an operator over child, inheriting the
 // cluster (and any deferred error) from the plan's leaves.
 func childBase(child Node, schema engine.Schema, dist Distribution) dbase {
@@ -58,12 +69,13 @@ func childBase(child Node, schema engine.Schema, dist Distribution) dbase {
 }
 
 func timeRunD(st *engine.NodeStats, body func() (*DistTable, error)) (*DistTable, error) {
-	st.Workers, st.Morsels = 0, 0
+	st.Workers, st.Morsels, st.Retries = 0, 0, 0
 	start := time.Now()
 	out, err := body()
 	st.Elapsed = time.Since(start)
 	if out != nil {
 		st.Rows = out.NumRows()
+		st.OutBytes = out.ByteSize()
 		st.SegRows = make([]int, len(out.segs))
 		for i, s := range out.segs {
 			st.SegRows[i] = s.NumRows()
@@ -114,6 +126,12 @@ func explainNode(b *strings.Builder, n Node, depth int) {
 		explainNode(b, k, depth+1)
 	}
 }
+
+// ExplainAnalyze renders a distributed plan with actuals next to the
+// optimizer's estimates — per-segment row counts, motion volumes, output
+// bytes, and segment-task retries included. See engine.ExplainAnalyze
+// for the single-node twin; the classic Explain stays unchanged.
+func ExplainAnalyze(root Node) string { return engine.ExplainAnalyzeOf[Node](root) }
 
 // CountMotions returns how many motion operators (redistribute or
 // broadcast) the plan contains; tests and the Figure 4 harness use it to

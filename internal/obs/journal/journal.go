@@ -38,6 +38,11 @@ const (
 	TypeSnapshotWritten  = "snapshot_written"
 	TypeWALReplayed      = "wal_replayed"
 	TypeRunEnd           = "run_end"
+	// TypeQueryAnalyzed and TypeSlowQuery come from the server's ad-hoc
+	// SQL path rather than an expansion run; like faults, their presence
+	// depends on external requests, so Canonicalize drops them.
+	TypeQueryAnalyzed = "query_analyzed"
+	TypeSlowQuery     = "slow_query"
 )
 
 // Event is the JSONL envelope: one line per event.
@@ -74,14 +79,23 @@ type Iteration struct {
 // PlanNode is one operator of a captured plan tree: a NodeStats snapshot
 // plus children. SegRows/SegSeconds are nil on single-node plans.
 type PlanNode struct {
-	Label      string    `json:"label"`
-	Rows       int       `json:"rows"`
+	Label string `json:"label"`
+	Rows  int    `json:"rows"`
+	// EstRows is the optimizer's cardinality estimate (0 = the planner
+	// recorded none); next to Rows it exposes per-operator estimation
+	// error in journals the way ExplainAnalyze does live.
+	EstRows    float64   `json:"est_rows,omitempty"`
 	Seconds    float64   `json:"seconds"`
 	Extra      string    `json:"extra,omitempty"`
+	Bytes      int64     `json:"bytes,omitempty"` // materialized output bytes
 	SegRows    []int     `json:"seg_rows,omitempty"`
 	SegSeconds []float64 `json:"seg_seconds,omitempty"`
 	MovedRows  int       `json:"moved_rows,omitempty"`
 	MovedBytes int64     `json:"moved_bytes,omitempty"`
+	// Retries counts segment-task re-executions under an active fault
+	// plan; Canonicalize strips it (faultKeys) so faulted and fault-free
+	// runs stay byte-comparable.
+	Retries int `json:"retries,omitempty"`
 	// Workers/Morsels mirror NodeStats: Morsels is a deterministic
 	// function of the data, while Workers tracks the configured pool and
 	// is stripped by Canonicalize (schedulingKeys).
@@ -98,6 +112,18 @@ type QueryProfile struct {
 	Partition int      `json:"partition"`
 	Iteration int      `json:"iteration"`
 	Plan      PlanNode `json:"plan"`
+}
+
+// AnalyzedQuery is the query_analyzed payload: one ad-hoc SQL request
+// the server executed with plan profiling, identified by the active-
+// query registry's ID. The same shape backs slow_query events, which
+// the slow-query log emits for requests over its threshold.
+type AnalyzedQuery struct {
+	ID      string   `json:"id"`
+	Kind    string   `json:"kind"` // "sql" or "dist-sql"
+	Query   string   `json:"query"`
+	Seconds float64  `json:"seconds"`
+	Plan    PlanNode `json:"plan"`
 }
 
 // Motion is one motion operator's shipped volume, extracted from a
@@ -354,8 +380,17 @@ var schedulingKeys = map[string]bool{
 // faulted run's canonical journal is byte-identical to a fault-free
 // run's.
 var nondeterministicTypes = map[string]bool{
-	TypeSegmentFault: true,
-	TypeSegmentRetry: true,
+	TypeSegmentFault:  true,
+	TypeSegmentRetry:  true,
+	TypeQueryAnalyzed: true,
+	TypeSlowQuery:     true,
+}
+
+// faultKeys carry fault-plan artifacts inside otherwise-deterministic
+// payloads (retry counts on plan nodes); Canonicalize removes them so a
+// faulted run's canonical journal matches a fault-free run's.
+var faultKeys = map[string]bool{
+	"retries": true,
 }
 
 // Canonicalize strips every timing field from the events — the envelope
@@ -391,7 +426,7 @@ func stripTiming(v any) {
 	switch t := v.(type) {
 	case map[string]any:
 		for k, child := range t {
-			if timingKeys[k] || schedulingKeys[k] {
+			if timingKeys[k] || schedulingKeys[k] || faultKeys[k] {
 				delete(t, k)
 				continue
 			}

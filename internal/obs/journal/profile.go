@@ -14,14 +14,17 @@ func Capture[N engine.PlanLike[N]](root N) PlanNode {
 	pn := PlanNode{
 		Label:      root.Label(),
 		Rows:       st.Rows,
+		EstRows:    st.EstRows,
 		Seconds:    st.Elapsed.Seconds(),
 		Extra:      st.Extra,
+		Bytes:      st.OutBytes,
 		SegRows:    append([]int(nil), st.SegRows...),
 		SegSeconds: append([]float64(nil), st.SegSeconds...),
 		MovedRows:  st.MovedRows,
 		MovedBytes: st.MovedBytes,
 		Workers:    st.Workers,
 		Morsels:    st.Morsels,
+		Retries:    st.Retries,
 	}
 	for _, k := range root.Children() {
 		pn.Children = append(pn.Children, Capture(k))

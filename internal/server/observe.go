@@ -86,8 +86,11 @@ func instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// handleMetrics serves the registry in Prometheus text exposition format.
+// handleMetrics serves the registry in Prometheus text exposition
+// format. Go runtime health (goroutines, heap, GC pauses, build info)
+// refreshes at scrape time, so no background poller is needed.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	obs.UpdateRuntimeMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default.WritePrometheus(w)
 }
@@ -112,7 +115,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 // raw typed event stream (the same record `probkb expand -journal`
 // writes as JSONL).
 func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request) {
-	jr := s.exp.Journal()
+	jr := s.expansion().Journal()
 	if jr == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("expansion has no run journal"))
 		return
@@ -128,7 +131,7 @@ func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request) {
 // skew rows, motion volumes, and the Gibbs convergence timeline — the
 // JSON twin of `probkb report`.
 func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
-	jr := s.exp.Journal()
+	jr := s.expansion().Journal()
 	if jr == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("expansion has no run journal"))
 		return

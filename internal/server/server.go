@@ -5,51 +5,86 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	GET  /healthz                         liveness probe
-//	GET  /stats                           expansion statistics
-//	GET  /facts?rel=&x=&y=&inferred=&limit=
+//	GET    /healthz                       liveness probe (always 200)
+//	GET    /readyz                        readiness probe: 503 while the server
+//	                                      is still recovering/expanding, 200
+//	                                      once an expansion is attached and
+//	                                      SetReady was called
+//	GET    /stats                         expansion statistics
+//	GET    /facts?rel=&x=&y=&inferred=&limit=
 //	                                      facts, filterable by relation,
 //	                                      arguments, and inferred flag
-//	GET  /explain?rel=&x=&y=&depth=       derivation tree (text/plain)
-//	GET  /sql?q=SELECT...                 run a SQL query (see probkb.QuerySQL)
-//	POST /sql {"q": "...", "segments": N} run a SQL query as a distributed
+//	GET    /explain?rel=&x=&y=&depth=     derivation tree (text/plain)
+//	GET    /sql?q=SELECT...&analyze=1     run a SQL query (see probkb.QuerySQL);
+//	                                      analyze=1 adds the EXPLAIN ANALYZE
+//	                                      plan (estimates vs actuals) to the
+//	                                      response and journals it
+//	POST   /sql {"q": "...", "segments": N, "analyze": true}
+//	                                      run a SQL query as a distributed
 //	                                      plan (see probkb.QueryDistSQL);
 //	                                      non-collocated joins are a 400,
 //	                                      never a crash
-//	GET  /metrics                         Prometheus text exposition (text/plain)
-//	GET  /debug/traces                    recent pipeline span trees (text/plain)
-//	GET  /debug/journal                   the served expansion's run journal events
-//	GET  /debug/profile                   analyzed workload profile (phases, operator
+//	GET    /metrics                       Prometheus text exposition, including
+//	                                      Go runtime health (goroutines, heap,
+//	                                      GC pauses, build info) (text/plain)
+//	GET    /debug/queries                 in-flight queries: id, kind, text,
+//	                                      phase, elapsed, rows produced so far
+//	DELETE /debug/queries/{id}            cancel an in-flight query; its request
+//	                                      fails with 499 and a PartialError phase
+//	GET    /debug/slow                    recent queries over the slow threshold,
+//	                                      newest first, with analyzed plans
+//	GET    /debug/traces                  recent pipeline span trees (text/plain)
+//	GET    /debug/journal                 the served expansion's run journal events
+//	GET    /debug/profile                 analyzed workload profile (phases, operator
 //	                                      costs, per-segment skew, motions, Gibbs
 //	                                      convergence timeline)
-//	GET  /debug/pprof/*                   Go runtime profiles
-//	POST /admin/snapshot                  checkpoint the attached durable
+//	GET    /debug/pprof/*                 Go runtime profiles
+//	POST   /admin/expand                  re-run the expansion pipeline (body
+//	                                      selects iterations/inference); the
+//	                                      served expansion swaps on success
+//	POST   /admin/snapshot                checkpoint the attached durable
 //	                                      store: fold its WAL into a fresh
 //	                                      columnar snapshot (409 when the
 //	                                      server runs without a store)
 //
 // Every endpoint runs behind middleware that records per-endpoint
-// request counts and latency histograms, an in-flight gauge, recovers
+// request counts and latency histograms (the /sql series are split by
+// method: "GET /sql" vs "POST /sql"), an in-flight gauge, recovers
 // handler panics into logged 500s, and emits a structured log line per
-// request (see internal/obs).
+// request (see internal/obs). SQL, explain, and expand requests
+// additionally register in the active-query registry for the lifetime
+// of the request.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"probkb"
+	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
 )
+
+// statusClientClosedRequest reports a request whose query was cancelled
+// (via DELETE /debug/queries/{id} or a client disconnect) — the nginx
+// 499 convention, since no standard code covers it.
+const statusClientClosedRequest = 499
 
 // Server serves one expansion.
 type Server struct {
+	mu    sync.RWMutex // guards kb and exp (swapped by Attach and /admin/expand)
 	kb    *probkb.KB
 	exp   *probkb.Expansion
 	store *probkb.Store
 	mux   *http.ServeMux
+	ready atomic.Bool
 }
 
 // Option configures optional server wiring.
@@ -61,25 +96,78 @@ func WithStore(st *probkb.Store) Option {
 	return func(s *Server) { s.store = st }
 }
 
-// New builds the handler for an expanded KB.
+// New builds the handler for an expanded KB, ready to serve.
 func New(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) *Server {
-	s := &Server{kb: kb, exp: exp, mux: http.NewServeMux()}
-	for _, opt := range opts {
-		opt(s)
-	}
+	s := NewPending()
+	s.Attach(kb, exp, opts...)
+	s.SetReady(true)
+	return s
+}
+
+// NewPending builds a handler that can listen before its expansion
+// exists: /healthz answers 200 and /readyz 503 until Attach and
+// SetReady, while data endpoints answer 503. This is what lets the
+// server binary bind its port first and recover/expand afterwards.
+func NewPending() *Server {
+	s := &Server{mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealth))
-	s.mux.HandleFunc("GET /stats", instrument("/stats", s.handleStats))
-	s.mux.HandleFunc("GET /facts", instrument("/facts", s.handleFacts))
-	s.mux.HandleFunc("GET /explain", instrument("/explain", s.handleExplain))
-	s.mux.HandleFunc("GET /sql", instrument("/sql", s.handleSQL))
-	s.mux.HandleFunc("POST /sql", instrument("/sql", s.handleDistSQL))
+	s.mux.HandleFunc("GET /readyz", instrument("/readyz", s.handleReady))
+	s.mux.HandleFunc("GET /stats", instrument("/stats", s.whenReady(s.handleStats)))
+	s.mux.HandleFunc("GET /facts", instrument("/facts", s.whenReady(s.handleFacts)))
+	s.mux.HandleFunc("GET /explain", instrument("/explain", s.whenReady(s.handleExplain)))
+	s.mux.HandleFunc("GET /sql", instrument("GET /sql", s.whenReady(s.handleSQL)))
+	s.mux.HandleFunc("POST /sql", instrument("POST /sql", s.whenReady(s.handleDistSQL)))
 	s.mux.HandleFunc("GET /metrics", instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/queries", instrument("/debug/queries", s.handleQueries))
+	s.mux.HandleFunc("DELETE /debug/queries/{id}", instrument("/debug/queries", s.handleQueryCancel))
+	s.mux.HandleFunc("GET /debug/slow", instrument("/debug/slow", s.handleSlow))
 	s.mux.HandleFunc("GET /debug/traces", instrument("/debug/traces", s.handleTraces))
-	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.handleJournal))
-	s.mux.HandleFunc("GET /debug/profile", instrument("/debug/profile", s.handleProfile))
+	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.whenReady(s.handleJournal)))
+	s.mux.HandleFunc("GET /debug/profile", instrument("/debug/profile", s.whenReady(s.handleProfile)))
+	s.mux.HandleFunc("POST /admin/expand", instrument("/admin/expand", s.whenReady(s.handleExpand)))
 	s.mux.HandleFunc("POST /admin/snapshot", instrument("/admin/snapshot", s.handleSnapshot))
 	s.registerDebug()
 	return s
+}
+
+// Attach installs the KB and expansion a pending server will serve.
+func (s *Server) Attach(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) {
+	s.mu.Lock()
+	s.kb, s.exp = kb, exp
+	s.mu.Unlock()
+	for _, opt := range opts {
+		opt(s)
+	}
+}
+
+// SetReady flips the /readyz state; data endpoints serve only while
+// ready with an attached expansion.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// knowledge returns the served KB under the read lock.
+func (s *Server) knowledge() *probkb.KB {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.kb
+}
+
+// expansion returns the served expansion under the read lock.
+func (s *Server) expansion() *probkb.Expansion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.exp
+}
+
+// whenReady gates a data handler on readiness: 503 until the expansion
+// is attached and SetReady(true) was called.
+func (s *Server) whenReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() || s.expansion() == nil || s.knowledge() == nil {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (still recovering or expanding)"))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -109,6 +197,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady is the readiness probe: distinct from /healthz (alive) so
+// load balancers don't route queries to a server still recovering its
+// store or running its initial expansion.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() || s.expansion() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 // statsResponse is the /stats payload.
 type statsResponse struct {
 	KB        probkb.Stats       `json:"kb"`
@@ -116,7 +215,7 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{KB: s.kb.Stats(), Expansion: s.exp.Stats()})
+	writeJSON(w, http.StatusOK, statsResponse{KB: s.knowledge().Stats(), Expansion: s.expansion().Stats()})
 }
 
 // factJSON is one fact in API responses. Probability is null for
@@ -164,7 +263,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		inferredFilter = &v
 	}
 
-	matches := s.exp.Find(q.Get("rel"), q.Get("x"), q.Get("y"))
+	matches := s.expansion().Find(q.Get("rel"), q.Get("x"), q.Get("y"))
 	out := make([]factJSON, 0, limit)
 	total := 0
 	for _, f := range matches {
@@ -195,7 +294,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		depth = n
 	}
-	text, err := s.exp.Explain(rel, x, y, depth)
+	_, aq := obs.Queries.Begin(r.Context(), "explain", fmt.Sprintf("explain %s(%s, %s)", rel, x, y))
+	defer obs.Queries.Finish(aq)
+	aq.SetPhase("run")
+	text, err := s.expansion().Explain(rel, x, y, depth)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -230,15 +332,24 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	res, err := s.kb.QuerySQL(query)
+	analyze := r.URL.Query().Get("analyze") == "1"
+	ctx, aq := obs.Queries.Begin(r.Context(), "sql", query)
+	defer obs.Queries.Finish(aq)
+	aq.SetPhase("run")
+
+	start := time.Now()
+	res, planText, planNode, err := s.knowledge().QuerySQLAnalyze(ctx, query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"columns": res.Columns,
-		"rows":    res.Rows,
-	})
+	s.noteQuery(r, aq, time.Since(start), planText, planNode)
+	payload := map[string]any{"columns": res.Columns, "rows": res.Rows}
+	if analyze {
+		payload["plan"] = planText
+		s.journalAnalyzed(aq, query, time.Since(start), planNode)
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // handleDistSQL runs a SELECT as a distributed MPP plan. Invalid plans
@@ -249,6 +360,7 @@ func (s *Server) handleDistSQL(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Q        string `json:"q"`
 		Segments int    `json:"segments"`
+		Analyze  bool   `json:"analyze"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -258,13 +370,137 @@ func (s *Server) handleDistSQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q field"))
 		return
 	}
-	res, err := s.kb.QueryDistSQL(req.Q, req.Segments)
+	ctx, aq := obs.Queries.Begin(r.Context(), "dist-sql", req.Q)
+	defer obs.Queries.Finish(aq)
+	aq.SetPhase("run")
+
+	start := time.Now()
+	res, planText, planNode, err := s.knowledge().QueryDistSQLAnalyze(ctx, req.Q, req.Segments)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"columns": res.Columns,
-		"rows":    res.Rows,
+	s.noteQuery(r, aq, time.Since(start), planText, planNode)
+	payload := map[string]any{"columns": res.Columns, "rows": res.Rows}
+	if req.Analyze {
+		payload["plan"] = planText
+		s.journalAnalyzed(aq, req.Q, time.Since(start), planNode)
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// writeQueryError maps a failed query onto a response: a cancellation
+// (PartialError) becomes a 499 naming the interrupted phase; anything
+// else is the planner's or executor's fault and stays a 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	var pe *probkb.PartialError
+	if errors.As(err, &pe) {
+		writeJSON(w, statusClientClosedRequest, map[string]string{
+			"error": err.Error(),
+			"phase": pe.Phase,
+		})
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// noteQuery feeds a finished query into the slow-query log: requests
+// over the threshold retain their analyzed plan and emit a slow_query
+// journal event.
+func (s *Server) noteQuery(r *http.Request, aq *obs.ActiveQuery, elapsed time.Duration, planText string, planNode *journal.PlanNode) {
+	if aq == nil {
+		return
+	}
+	slow := obs.DefaultSlowLog.Note(r.Context(), obs.SlowQuery{
+		ID: aq.ID(), Kind: aq.Kind(), Text: aq.Text(), Elapsed: elapsed, Plan: planText,
 	})
+	if slow && planNode != nil {
+		s.expansion().Journal().Emit(journal.TypeSlowQuery, journal.AnalyzedQuery{
+			ID: aq.ID(), Kind: aq.Kind(), Query: aq.Text(),
+			Seconds: elapsed.Seconds(), Plan: *planNode,
+		})
+	}
+}
+
+// journalAnalyzed records an analyze=1 request's profiled plan in the
+// served expansion's journal (nil-safe when the expansion has none).
+func (s *Server) journalAnalyzed(aq *obs.ActiveQuery, query string, elapsed time.Duration, planNode *journal.PlanNode) {
+	if aq == nil || planNode == nil {
+		return
+	}
+	s.expansion().Journal().Emit(journal.TypeQueryAnalyzed, journal.AnalyzedQuery{
+		ID: aq.ID(), Kind: aq.Kind(), Query: query,
+		Seconds: elapsed.Seconds(), Plan: *planNode,
+	})
+}
+
+// handleQueries lists the in-flight queries, oldest first.
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": obs.Queries.List()})
+}
+
+// handleQueryCancel cancels one in-flight query by registry ID. The
+// cancelled request itself unwinds with a 499; this endpoint returns
+// whether the ID was found.
+func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !obs.Queries.Cancel(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no in-flight query %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cancelled", "id": id})
+}
+
+// handleSlow serves the retained slow-query records, newest first.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ns": obs.DefaultSlowLog.Threshold(),
+		"queries":      obs.DefaultSlowLog.List(),
+	})
+}
+
+// handleExpand re-runs the expansion pipeline on the served KB and, on
+// success, swaps the served expansion for the fresh one. The request
+// registers in the active-query registry (kind "expand"), so a runaway
+// expansion shows in /debug/queries and DELETE /debug/queries/{id}
+// cancels it through the same PartialError path ExpandContext uses.
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Iterations int   `json:"iterations"`
+		Inference  bool  `json:"inference"`
+		Burnin     int   `json:"burnin"`
+		Samples    int   `json:"samples"`
+		Seed       int64 `json:"seed"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	desc := fmt.Sprintf("expand iterations=%d inference=%v samples=%d", req.Iterations, req.Inference, req.Samples)
+	ctx, aq := obs.Queries.Begin(r.Context(), "expand", desc)
+	defer obs.Queries.Finish(aq)
+	aq.SetPhase("ground")
+
+	cfg := probkb.Config{
+		Engine:        probkb.SingleNode,
+		MaxIterations: req.Iterations,
+		RunInference:  req.Inference,
+		GibbsBurnin:   req.Burnin,
+		GibbsSamples:  req.Samples,
+		Seed:          req.Seed,
+		OnIteration: func(it probkb.IterationStats) {
+			aq.SetPhase("ground")
+			aq.AddRows(it.NewFacts)
+		},
+		OnGibbsSweep: func(probkb.GibbsSweep) { aq.SetPhase("infer") },
+	}
+	exp, err := s.knowledge().ExpandContext(ctx, cfg)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.exp = exp
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"stats": exp.Stats()})
 }

@@ -324,7 +324,9 @@ func TestPanicRecovery(t *testing.T) {
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
-	before := obs.Default.Snapshot()[`probkb_http_panics_total{path="/boom"}`]
+	beforeSnap := obs.Default.Snapshot()
+	before := beforeSnap[`probkb_http_panics_total{path="/boom"}`]
+	beforeLatency := beforeSnap[`probkb_http_request_seconds_count{path="/boom"}`]
 	var out map[string]string
 	if code := getJSON(t, srv.URL+"/boom", &out); code != 500 {
 		t.Fatalf("panic status %d", code)
@@ -332,12 +334,22 @@ func TestPanicRecovery(t *testing.T) {
 	if !strings.Contains(out["error"], "kaboom") {
 		t.Fatalf("panic body: %v", out)
 	}
-	after := obs.Default.Snapshot()[`probkb_http_panics_total{path="/boom"}`]
+	afterSnap := obs.Default.Snapshot()
+	after := afterSnap[`probkb_http_panics_total{path="/boom"}`]
 	if after != before+1 {
 		t.Fatalf("panics_total %v -> %v", before, after)
 	}
-	if obs.Default.Snapshot()[`probkb_http_requests_total{code="500",path="/boom"}`] < 1 {
+	if afterSnap[`probkb_http_requests_total{code="500",path="/boom"}`] < 1 {
 		t.Fatal("panic not counted as a 500 request")
+	}
+	// The panicked request must still land in the latency histogram: a
+	// crash-looping endpoint should not vanish from latency dashboards.
+	if afterSnap[`probkb_http_request_seconds_count{path="/boom"}`] != beforeLatency+1 {
+		t.Fatal("panicked request missing from the latency histogram")
+	}
+	// And the server must keep serving after the panic.
+	if code := getJSON(t, srv.URL+"/boom", &out); code != 500 {
+		t.Fatalf("second request after panic: status %d", code)
 	}
 }
 

@@ -1,7 +1,9 @@
 package sql
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"probkb/internal/engine"
 	"probkb/internal/mpp"
@@ -39,24 +41,54 @@ func NewDistDB(cat *engine.Catalog, cluster *mpp.Cluster, hashed map[string][]in
 // Query parses, plans, and runs a SELECT as a distributed plan, then
 // gathers the per-segment results into one table.
 func (db *DistDB) Query(text string) (*engine.Table, error) {
+	return db.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query with cancellation: the context is installed on
+// the cluster for the duration of the run, so segment tasks stop at
+// their next boundary when it is canceled. The DistDB must own its
+// cluster (the per-request construction in the probkb API does).
+func (db *DistDB) QueryContext(ctx context.Context, text string) (*engine.Table, error) {
+	out, _, err := db.QueryAnalyzeContext(ctx, text)
+	return out, err
+}
+
+// QueryAnalyzeContext runs the query and also returns the executed
+// distributed plan tree, for mpp.ExplainAnalyze rendering and plan
+// journaling. On execution error the plan is still returned.
+func (db *DistDB) QueryAnalyzeContext(ctx context.Context, text string) (*engine.Table, mpp.Node, error) {
 	stmt, err := Parse(text)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if stmt.Select == nil {
-		return nil, fmt.Errorf("sql: distributed Query requires a SELECT")
+		return nil, nil, fmt.Errorf("sql: distributed Query requires a SELECT")
 	}
 	plan, err := db.planSelect(stmt.Select)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if ctx != nil {
+		db.cluster.SetContext(ctx)
 	}
 	out, err := plan.Run()
 	if err != nil {
-		return nil, err
+		return nil, plan, err
 	}
 	res := mpp.Gather(out)
 	res.SetName("result")
-	return res, nil
+	return res, plan, nil
+}
+
+// ExplainAnalyze runs a distributed SELECT and renders its plan with
+// estimates next to actuals (per-segment rows and motion volumes
+// included).
+func (db *DistDB) ExplainAnalyze(ctx context.Context, text string) (string, error) {
+	_, plan, err := db.QueryAnalyzeContext(ctx, text)
+	if err != nil {
+		return "", err
+	}
+	return mpp.ExplainAnalyze(plan), nil
 }
 
 // planSelect is the distributed reduction of DB.planSelect: joins in
@@ -99,6 +131,11 @@ func (db *DistDB) planSelect(s *SelectStmt) (mpp.Node, error) {
 	}
 	var plan mpp.Node = mpp.NewScan(first)
 	sc := scopeOfSchema(refs[0].Binding(), first.Schema())
+	// Distributed estimates are deliberately crude — no ANALYZE stats
+	// exist for distributed tables, so scans estimate their total rows,
+	// filters assume the textbook 1/3, and joins assume the smaller
+	// input's cardinality. ExplainAnalyze shows how far off that is.
+	est := stampD(plan, float64(first.NumRows()))
 
 	applyFilters := func(plan mpp.Node, sc *scope) (mpp.Node, error) {
 		for i, c := range pool {
@@ -110,6 +147,7 @@ func (db *DistDB) planSelect(s *SelectStmt) (mpp.Node, error) {
 				return nil, err
 			}
 			plan = mpp.NewFilter(plan, c.String(), pred)
+			est = stampD(plan, est*defaultSel)
 			used[i] = true
 		}
 		return plan, nil
@@ -171,8 +209,11 @@ func (db *DistDB) planSelect(s *SelectStmt) (mpp.Node, error) {
 		}
 		// A non-collocated pair records a deferred error inside the node;
 		// it surfaces when the plan runs.
-		plan = mpp.NewHashJoin(plan, mpp.NewScan(t), buildKeys, probeKeys, outs,
+		probe := mpp.NewScan(t)
+		rawRight := stampD(probe, float64(t.NumRows()))
+		plan = mpp.NewHashJoin(plan, probe, buildKeys, probeKeys, outs,
 			fmt.Sprintf("join %s", b))
+		est = stampD(plan, math.Min(est, rawRight))
 		sc = newScope
 
 		if plan, err = applyFilters(plan, sc); err != nil {
@@ -208,7 +249,19 @@ func (db *DistDB) planSelect(s *SelectStmt) (mpp.Node, error) {
 			exprs = append(exprs, engine.ColExpr(name, idx))
 		}
 	}
-	return mpp.NewProject(plan, exprs...), nil
+	proj := mpp.NewProject(plan, exprs...)
+	stampD(proj, est)
+	return proj, nil
+}
+
+// stampD floors an estimate at one row and records it on a distributed
+// plan node.
+func stampD(n mpp.Node, est float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	mpp.SetEstRows(n, est)
+	return est
 }
 
 func (db *DistDB) distTable(name string) (*mpp.DistTable, error) {

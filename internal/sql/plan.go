@@ -1,10 +1,12 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"probkb/internal/engine"
+	"probkb/internal/obs"
 )
 
 // DB executes SQL statements against an engine catalog.
@@ -64,6 +66,59 @@ func (db *DB) Explain(text string) (string, error) {
 		return "", err
 	}
 	return engine.Explain(plan), nil
+}
+
+// QueryContext is Query with cancellation: the context's Err is
+// consulted at every operator boundary, so a canceled context stops the
+// plan before its next operator runs. If an active query rides the
+// context (internal/obs), its rows-produced counter is fed as operators
+// materialize.
+func (db *DB) QueryContext(ctx context.Context, text string) (*engine.Table, error) {
+	out, _, err := db.QueryAnalyzeContext(ctx, text)
+	return out, err
+}
+
+// QueryAnalyzeContext runs a SELECT and returns the executed plan tree
+// alongside the result, so callers can render EXPLAIN ANALYZE or
+// journal the profiled plan of the query they just ran. On error the
+// plan (possibly partially executed) is still returned when available.
+func (db *DB) QueryAnalyzeContext(ctx context.Context, text string) (*engine.Table, engine.Node, error) {
+	plan, err := db.Plan(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine.Configure(plan, db.execOpts(ctx))
+	out, err := engine.Run(plan, "result")
+	if err != nil {
+		return nil, plan, err
+	}
+	return out, plan, nil
+}
+
+// ExplainAnalyze runs a SELECT and renders its plan with the
+// optimizer's cardinality estimates next to the actuals the run
+// collected (engine.ExplainAnalyze).
+func (db *DB) ExplainAnalyze(ctx context.Context, text string) (string, error) {
+	_, plan, err := db.QueryAnalyzeContext(ctx, text)
+	if err != nil {
+		return "", err
+	}
+	return engine.ExplainAnalyze(plan), nil
+}
+
+// execOpts builds the engine execution options for a context-carrying
+// run: the configured worker count, cancellation wired to the context,
+// and the active query's rows-produced feed when one rides the context.
+func (db *DB) execOpts(ctx context.Context) engine.Opts {
+	o := engine.Opts{Workers: db.workers}
+	if ctx == nil {
+		return o
+	}
+	o.Cancel = ctx.Err
+	if aq := obs.QueryFrom(ctx); aq != nil {
+		o.OnRows = aq.AddRows
+	}
+	return o
 }
 
 // Exec runs a DELETE and reports how many rows it removed.
@@ -175,9 +230,18 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 		}
 	}
 
+	// Estimate threading: est tracks the optimizer's running cardinality
+	// guess for the node most recently built, and every node is stamped
+	// with it so EXPLAIN ANALYZE can show estimates next to actuals. The
+	// scan estimate is the raw table cardinality — filters are separate
+	// physical nodes here, so the honest per-node estimate applies their
+	// selectivity at the Filter, not the Scan.
+	em := newEstimator(infos)
+
 	first := infos[order[0]]
 	var plan engine.Node = engine.NewScan(first.table)
 	sc := scopeOf(first.ref.Binding(), first.table)
+	est := stamp(plan, float64(first.table.NumRows()))
 
 	applyFilters := func(plan engine.Node, sc *scope) (engine.Node, error) {
 		for i, c := range pool {
@@ -192,6 +256,7 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 				return nil, err
 			}
 			plan = engine.NewFilter(plan, c.String(), pred)
+			est = stamp(plan, est*em.condSelectivity(c, sc))
 			used[i] = true
 		}
 		return plan, nil
@@ -251,7 +316,11 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 			newScope.cols = append(newScope.cols, c)
 		}
 		desc := engine.JoinDesc("build", plan.OutSchema(), buildKeys, b, t.Schema(), probeKeys)
-		plan = engine.NewHashJoin(plan, engine.NewScan(t), buildKeys, probeKeys, outs, desc)
+		probe := engine.NewScan(t)
+		rawRight := stamp(probe, float64(t.NumRows()))
+		sel := em.joinSelectivity(sc, buildKeys, tScope, probeKeys, est, rawRight)
+		plan = engine.NewHashJoin(plan, probe, buildKeys, probeKeys, outs, desc)
+		est = stamp(plan, est*rawRight*sel)
 		sc = newScope
 
 		// Apply every newly-resolvable conjunct.
@@ -282,7 +351,7 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 		}
 	}
 	if hasAgg {
-		plan, sc, err = db.planAggregate(plan, sc, s)
+		plan, sc, est, err = db.planAggregate(plan, sc, s, em, est)
 		if err != nil {
 			return nil, err
 		}
@@ -290,18 +359,24 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 		return nil, fmt.Errorf("sql: HAVING without aggregation")
 	}
 
-	// Final projection.
+	// Final projection. projCols remembers which scope column each output
+	// column reads, so DISTINCT below can estimate via base-table
+	// distincts; non-column outputs get a zero scopeCol (no stats).
 	var exprs []engine.OutExpr
+	var projCols []scopeCol
 	for _, it := range s.Items {
 		name := it.OutName()
 		e := it.Expr
 		switch {
 		case e.IsNull:
 			exprs = append(exprs, engine.NullF64Expr(name))
+			projCols = append(projCols, scopeCol{})
 		case e.IsNumber:
 			exprs = append(exprs, engine.ConstF64Expr(name, e.Number))
+			projCols = append(projCols, scopeCol{})
 		case e.IsString:
 			exprs = append(exprs, engine.OutExpr{Name: name, Type: engine.String, Col: -1, Str: e.Str})
+			projCols = append(projCols, scopeCol{})
 		default:
 			ref := e.Col
 			if e.Agg != aggNone {
@@ -312,9 +387,11 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 				return nil, err
 			}
 			exprs = append(exprs, engine.ColExpr(name, idx))
+			projCols = append(projCols, sc.cols[idx])
 		}
 	}
 	plan = engine.NewProject(plan, exprs...)
+	est = stamp(plan, est)
 
 	if s.Distinct {
 		keys := make([]int, 0, len(s.Items))
@@ -325,6 +402,21 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 			keys = append(keys, i)
 		}
 		plan = engine.NewDistinct(plan, keys)
+		// Distinct output ≈ product of the key columns' base distinct
+		// counts, capped by the input cardinality.
+		groups := 1.0
+		for _, pc := range projCols {
+			_, d, _, ok := em.colStats(pc)
+			if !ok {
+				d = est
+			}
+			groups *= capDistinct(d, est)
+			if groups >= est {
+				groups = est
+				break
+			}
+		}
+		est = stamp(plan, groups)
 	}
 
 	// ORDER BY resolves against the output column names.
@@ -342,9 +434,11 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 			keys = append(keys, engine.SortKey{Col: idx, Desc: o.Desc})
 		}
 		plan = engine.NewSort(plan, keys...)
+		stamp(plan, est)
 	}
 	if s.Limit >= 0 {
 		plan = engine.NewLimit(plan, s.Limit)
+		stamp(plan, math.Min(float64(s.Limit), est))
 	}
 	return plan, nil
 }
@@ -352,9 +446,10 @@ func (db *DB) planSelect(s *SelectStmt) (engine.Node, error) {
 // aggColName is the internal column name an aggregate materializes as.
 func aggColName(e Expr) string { return "#" + e.String() }
 
-// planAggregate plans GROUP BY / HAVING, returning the new plan and a
-// scope over (group keys..., aggregates...).
-func (db *DB) planAggregate(plan engine.Node, sc *scope, s *SelectStmt) (engine.Node, *scope, error) {
+// planAggregate plans GROUP BY / HAVING, returning the new plan, a
+// scope over (group keys..., aggregates...), and the updated
+// cardinality estimate.
+func (db *DB) planAggregate(plan engine.Node, sc *scope, s *SelectStmt, em *estimator, est float64) (engine.Node, *scope, float64, error) {
 	// Collect the distinct aggregates from the select list and HAVING.
 	var aggExprs []Expr
 	addAgg := func(e Expr) {
@@ -381,7 +476,7 @@ func (db *DB) planAggregate(plan engine.Node, sc *scope, s *SelectStmt) (engine.
 	for _, g := range s.GroupBy {
 		idx, err := sc.resolve(g)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		keys = append(keys, idx)
 		newScope.cols = append(newScope.cols, sc.cols[idx])
@@ -405,13 +500,13 @@ func (db *DB) planAggregate(plan engine.Node, sc *scope, s *SelectStmt) (engine.
 		if e.Agg != aggCount {
 			idx, err := sc.resolve(e.Col)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			if e.Agg == aggCountDistinct && sc.cols[idx].typ != engine.Int32 {
-				return nil, nil, fmt.Errorf("sql: COUNT(DISTINCT) requires an integer column")
+				return nil, nil, 0, fmt.Errorf("sql: COUNT(DISTINCT) requires an integer column")
 			}
 			if e.Agg != aggCountDistinct && sc.cols[idx].typ != engine.Float64 {
-				return nil, nil, fmt.Errorf("sql: %s requires a float column", e)
+				return nil, nil, 0, fmt.Errorf("sql: %s requires a float column", e)
 			}
 			spec.Col = idx
 		}
@@ -424,6 +519,9 @@ func (db *DB) planAggregate(plan engine.Node, sc *scope, s *SelectStmt) (engine.
 	}
 
 	plan = engine.NewGroupBy(plan, keys, specs)
+	// Group count ≈ product of key-column distincts, capped by the input
+	// estimate (keys resolve against the pre-aggregation scope).
+	est = stamp(plan, em.groupCard(sc, keys, est))
 	sc = newScope
 
 	// HAVING over the aggregate scope: rewrite aggregate expressions to
@@ -438,11 +536,12 @@ func (db *DB) planAggregate(plan engine.Node, sc *scope, s *SelectStmt) (engine.
 		}
 		pred, err := compileCondition(hh, sc)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		plan = engine.NewFilter(plan, h.String(), pred)
+		est = stamp(plan, est*defaultSel)
 	}
-	return plan, sc, nil
+	return plan, sc, est, nil
 }
 
 // condResolves reports whether every column the condition mentions is in

@@ -12,7 +12,7 @@ import (
 
 func init() {
 	obs.Default.Help("probkb_store_snapshot_bytes", "Size of the last columnar KB snapshot written, in bytes.")
-	obs.Default.Help("probkb_store_wal_records", "WAL records appended by the storage engine.")
+	obs.Default.Help("probkb_store_wal_records_total", "WAL records appended by the storage engine.")
 	obs.Default.Help("probkb_store_recovery_seconds", "Duration of the last snapshot-load + WAL-replay recovery.")
 }
 
@@ -184,7 +184,7 @@ func (s *Store) append(rec Record) error {
 		return err
 	}
 	s.nrec++
-	obs.Default.Counter("probkb_store_wal_records").Inc()
+	obs.Default.Counter("probkb_store_wal_records_total").Inc()
 	return nil
 }
 

@@ -1,0 +1,240 @@
+// Package top implements the data layer of `probkb top`: a minimal
+// parser for the Prometheus text exposition format (the only format
+// the server's /metrics speaks), counter-rate computation between two
+// scrapes, and histogram quantile estimation from cumulative bucket
+// counts — enough to render a live qps / latency / in-flight view
+// without importing a metrics client library.
+package top
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sample is one exposition line: a metric name, its label set, and a
+// value. Histogram bucket lines keep their _bucket suffix and le label.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is one parsed /metrics response plus when it was taken.
+type Scrape struct {
+	Time    time.Time
+	Samples []Sample
+}
+
+// Parse reads a Prometheus text exposition stream. Comment lines
+// (# HELP, # TYPE) and blank lines are skipped; malformed sample lines
+// are an error so a misconfigured -addr fails loudly rather than
+// rendering zeros.
+func Parse(r io.Reader, at time.Time) (*Scrape, error) {
+	sc := &Scrape{Time: at}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		sc.Samples = append(sc.Samples, s)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+		if err := parseLabels(line[i+1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("malformed labels in %q: %w", line, err)
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	// The value is the first field after the name/labels; an optional
+	// timestamp field may follow and is ignored.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(f string) (float64, error) {
+	switch f {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(f, 64)
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return fmt.Errorf("expected key=%q pair at %q", "value", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(rest) {
+			return fmt.Errorf("unterminated label value at %q", s)
+		}
+		into[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// Value sums every series of the metric; ok reports whether any series
+// matched. Summing collapses label splits (e.g. per-path counters) into
+// the server-wide total a top view wants.
+func (sc *Scrape) Value(name string) (v float64, ok bool) {
+	for _, s := range sc.Samples {
+		if s.Name == name {
+			v += s.Value
+			ok = true
+		}
+	}
+	return v, ok
+}
+
+// Buckets aggregates the metric's cumulative histogram buckets across
+// all label sets, keyed by upper bound (le). The +Inf bucket is keyed
+// by math.Inf(1).
+func (sc *Scrape) Buckets(name string) map[float64]float64 {
+	out := map[float64]float64{}
+	for _, s := range sc.Samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		out[le] += s.Value
+	}
+	return out
+}
+
+// Rate returns the per-second increase of a (summed) counter between
+// two scrapes; ok is false when either scrape lacks the metric or no
+// time passed. A counter reset (restart) reads as a negative delta and
+// reports 0.
+func Rate(prev, cur *Scrape, name string) (float64, bool) {
+	pv, pok := prev.Value(name)
+	cv, cok := cur.Value(name)
+	dt := cur.Time.Sub(prev.Time).Seconds()
+	if !pok || !cok || dt <= 0 {
+		return 0, false
+	}
+	if cv < pv {
+		return 0, true
+	}
+	return (cv - pv) / dt, true
+}
+
+// DeltaBuckets subtracts prev's cumulative bucket counts from cur's,
+// yielding the interval histogram. Bounds missing from prev count as 0.
+func DeltaBuckets(prev, cur *Scrape, name string) map[float64]float64 {
+	p, c := prev.Buckets(name), cur.Buckets(name)
+	out := make(map[float64]float64, len(c))
+	for le, v := range c {
+		d := v - p[le]
+		if d < 0 {
+			d = 0
+		}
+		out[le] = d
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0..1) from cumulative bucket
+// counts, interpolating linearly inside the crossing bucket — the same
+// estimate Prometheus's histogram_quantile gives. It returns NaN for an
+// empty histogram; a quantile landing in the +Inf bucket reports the
+// highest finite bound.
+func Quantile(buckets map[float64]float64, q float64) float64 {
+	bounds := make([]float64, 0, len(buckets))
+	for le := range buckets {
+		bounds = append(bounds, le)
+	}
+	sort.Float64s(bounds)
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	total := buckets[bounds[len(bounds)-1]]
+	if total <= 0 {
+		return math.NaN()
+	}
+	target := q * total
+	prevBound, prevCum := 0.0, 0.0
+	for _, le := range bounds {
+		cum := buckets[le]
+		if cum >= target {
+			if math.IsInf(le, 1) {
+				return prevBound
+			}
+			if cum == prevCum {
+				return le
+			}
+			return prevBound + (le-prevBound)*(target-prevCum)/(cum-prevCum)
+		}
+		prevBound, prevCum = le, cum
+	}
+	return prevBound
+}

@@ -211,7 +211,9 @@ type FaultConfig struct {
 // errors.Is(err, context.Canceled) and
 // errors.Is(err, context.DeadlineExceeded) both see through it.
 type PartialError struct {
-	// Phase names the interrupted pipeline phase: "ground" or "infer".
+	// Phase names the interrupted pipeline phase: "ground" or "infer"
+	// for expansions, "sql" for a cancelled ad-hoc query (whose Partial
+	// is nil — a cut-short SELECT has no usable partial result).
 	Phase string
 	// Partial is the expansion built from the completed work.
 	Partial *Expansion

@@ -1,12 +1,14 @@
 package probkb
 
 import (
+	"context"
 	"fmt"
 
 	"probkb/internal/engine"
 	"probkb/internal/kb"
 	"probkb/internal/mln"
 	"probkb/internal/mpp"
+	"probkb/internal/obs/journal"
 	"probkb/internal/sql"
 )
 
@@ -64,15 +66,42 @@ type QueryResult struct {
 // paper's grounding queries run verbatim. Results render as strings;
 // this entry point exists for exploration and tooling, not hot paths.
 func (k *KB) QuerySQL(query string) (*QueryResult, error) {
+	return k.QuerySQLContext(context.Background(), query)
+}
+
+// QuerySQLContext is QuerySQL with cancellation: the context is
+// consulted at every operator boundary, and a cancelled query returns a
+// *PartialError with Phase "sql" (Partial nil) that unwraps to the
+// context error — the same contract ExpandContext honors.
+func (k *KB) QuerySQLContext(ctx context.Context, query string) (*QueryResult, error) {
+	res, _, _, err := k.QuerySQLAnalyze(ctx, query)
+	return res, err
+}
+
+// QuerySQLAnalyze runs a SELECT and also returns its EXPLAIN ANALYZE
+// rendering (estimates next to actuals) and the captured plan tree in
+// journal form, for /sql?analyze=1 responses and slow-query records.
+func (k *KB) QuerySQLAnalyze(ctx context.Context, query string) (*QueryResult, string, *journal.PlanNode, error) {
 	db, err := k.sqlDB()
 	if err != nil {
-		return nil, err
+		return nil, "", nil, err
 	}
-	out, err := db.Query(query)
+	out, plan, err := db.QueryAnalyzeContext(ctx, query)
 	if err != nil {
-		return nil, err
+		return nil, "", nil, wrapSQLErr(err)
 	}
-	return renderResult(out), nil
+	text := engine.ExplainAnalyze(plan)
+	pn := journal.Capture(plan)
+	return renderResult(out), text, &pn, nil
+}
+
+// wrapSQLErr turns a context cancellation surfaced by a query into the
+// PartialError contract; other errors pass through.
+func wrapSQLErr(err error) error {
+	if isCtxErr(err) {
+		return &PartialError{Phase: "sql", Err: err}
+	}
+	return err
 }
 
 // renderResult renders an engine table as display strings.
@@ -99,20 +128,38 @@ func renderResult(out *engine.Table) *QueryResult {
 // rows — and, since the MPP layer defers construction-time violations
 // to execution, instead of panicking.
 func (k *KB) QueryDistSQL(query string, segments int) (*QueryResult, error) {
+	return k.QueryDistSQLContext(context.Background(), query, segments)
+}
+
+// QueryDistSQLContext is QueryDistSQL with cancellation; like
+// QuerySQLContext, a cancelled run returns a *PartialError with Phase
+// "sql". The cluster is per-request, so installing the context on it is
+// safe.
+func (k *KB) QueryDistSQLContext(ctx context.Context, query string, segments int) (*QueryResult, error) {
+	res, _, _, err := k.QueryDistSQLAnalyze(ctx, query, segments)
+	return res, err
+}
+
+// QueryDistSQLAnalyze is QuerySQLAnalyze for distributed plans: the
+// rendering includes per-segment row counts, motion volumes, and
+// segment-task retries.
+func (k *KB) QueryDistSQLAnalyze(ctx context.Context, query string, segments int) (*QueryResult, string, *journal.PlanNode, error) {
 	cat, err := k.sqlCatalog()
 	if err != nil {
-		return nil, err
+		return nil, "", nil, err
 	}
 	if segments <= 0 {
 		segments = 4
 	}
 	cluster := mpp.NewCluster(segments)
 	db := sql.NewDistDB(cat, cluster, map[string][]int{"T": {kb.TPiI}})
-	out, err := db.Query(query)
+	out, plan, err := db.QueryAnalyzeContext(ctx, query)
 	if err != nil {
-		return nil, err
+		return nil, "", nil, wrapSQLErr(err)
 	}
-	return renderResult(out), nil
+	text := mpp.ExplainAnalyze(plan)
+	pn := journal.Capture(plan)
+	return renderResult(out), text, &pn, nil
 }
 
 // ExplainSQL plans and runs a SELECT, returning the annotated physical
@@ -123,6 +170,14 @@ func (k *KB) ExplainSQL(query string) (string, error) {
 		return "", err
 	}
 	return db.Explain(query)
+}
+
+// ExplainAnalyzeSQL runs a SELECT and returns its EXPLAIN ANALYZE
+// rendering: actual rows, time, and memory per operator, with the
+// optimizer's cardinality estimate (and how far off it was) alongside.
+func (k *KB) ExplainAnalyzeSQL(ctx context.Context, query string) (string, error) {
+	_, text, _, err := k.QuerySQLAnalyze(ctx, query)
+	return text, err
 }
 
 // String renders a result as an aligned table.
