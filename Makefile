@@ -3,7 +3,7 @@ GO ?= go
 # Baseline for bench-diff (write one with `make bench-baseline`).
 BENCH_BASE ?= BENCH_baseline.json
 
-.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke incident-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke
+check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke incident-smoke
 
 # Metric hygiene: every Counter/Gauge/Histogram name is probkb_-prefixed
 # snake_case with the right unit suffix and a Help() string (see
@@ -109,6 +109,15 @@ chaos-smoke:
 	grep -q "injected faults:" "$$tmp/report.txt" && \
 	grep -q "segment retries:" "$$tmp/report.txt" && \
 	echo "chaos-smoke: ok"
+
+# Watchdog/incident smoke test: the end-to-end stuck-query path — a
+# live /admin/expand flagged by a watchdog tick (injected clock, no
+# sleeps), the incident served from GET /debug/incidents/{id} with its
+# goroutine dump and flight-recorder timeline, and the observed query
+# left running.
+incident-smoke:
+	$(GO) test -race -count=1 -run 'TestIncident|TestDebugContentType' ./internal/server
+	@echo "incident-smoke: ok"
 
 fmt:
 	gofmt -l -w .

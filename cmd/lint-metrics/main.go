@@ -9,7 +9,9 @@
 //   - histograms end in a unit suffix (_seconds, _bytes, or _ratio),
 //   - every metric registered via Counter/Gauge/Histogram has a Help()
 //     string somewhere in the tree,
-//   - no name is used as two different metric kinds.
+//   - no name is used as two different metric kinds,
+//   - every label key built with L("key", ...) / obs.L("key", ...) is
+//     lower snake_case starting with a letter.
 //
 // Gauges are exempt from the unit-suffix rule: they legitimately carry
 // either a unit (probkb_go_heap_bytes), a plain count
@@ -35,7 +37,10 @@ import (
 	"strings"
 )
 
-var nameRE = regexp.MustCompile(`^probkb_[a-z0-9]+(_[a-z0-9]+)*$`)
+var (
+	nameRE  = regexp.MustCompile(`^probkb_[a-z0-9]+(_[a-z0-9]+)*$`)
+	labelRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+)
 
 type use struct {
 	pos  token.Position
@@ -92,6 +97,17 @@ func collect(root string) ([]use, error) {
 			if !ok || len(call.Args) == 0 {
 				return true
 			}
+			// L("key", value) / obs.L("key", value): a label
+			// constructor. Validated separately — label keys have no
+			// probkb_ prefix.
+			if isLabelCtor(call.Fun) && len(call.Args) == 2 {
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if key, err := strconv.Unquote(lit.Value); err == nil {
+						uses = append(uses, use{pos: fset.Position(lit.Pos()), kind: "label", name: key})
+					}
+				}
+				return true
+			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -128,6 +144,19 @@ func collect(root string) ([]use, error) {
 	return uses, err
 }
 
+// isLabelCtor recognizes the repository's two spellings of the label
+// constructor: a bare L(...) inside package obs, obs.L(...) elsewhere.
+func isLabelCtor(fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name == "L"
+	case *ast.SelectorExpr:
+		pkg, ok := f.X.(*ast.Ident)
+		return ok && pkg.Name == "obs" && f.Sel.Name == "L"
+	}
+	return false
+}
+
 func check(uses []use) []string {
 	var problems []string
 	addf := func(pos token.Position, format string, args ...any) {
@@ -138,6 +167,12 @@ func check(uses []use) []string {
 	kinds := map[string]string{} // name -> first metric kind seen
 	firstUse := map[string]use{} // name -> first Counter/Gauge/Histogram use
 	for _, u := range uses {
+		if u.kind == "label" {
+			if !labelRE.MatchString(u.name) {
+				addf(u.pos, "label %q: not lower snake_case starting with a letter", u.name)
+			}
+			continue
+		}
 		if u.kind == "help" {
 			helped[u.name] = true
 			continue

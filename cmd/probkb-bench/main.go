@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|all
+//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|serve|all
 //	             [-scale 0.02] [-seed 42] [-segments 4] [-json PATH]
+//	             [-clients 8] [-serve-duration 2s]
 //	             [-compare BENCH_old.json]
+//
+// A bare first argument is shorthand for -exp, so `probkb-bench serve`
+// runs the serving-load harness: N concurrent clients issue point SQL
+// queries and marginal fact lookups against an in-process
+// probkb-server, reporting p50/p95/p99 latency and qps.
 //
 // Besides the human-readable tables on stdout, the run's structured
 // results and per-experiment wall times are written to BENCH_<date>.json
@@ -26,16 +32,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"probkb/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, all)")
+	// `probkb-bench serve` reads as -exp serve: a bare first argument
+	// names the experiment.
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		os.Args = append([]string{os.Args[0], "-exp", os.Args[1]}, os.Args[2:]...)
+	}
+	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, serve, all)")
 	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	segments := flag.Int("segments", 4, "MPP cluster segments")
+	clients := flag.Int("clients", 8, "concurrent clients for the serve experiment")
+	serveDur := flag.Duration("serve-duration", 2*time.Second, "measurement window for the serve experiment")
 	now := time.Now()
 	jsonPath := flag.String("json", fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02")),
 		`also write results as JSON to this path ("" disables)`)
@@ -63,6 +77,7 @@ func main() {
 		{"growth", func() (any, error) { return bench.Growth(cfg, w) }},
 		{"feedback", func() (any, error) { return nil, bench.Feedback(cfg, w) }},
 		{"workers", func() (any, error) { return bench.Workers(cfg, w) }},
+		{"serve", func() (any, error) { return bench.ServeN(cfg, *clients, *serveDur, w) }},
 	}
 
 	rep := bench.Report{

@@ -7,6 +7,9 @@
 //	probkb-server -kb DIR [-addr :8080] [-engine probkb] [-iters N]
 //	              [-no-constraints] [-theta F] [-no-inference]
 //	              [-persist DIR] [-slow DUR]
+//	              [-watchdog-interval DUR] [-stuck-query DUR]
+//	              [-max-goroutines N] [-max-rhat F] [-max-wal-records N]
+//	              [-max-retries-per-tick N] [-incident-dir DIR]
 //
 // -persist makes the startup expansion durable (created from -kb when
 // the directory is empty, recovered and resumed when it already holds a
@@ -20,6 +23,13 @@
 //
 // -slow enables the slow-query log: requests over the threshold retain
 // their EXPLAIN ANALYZE plan at GET /debug/slow and log a warning.
+//
+// The watchdog runner starts before the initial expansion, so a stuck
+// recovery or diverging startup chain already opens incidents while
+// /readyz is still 503; they are readable at GET /debug/incidents the
+// whole time. On panic or SIGQUIT the flight recorder, incidents, and
+// a goroutine dump are written under -incident-dir before the process
+// dies.
 package main
 
 import (
@@ -27,6 +37,9 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"probkb"
 	"probkb/internal/obs"
@@ -43,6 +56,13 @@ func main() {
 	seed := flag.Int64("seed", 0, "inference seed")
 	persistDir := flag.String("persist", "", "durable store directory: created from -kb if empty, recovered if it already holds a store")
 	slowThreshold := flag.Duration("slow", 0, "slow-query threshold for /debug/slow (0 = off), e.g. 250ms")
+	watchInterval := flag.Duration("watchdog-interval", 5*time.Second, "watchdog detector evaluation interval (0 = watchdogs off)")
+	stuckQuery := flag.Duration("stuck-query", 5*time.Minute, "flag a query running longer than this")
+	maxGoroutines := flag.Int("max-goroutines", 10000, "flag a goroutine count above this")
+	maxRHat := flag.Float64("max-rhat", 2.0, "flag an active Gibbs chain whose checkpoint R-hat exceeds this")
+	maxWALRecords := flag.Int64("max-wal-records", 1_000_000, "flag a WAL holding more records than this without a checkpoint (needs -persist)")
+	maxRetriesPerTick := flag.Int64("max-retries-per-tick", 50, "flag more MPP segment retries than this per watchdog tick")
+	incidentDir := flag.String("incident-dir", "", "directory for crash dumps on panic/SIGQUIT (empty = no dumps)")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -57,6 +77,55 @@ func main() {
 		os.Exit(1)
 	}
 	obs.DefaultSlowLog.SetThreshold(*slowThreshold)
+
+	// Crash dumps: SIGQUIT and a main-goroutine panic both write the
+	// flight recorder, incidents, metrics, and a goroutine dump to disk
+	// before the process dies, so the post-mortem survives.
+	if *incidentDir != "" {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			if path, err := obs.DefaultIncidents.WriteCrashDump(*incidentDir, "SIGQUIT"); err == nil {
+				logger.Info("crash dump written", "path", path)
+			} else {
+				logger.Error("crash dump failed", "err", err)
+			}
+			os.Exit(131)
+		}()
+		defer func() {
+			if r := recover(); r != nil {
+				if path, err := obs.DefaultIncidents.WriteCrashDump(*incidentDir, "panic"); err == nil {
+					logger.Error("panic; crash dump written", "panic", r, "path", path)
+				}
+				panic(r)
+			}
+		}()
+	}
+
+	// The watchdog starts before recovery and the initial expansion:
+	// anomalies during startup (a stuck recovery, a diverging chain) are
+	// incidents too, visible at /debug/incidents while /readyz is 503.
+	var watchdog *obs.Runner
+	if *watchInterval > 0 {
+		watchdog = obs.NewRunner(*watchInterval)
+		watchdog.OnFire = func(f obs.Finding) { obs.DefaultIncidents.Open(f) }
+		watchdog.Add(&obs.StuckQueryDetector{Registry: obs.Queries, MaxElapsed: *stuckQuery},
+			obs.Hysteresis{FireAfter: 2, ClearAfter: 2})
+		watchdog.Add(&obs.GoroutineLeakDetector{Max: *maxGoroutines},
+			obs.Hysteresis{FireAfter: 2, ClearAfter: 2})
+		watchdog.Add(&obs.HeapGrowthDetector{},
+			obs.Hysteresis{FireAfter: 1, ClearAfter: 2})
+		watchdog.Add(&obs.GibbsDivergenceDetector{Health: obs.Gibbs, MaxRHat: *maxRHat},
+			obs.Hysteresis{FireAfter: 2, ClearAfter: 2})
+		watchdog.Add(&obs.GibbsStallDetector{Health: obs.Gibbs},
+			obs.Hysteresis{FireAfter: 2, ClearAfter: 2})
+		watchdog.Add(&obs.RetryStormDetector{Registry: obs.Default, MaxPerTick: *maxRetriesPerTick},
+			obs.Hysteresis{FireAfter: 1, ClearAfter: 2})
+		watchdog.Start()
+		defer watchdog.Stop()
+		logger.Info("watchdog running", "interval", *watchInterval)
+	}
 
 	// Bind the port before the (possibly long) recovery and expansion:
 	// /healthz and /metrics serve immediately, /readyz stays 503 until
@@ -98,6 +167,10 @@ func main() {
 			logger.Info("initialized store", "dir", *persistDir)
 		}
 		defer pst.Close()
+	}
+	if watchdog != nil && pst != nil {
+		watchdog.Add(&obs.WALGrowthDetector{Records: pst.WALRecords, MaxRecords: *maxWALRecords},
+			obs.Hysteresis{FireAfter: 2, ClearAfter: 2})
 	}
 	st := k.Stats()
 	logger.Info("loaded KB", "facts", st.Facts, "rules", st.Rules,

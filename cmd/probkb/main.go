@@ -109,13 +109,15 @@ func main() {
 		cmdSQL(os.Args[2:])
 	case "top":
 		cmdTop(os.Args[2:])
+	case "incidents":
+		cmdIncidents(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|rules|sql|top} [flags]; see -h of each subcommand")
+	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|rules|sql|top|incidents} [flags]; see -h of each subcommand")
 	os.Exit(2)
 }
 
@@ -502,7 +504,10 @@ func cmdTop(args []string) {
 		if err != nil {
 			die(err)
 		}
-		frame := top.Render(prev, cur, queries)
+		// Incidents are additive context: an older server without the
+		// endpoint still renders (count 0).
+		incidents, _ := client.Incidents()
+		frame := top.Render(prev, cur, queries, incidents)
 		if *once {
 			fmt.Print(frame)
 			return
@@ -512,6 +517,76 @@ func cmdTop(args []string) {
 		fmt.Print("\x1b[H\x1b[2J" + frame)
 		prev = cur
 		time.Sleep(*interval)
+	}
+}
+
+// cmdIncidents lists a live server's watchdog incidents, or renders one
+// full report (-id): summary, offending query and plan, the flight-
+// recorder timeline leading up to the anomaly, and (with -goroutines)
+// the goroutine dump.
+func cmdIncidents(args []string) {
+	fs := flag.NewFlagSet("incidents", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "probkb-server base URL")
+	id := fs.String("id", "", "show one full incident report instead of the listing")
+	goroutines := fs.Bool("goroutines", false, "with -id: include the goroutine dump")
+	asJSON := fs.Bool("json", false, "emit raw JSON")
+	fs.Parse(args)
+
+	client := &top.Client{Base: strings.TrimRight(*addr, "/")}
+	if *id == "" {
+		incidents, err := client.Incidents()
+		if err != nil {
+			die(err)
+		}
+		if *asJSON {
+			json.NewEncoder(os.Stdout).Encode(incidents)
+			return
+		}
+		if len(incidents) == 0 {
+			fmt.Println("no incidents")
+			return
+		}
+		now := time.Now()
+		for _, inc := range incidents {
+			age := now.Sub(inc.Time).Round(time.Second)
+			fmt.Printf("%-5s %8s ago  %-16s %s\n", inc.ID, age, inc.Detector, inc.Summary)
+		}
+		fmt.Printf("(%d incidents; probkb incidents -id ID for the full report)\n", len(incidents))
+		return
+	}
+
+	raw, err := client.Incident(*id)
+	if err != nil {
+		die(err)
+	}
+	if *asJSON {
+		os.Stdout.Write(append(raw, '\n'))
+		return
+	}
+	var inc obs.Incident
+	if err := json.Unmarshal(raw, &inc); err != nil {
+		die(err)
+	}
+	fmt.Printf("incident %s  %s  %s\n", inc.ID, inc.Detector, inc.Time.Format(time.RFC3339))
+	fmt.Printf("  %s\n", inc.Summary)
+	if inc.QueryID != "" {
+		fmt.Printf("\noffending query %s (%s): %s\n", inc.QueryID, inc.QueryKind, inc.QueryText)
+	}
+	if inc.Plan != "" {
+		fmt.Printf("\nplan:\n%s\n", inc.Plan)
+	}
+	if len(inc.Queries) > 0 {
+		fmt.Printf("\nactive queries at capture:\n")
+		for _, q := range inc.Queries {
+			fmt.Printf("  %-5s %-9s %-8s %10s %10d  %s\n",
+				q.ID, q.Kind, q.Phase, q.Elapsed.Round(time.Millisecond), q.Rows, q.Text)
+		}
+	}
+	fmt.Printf("\nflight recorder (%d events):\n%s", len(inc.Flight), inc.Timeline)
+	if *goroutines {
+		fmt.Printf("\ngoroutines:\n%s", inc.Goroutines)
+	} else {
+		fmt.Printf("\n(goroutine dump captured; probkb incidents -id %s -goroutines to print)\n", inc.ID)
 	}
 }
 

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"probkb"
+	"probkb/internal/obs"
+	"probkb/internal/server"
+)
+
+// ServeKind aggregates one request kind's latencies under load.
+type ServeKind struct {
+	Kind     string  `json:"kind"` // "sql" (point query) or "facts" (marginal lookup)
+	Requests int     `json:"requests"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// ServeResult is the serving-load harness's record in BENCH_<date>.json.
+type ServeResult struct {
+	Clients  int         `json:"clients"`
+	Seconds  float64     `json:"seconds"`
+	Requests int         `json:"requests"`
+	Errors   int         `json:"errors"`
+	QPS      float64     `json:"qps"`
+	Kinds    []ServeKind `json:"kinds"`
+}
+
+// Serve runs the serving-load harness at its default shape: 8
+// concurrent clients hammering an in-process probkb-server for 2
+// seconds. This is the paper's "system responsivity" claim measured:
+// queries hit the materialized expansion, never inference, so point
+// lookups cost milliseconds of CPU regardless of the sample budget.
+func Serve(cfg Config, w io.Writer) (*ServeResult, error) {
+	return ServeN(cfg, 8, 2*time.Second, w)
+}
+
+// ServeN is Serve with an explicit client count and measurement window.
+//
+// The harness synthesizes the corpus, expands it once (a short Gibbs
+// run — the marginals only need to exist, not converge), mounts the
+// expansion on internal/server behind httptest, and drives it with
+// clients goroutines. Each client alternates between the two read
+// paths the paper's serving story rests on:
+//
+//   - point SQL: GET /sql?q=SELECT ... FROM T WHERE T.x = <id>
+//   - marginal lookup: GET /facts?rel=&x=&y= for a known fact
+//
+// Per-request wall times aggregate into p50/p95/p99 per kind plus
+// overall qps.
+func ServeN(cfg Config, clients int, duration time.Duration, w io.Writer) (*ServeResult, error) {
+	cfg = cfg.withDefaults()
+	if clients <= 0 {
+		clients = 8
+	}
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+
+	k, _, err := probkb.Synthesize(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	exp, err := k.Expand(probkb.Config{
+		Engine:       probkb.SingleNode,
+		RunInference: true,
+		GibbsBurnin:  20,
+		GibbsSamples: 100,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-request INFO log lines would measure stderr throughput, not
+	// the server; keep warnings and up.
+	prevLogger := obs.Logger()
+	obs.SetLogger(obs.NewTextLogger(io.Discard, slog.LevelWarn))
+	defer obs.SetLogger(prevLogger)
+
+	srv := httptest.NewServer(server.New(k, exp))
+	defer srv.Close()
+
+	// Target pools: known facts for marginal lookups, entity ids for
+	// point SQL. Bounded so the pools don't dominate memory at scale.
+	facts := exp.Facts()
+	if len(facts) == 0 {
+		return nil, fmt.Errorf("bench: serve: expansion has no facts")
+	}
+	if len(facts) > 512 {
+		facts = facts[:512]
+	}
+	factURLs := make([]string, len(facts))
+	for i, f := range facts {
+		factURLs[i] = srv.URL + "/facts?rel=" + url.QueryEscape(f.Rel) +
+			"&x=" + url.QueryEscape(f.X) + "&y=" + url.QueryEscape(f.Y)
+	}
+	entities := k.Stats().Entities
+	if entities == 0 {
+		entities = 1
+	}
+
+	type sample struct {
+		kind string
+		dur  time.Duration
+	}
+	perClient := make([][]sample, clients)
+	errs := make([]int, clients)
+	deadline := time.Now().Add(duration)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				var kind, target string
+				if rng.Intn(2) == 0 {
+					kind = "sql"
+					q := fmt.Sprintf("SELECT T.R, T.y, T.w FROM T WHERE T.x = %d", rng.Intn(entities))
+					target = srv.URL + "/sql?q=" + url.QueryEscape(q)
+				} else {
+					kind = "facts"
+					target = factURLs[rng.Intn(len(factURLs))]
+				}
+				start := time.Now()
+				resp, err := client.Get(target)
+				elapsed := time.Since(start)
+				if err != nil {
+					errs[c]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c]++
+					continue
+				}
+				perClient[c] = append(perClient[c], sample{kind, elapsed})
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	byKind := map[string][]time.Duration{}
+	res := &ServeResult{Clients: clients, Seconds: duration.Seconds()}
+	for c := range perClient {
+		res.Errors += errs[c]
+		for _, s := range perClient[c] {
+			byKind[s.kind] = append(byKind[s.kind], s.dur)
+			res.Requests++
+		}
+	}
+	if res.Requests == 0 {
+		return nil, fmt.Errorf("bench: serve: no request succeeded (%d errors)", res.Errors)
+	}
+	res.QPS = float64(res.Requests) / duration.Seconds()
+	for _, kind := range []string{"sql", "facts"} {
+		durs := byKind[kind]
+		if len(durs) == 0 {
+			continue
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		res.Kinds = append(res.Kinds, ServeKind{
+			Kind:     kind,
+			Requests: len(durs),
+			P50ms:    percentileMS(durs, 0.50),
+			P95ms:    percentileMS(durs, 0.95),
+			P99ms:    percentileMS(durs, 0.99),
+		})
+	}
+
+	fmt.Fprintf(w, "Serving load: %d clients for %s against the materialized expansion (scale=%.3g)\n\n",
+		clients, duration, cfg.Scale)
+	fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s\n", "kind", "requests", "p50", "p95", "p99")
+	for _, k := range res.Kinds {
+		fmt.Fprintf(w, "  %-8s %10d %9.2fms %9.2fms %9.2fms\n",
+			k.Kind, k.Requests, k.P50ms, k.P95ms, k.P99ms)
+	}
+	fmt.Fprintf(w, "\n  total %d requests, %d errors, %.0f qps\n", res.Requests, res.Errors, res.QPS)
+	return res, nil
+}
+
+// percentileMS returns the nearest-rank q-quantile of sorted durations,
+// in milliseconds.
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeN(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := ServeN(tiny(), 4, 200*time.Millisecond, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 4 || res.Requests == 0 || res.QPS <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d load-harness requests failed: %+v", res.Errors, res)
+	}
+	kinds := map[string]ServeKind{}
+	for _, k := range res.Kinds {
+		kinds[k.Kind] = k
+	}
+	for _, want := range []string{"sql", "facts"} {
+		k, ok := kinds[want]
+		if !ok {
+			t.Fatalf("no %q requests recorded: %+v", want, res.Kinds)
+		}
+		if k.P50ms <= 0 || k.P50ms > k.P99ms+1e-9 || k.P95ms > k.P99ms+1e-9 {
+			t.Fatalf("%s percentiles out of order: %+v", want, k)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Serving load", "p95", "qps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPercentileMS(t *testing.T) {
+	durs := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond,
+	}
+	if got := percentileMS(durs, 0.50); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := percentileMS(durs, 1.0); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+	if got := percentileMS(durs[:1], 0.99); got != 1 {
+		t.Errorf("single-sample p99 = %v, want 1", got)
+	}
+}

@@ -251,6 +251,7 @@ func (o *sweepObserver) observe(sweep int, assign []bool) {
 	}
 	o.sweeps.Inc()
 	o.flips.Add(int64(flips))
+	obs.Gibbs.ObserveSweep(sweep)
 	elapsed := time.Since(o.start)
 	sps := 0.0
 	if secs := elapsed.Seconds(); secs > 0 {
@@ -283,6 +284,7 @@ func (o *sweepObserver) observe(sweep int, assign []bool) {
 				Tracked:       o.tracker.diagnostics(),
 			}
 			cp.RHatMax, cp.ESSMin = summarize(cp.Tracked)
+			obs.Gibbs.ObserveRHat(cp.RHatMax)
 			o.opts.OnCheckpoint(cp)
 		}
 	}
@@ -293,6 +295,7 @@ func (o *sweepObserver) observe(sweep int, assign []bool) {
 // finished run does not advertise its last in-flight rate forever.
 func (o *sweepObserver) finish() {
 	o.sps.Set(0)
+	obs.Gibbs.Done()
 }
 
 // Coloring holds a chromatic schedule: color[v] per variable, classes

@@ -21,6 +21,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"probkb/internal/obs"
 )
 
 // Event types, in the order a run emits them. segment_fault and
@@ -43,6 +45,9 @@ const (
 	// depends on external requests, so Canonicalize drops them.
 	TypeQueryAnalyzed = "query_analyzed"
 	TypeSlowQuery     = "slow_query"
+	// TypeIncident is a watchdog-captured anomaly report (obs.Incident);
+	// anomalies depend on load and wall time, so Canonicalize drops it.
+	TypeIncident = "incident"
 )
 
 // Event is the JSONL envelope: one line per event.
@@ -297,6 +302,8 @@ func (w *Writer) Emit(typ string, payload any) {
 		w.dropped++
 		return
 	}
+	// Events the bound keeps also land on the flight-recorder timeline.
+	obs.DefaultFlight.Note("journal", typ, "")
 	w.seq++
 	ev := Event{Seq: w.seq, Type: typ, ElapsedS: time.Since(w.start).Seconds(), Data: data}
 	w.events = append(w.events, ev)
@@ -384,6 +391,7 @@ var nondeterministicTypes = map[string]bool{
 	TypeSegmentRetry:  true,
 	TypeQueryAnalyzed: true,
 	TypeSlowQuery:     true,
+	TypeIncident:      true,
 }
 
 // faultKeys carry fault-plan artifacts inside otherwise-deterministic

@@ -43,10 +43,16 @@ func (q *ActiveQuery) Text() string { return q.text }
 // Start returns when the query began.
 func (q *ActiveQuery) Start() time.Time { return q.start }
 
-// SetPhase records coarse progress; safe from any goroutine.
+// SetPhase records coarse progress; safe from any goroutine. Only
+// actual transitions reach the flight recorder — callers invoke this
+// per iteration/sweep, and a recorder full of repeats would evict the
+// history an incident wants.
 func (q *ActiveQuery) SetPhase(p string) {
-	if q != nil {
-		q.phase.Store(p)
+	if q == nil {
+		return
+	}
+	if old := q.phase.Swap(p); old != p {
+		DefaultFlight.Record(FlightEvent{Kind: "query", Name: "phase " + p, QueryID: q.id})
 	}
 }
 
@@ -124,6 +130,7 @@ func (r *QueryRegistry) Begin(ctx context.Context, kind, text string) (context.C
 	n := len(r.active)
 	r.mu.Unlock()
 	Default.Gauge("probkb_queries_in_flight").Set(float64(n))
+	DefaultFlight.Record(FlightEvent{Kind: "query", Name: "begin " + kind, Detail: text, QueryID: q.id})
 	if sp := SpanFrom(ctx); sp != nil {
 		sp.SetAttr("query_id", q.id)
 	}
@@ -141,6 +148,9 @@ func (r *QueryRegistry) Finish(q *ActiveQuery) {
 	r.mu.Unlock()
 	q.cancel()
 	Default.Gauge("probkb_queries_in_flight").Set(float64(n))
+	DefaultFlight.Record(FlightEvent{
+		Kind: "query", Name: "finish " + q.kind, QueryID: q.id, Dur: time.Since(q.start),
+	})
 }
 
 // Cancel cancels the in-flight query with the given ID; it reports
@@ -161,6 +171,13 @@ func (r *QueryRegistry) Cancel(id string) bool {
 
 // List returns the in-flight queries ordered by start (oldest first).
 func (r *QueryRegistry) List() []QueryInfo {
+	return r.Snapshot(time.Now())
+}
+
+// Snapshot is List with elapsed times computed against an explicit
+// clock, so watchdog detectors (and their tests) can evaluate "how
+// long has this query been running" deterministically.
+func (r *QueryRegistry) Snapshot(now time.Time) []QueryInfo {
 	if r == nil {
 		return nil
 	}
@@ -180,7 +197,7 @@ func (r *QueryRegistry) List() []QueryInfo {
 	for i, q := range qs {
 		out[i] = QueryInfo{
 			ID: q.id, Kind: q.kind, Text: q.text,
-			Phase: q.Phase(), Elapsed: time.Since(q.start), Rows: q.Rows(),
+			Phase: q.Phase(), Elapsed: now.Sub(q.start), Rows: q.Rows(),
 		}
 	}
 	return out

@@ -389,6 +389,30 @@ func writeHistogram(w io.Writer, name string, s *series) error {
 	return err
 }
 
+// Sum returns the total over every series of one counter or gauge
+// family (0 when the name is unknown). Watchdog detectors use it to
+// read label-split counters as one number.
+func (r *Registry) Sum(name string) float64 {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return 0
+	}
+	var total float64
+	f.mu.Lock()
+	for _, s := range f.series {
+		switch f.kind {
+		case kindCounter:
+			total += float64(s.c.Value())
+		case kindGauge:
+			total += s.g.Value()
+		}
+	}
+	f.mu.Unlock()
+	return total
+}
+
 // Snapshot returns every scalar value keyed by name{labels}. Counters
 // and gauges appear under their name; histograms contribute name_sum and
 // name_count. Tests assert against this instead of parsing exposition

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func slowQ(id string, elapsed time.Duration) SlowQuery {
+	return SlowQuery{ID: id, Kind: "sql", Text: "SELECT 1", Elapsed: elapsed}
+}
+
+func TestSlowLogThresholdGate(t *testing.T) {
+	l := NewSlowLog(4)
+	ctx := context.Background()
+
+	// Threshold unset: everything drops.
+	if l.Note(ctx, slowQ("q1", time.Hour)) {
+		t.Error("disabled log retained a query")
+	}
+	l.SetThreshold(100 * time.Millisecond)
+	if l.Note(ctx, slowQ("q2", 50*time.Millisecond)) {
+		t.Error("fast query retained")
+	}
+	if !l.Note(ctx, slowQ("q3", 150*time.Millisecond)) {
+		t.Error("slow query dropped")
+	}
+	got := l.List()
+	if len(got) != 1 || got[0].ID != "q3" {
+		t.Fatalf("List() = %+v, want just q3", got)
+	}
+	if got[0].Time.IsZero() {
+		t.Error("retained record has no timestamp")
+	}
+}
+
+func TestSlowLogRingEvictionOrder(t *testing.T) {
+	l := NewSlowLog(3)
+	l.SetThreshold(time.Millisecond)
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		l.Note(ctx, slowQ(fmt.Sprintf("q%d", i), time.Second))
+	}
+	got := l.List()
+	if len(got) != 3 {
+		t.Fatalf("List() has %d records, want ring size 3", len(got))
+	}
+	// Newest first; the two oldest (q1, q2) were evicted.
+	for i, want := range []string{"q5", "q4", "q3"} {
+		if got[i].ID != want {
+			t.Fatalf("List()[%d] = %s, want %s (full: %+v)", i, got[i].ID, want, got)
+		}
+	}
+}
+
+func TestSlowLogThresholdChangeMidStream(t *testing.T) {
+	l := NewSlowLog(8)
+	ctx := context.Background()
+	l.SetThreshold(time.Second)
+	l.Note(ctx, slowQ("slow-only", 2*time.Second))
+	l.Note(ctx, slowQ("dropped", 100*time.Millisecond))
+
+	// Tightening the threshold catches the 100ms query from then on,
+	// without disturbing what the old threshold retained.
+	l.SetThreshold(50 * time.Millisecond)
+	if got := l.Threshold(); got != 50*time.Millisecond {
+		t.Fatalf("Threshold() = %v", got)
+	}
+	l.Note(ctx, slowQ("now-slow", 100*time.Millisecond))
+
+	// Disabling drops everything again but keeps history readable.
+	l.SetThreshold(0)
+	l.Note(ctx, slowQ("after-off", time.Hour))
+	got := l.List()
+	if len(got) != 2 || got[0].ID != "now-slow" || got[1].ID != "slow-only" {
+		t.Fatalf("List() = %+v, want [now-slow slow-only]", got)
+	}
+}
+
+func TestSlowLogNilReceiver(t *testing.T) {
+	var l *SlowLog
+	if l.Note(context.Background(), slowQ("q", time.Hour)) {
+		t.Error("nil log retained a query")
+	}
+	if l.List() != nil {
+		t.Error("nil log listed queries")
+	}
+	if l.Threshold() != 0 {
+		t.Error("nil log has a threshold")
+	}
+	l.SetThreshold(time.Second) // must not panic
+}
+
+// TestSlowLogConcurrent exercises Note/List/SetThreshold races under
+// -race: the ring must neither tear nor deadlock.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(16)
+	l.SetThreshold(time.Millisecond)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Note(ctx, slowQ(fmt.Sprintf("g%d-%d", g, i), time.Second))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			l.List()
+			l.SetThreshold(time.Duration(1+i%3) * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	got := l.List()
+	if len(got) != 16 {
+		t.Fatalf("List() has %d records after saturation, want 16", len(got))
+	}
+	for _, q := range got {
+		if q.ID == "" || q.Time.IsZero() {
+			t.Fatalf("torn record in ring: %+v", q)
+		}
+	}
+}

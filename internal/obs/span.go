@@ -81,9 +81,18 @@ func (s *Span) End() {
 		s.end = time.Now()
 	}
 	t := s.tracer
+	var dur time.Duration
+	if !ended {
+		dur = s.end.Sub(s.start)
+	}
 	s.mu.Unlock()
-	if !ended && t != nil {
-		t.push(s)
+	if !ended {
+		DefaultFlight.Record(FlightEvent{
+			Kind: "span", Name: s.name, TraceID: s.traceID, Dur: dur,
+		})
+		if t != nil {
+			t.push(s)
+		}
 	}
 }
 

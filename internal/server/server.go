@@ -33,6 +33,12 @@
 //	                                      fails with 499 and a PartialError phase
 //	GET    /debug/slow                    recent queries over the slow threshold,
 //	                                      newest first, with analyzed plans
+//	GET    /debug/incidents               watchdog incident reports, newest first
+//	                                      (summaries; fetch one for the capture)
+//	GET    /debug/incidents/{id}          one full incident: flight-recorder
+//	                                      timeline, goroutine dump, metrics
+//	                                      snapshot, active queries, offending
+//	                                      query's plan
 //	GET    /debug/traces                  recent pipeline span trees (text/plain)
 //	GET    /debug/journal                 the served expansion's run journal events
 //	GET    /debug/profile                 analyzed workload profile (phases, operator
@@ -121,6 +127,8 @@ func NewPending() *Server {
 	s.mux.HandleFunc("GET /debug/queries", instrument("/debug/queries", s.handleQueries))
 	s.mux.HandleFunc("DELETE /debug/queries/{id}", instrument("/debug/queries", s.handleQueryCancel))
 	s.mux.HandleFunc("GET /debug/slow", instrument("/debug/slow", s.handleSlow))
+	s.mux.HandleFunc("GET /debug/incidents", instrument("/debug/incidents", s.handleIncidents))
+	s.mux.HandleFunc("GET /debug/incidents/{id}", instrument("/debug/incidents", s.handleIncident))
 	s.mux.HandleFunc("GET /debug/traces", instrument("/debug/traces", s.handleTraces))
 	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.whenReady(s.handleJournal)))
 	s.mux.HandleFunc("GET /debug/profile", instrument("/debug/profile", s.whenReady(s.handleProfile)))
@@ -130,7 +138,11 @@ func NewPending() *Server {
 	return s
 }
 
-// Attach installs the KB and expansion a pending server will serve.
+// Attach installs the KB and expansion a pending server will serve,
+// and points the incident store's journal and plan-capture hooks at
+// them: incidents opened from here on are journaled into the served
+// expansion's run journal, and a finding that names a SQL query gets
+// its EXPLAIN plan captured.
 func (s *Server) Attach(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) {
 	s.mu.Lock()
 	s.kb, s.exp = kb, exp
@@ -138,6 +150,17 @@ func (s *Server) Attach(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	obs.DefaultIncidents.SetJournal(exp.Journal())
+	obs.DefaultIncidents.SetPlanner(func(kind, text string) string {
+		if kind != "sql" && kind != "dist-sql" {
+			return ""
+		}
+		plan, err := s.knowledge().ExplainSQL(text)
+		if err != nil {
+			return ""
+		}
+		return plan
+	})
 }
 
 // SetReady flips the /readyz state; data endpoints serve only while
@@ -202,6 +225,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // store or running its initial expansion.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() || s.expansion() == nil {
+		// Retry-After tells probes and load balancers when to come back;
+		// recovery and initial expansion usually finish within seconds.
+		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
 		return
 	}
@@ -457,6 +483,42 @@ func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
 		"threshold_ns": obs.DefaultSlowLog.Threshold(),
 		"queries":      obs.DefaultSlowLog.List(),
 	})
+}
+
+// incidentSummary is the /debug/incidents listing view: the header of
+// an incident without its bulky captures.
+type incidentSummary struct {
+	ID       string    `json:"id"`
+	Time     time.Time `json:"time"`
+	Detector string    `json:"detector"`
+	Summary  string    `json:"summary"`
+	QueryID  string    `json:"query_id,omitempty"`
+}
+
+// handleIncidents lists watchdog incidents, newest first. Like
+// /debug/queries it is not readiness-gated: incidents during recovery
+// or the initial expansion are exactly what an operator wants to see.
+func (s *Server) handleIncidents(w http.ResponseWriter, _ *http.Request) {
+	all := obs.DefaultIncidents.List()
+	out := make([]incidentSummary, len(all))
+	for i, inc := range all {
+		out[i] = incidentSummary{
+			ID: inc.ID, Time: inc.Time, Detector: inc.Detector,
+			Summary: inc.Summary, QueryID: inc.QueryID,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"incidents": out})
+}
+
+// handleIncident serves one full incident report.
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	inc := obs.DefaultIncidents.Get(id)
+	if inc == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no incident %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, inc)
 }
 
 // handleExpand re-runs the expansion pipeline on the served KB and, on

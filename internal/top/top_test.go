@@ -138,18 +138,25 @@ func TestRenderFrame(t *testing.T) {
 		`probkb_http_requests_total{path="/sql",code="200"} 90`), time.Unix(110, 0))
 	frame := Render(prev, cur, []QueryRow{
 		{ID: "q7", Kind: "sql", Text: "SELECT * FROM T", Phase: "run", Elapsed: 1500 * time.Millisecond, Rows: 42},
+	}, []IncidentRow{
+		{ID: "i2", Time: cur.Time.Add(-90 * time.Second), Detector: "stuck_query", Summary: "query q7 stuck"},
+		{ID: "i1", Time: cur.Time.Add(-5 * time.Minute), Detector: "wal_growth", Summary: "wal runaway"},
 	})
-	for _, want := range []string{"qps 5.0", "in-flight 3", "q7", "SELECT * FROM T", "run"} {
+	for _, want := range []string{"qps 5.0", "in-flight 3", "q7", "SELECT * FROM T", "run",
+		"incidents 2", "i2 stuck_query (1m30s ago): query q7 stuck"} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)
 		}
 	}
 	// First poll: no prev, rates unavailable, cumulative quantiles marked *.
-	first := Render(nil, cur, nil)
+	first := Render(nil, cur, nil, nil)
 	if !strings.Contains(first, "qps -") || !strings.Contains(first, "*") {
 		t.Errorf("first frame should mark cumulative fallback:\n%s", first)
 	}
 	if !strings.Contains(first, "no in-flight queries") {
 		t.Errorf("first frame missing empty-query note:\n%s", first)
+	}
+	if !strings.Contains(first, "incidents 0") {
+		t.Errorf("first frame missing incident count:\n%s", first)
 	}
 }

@@ -45,6 +45,53 @@ func (c *Client) Metrics() (*Scrape, error) {
 	return Parse(resp.Body, time.Now())
 }
 
+// IncidentRow mirrors one entry of the server's /debug/incidents
+// listing.
+type IncidentRow struct {
+	ID       string    `json:"id"`
+	Time     time.Time `json:"time"`
+	Detector string    `json:"detector"`
+	Summary  string    `json:"summary"`
+	QueryID  string    `json:"query_id"`
+}
+
+// Incidents fetches the watchdog incident list from /debug/incidents
+// (newest first).
+func (c *Client) Incidents() ([]IncidentRow, error) {
+	resp, err := c.http().Get(c.Base + "/debug/incidents")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/incidents: %s", resp.Status)
+	}
+	var payload struct {
+		Incidents []IncidentRow `json:"incidents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	return payload.Incidents, nil
+}
+
+// Incident fetches one full incident report as raw JSON.
+func (c *Client) Incident(id string) (json.RawMessage, error) {
+	resp, err := c.http().Get(c.Base + "/debug/incidents/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/incidents/%s: %s", id, resp.Status)
+	}
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // Queries fetches the in-flight query list from /debug/queries.
 func (c *Client) Queries() ([]QueryRow, error) {
 	resp, err := c.http().Get(c.Base + "/debug/queries")
@@ -66,8 +113,10 @@ func (c *Client) Queries() ([]QueryRow, error) {
 
 // Render draws one frame of the top view. prev may be nil (first poll):
 // rates and interval quantiles then fall back to lifetime cumulative
-// values, marked with a trailing '*'.
-func Render(prev, cur *Scrape, queries []QueryRow) string {
+// values, marked with a trailing '*'. incidents is the newest-first
+// /debug/incidents listing; the frame shows the count and the latest
+// one.
+func Render(prev, cur *Scrape, queries []QueryRow, incidents []IncidentRow) string {
 	var b strings.Builder
 
 	qps, latBuckets, cumulative := "-", cur.Buckets("probkb_http_request_seconds"), true
@@ -95,8 +144,16 @@ func Render(prev, cur *Scrape, queries []QueryRow) string {
 	if hasGibbs {
 		gs = fmt.Sprintf("%.0f", gibbs)
 	}
-	fmt.Fprintf(&b, "  gibbs %s samples/s   goroutines %d   heap %s\n\n",
+	fmt.Fprintf(&b, "  gibbs %s samples/s   goroutines %d   heap %s\n",
 		gs, int(goroutines), fmtBytes(heap))
+	if len(incidents) == 0 {
+		b.WriteString("  incidents 0\n\n")
+	} else {
+		last := incidents[0]
+		age := cur.Time.Sub(last.Time).Round(time.Second)
+		fmt.Fprintf(&b, "  incidents %d   last %s %s (%s ago): %s\n\n",
+			len(incidents), last.ID, last.Detector, age, last.Summary)
+	}
 
 	if len(queries) == 0 {
 		b.WriteString("  no in-flight queries\n")
