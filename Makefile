@@ -3,7 +3,7 @@ GO ?= go
 # Baseline for bench-diff (write one with `make bench-baseline`).
 BENCH_BASE ?= BENCH_baseline.json
 
-.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke incident-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke incident-smoke query-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke incident-smoke
+check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke incident-smoke query-smoke
 
 # Metric hygiene: every Counter/Gauge/Histogram name is probkb_-prefixed
 # snake_case with the right unit suffix and a Help() string (see
@@ -118,6 +118,16 @@ chaos-smoke:
 incident-smoke:
 	$(GO) test -race -count=1 -run 'TestIncident|TestDebugContentType' ./internal/server
 	@echo "incident-smoke: ok"
+
+# Point-query smoke test: server up → GET /query (local grounding +
+# neighborhood Gibbs) → cached re-query → /admin/expand invalidates →
+# fresh re-query, plus concurrent readers racing the swap, all under
+# -race. The library-level differential (local marginals vs the
+# full-closure answer) rides along from the root package.
+query-smoke:
+	$(GO) test -race -count=1 -run 'TestQuerySmoke|TestQueryConcurrentInvalidation|TestQueryMarginalNull|TestQueryObservedAtom|TestQueryBadRequests' ./internal/server
+	$(GO) test -race -count=1 -run 'TestQueryLocal|TestKBPointQuery|TestParseAtom' .
+	@echo "query-smoke: ok"
 
 fmt:
 	gofmt -l -w .

@@ -3,15 +3,19 @@
 //
 // Usage:
 //
-//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|serve|all
+//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|serve|point-query|all
 //	             [-scale 0.02] [-seed 42] [-segments 4] [-json PATH]
-//	             [-clients 8] [-serve-duration 2s]
+//	             [-clients 8] [-serve-duration 2s] [-point-query]
 //	             [-compare BENCH_old.json]
 //
 // A bare first argument is shorthand for -exp, so `probkb-bench serve`
 // runs the serving-load harness: N concurrent clients issue point SQL
 // queries and marginal fact lookups against an in-process
 // probkb-server, reporting p50/p95/p99 latency and qps.
+// `probkb-bench serve -point-query` drives GET /query instead — cold
+// (cache-bypassing local grounding + neighborhood Gibbs) vs cached
+// lookups — and records the full-closure wall time of the same corpus
+// as the reference those latencies replace.
 //
 // Besides the human-readable tables on stdout, the run's structured
 // results and per-experiment wall times are written to BENCH_<date>.json
@@ -44,7 +48,7 @@ func main() {
 	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
 		os.Args = append([]string{os.Args[0], "-exp", os.Args[1]}, os.Args[2:]...)
 	}
-	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, serve, all)")
+	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, serve, point-query, all)")
 	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	segments := flag.Int("segments", 4, "MPP cluster segments")
@@ -55,7 +59,12 @@ func main() {
 		`also write results as JSON to this path ("" disables)`)
 	comparePath := flag.String("compare", "",
 		"diff this run against an older BENCH_<date>.json; exit nonzero on >20% regression")
+	pointQuery := flag.Bool("point-query", false,
+		"with -exp serve: drive GET /query (cold vs cached local grounding) instead of the read endpoints")
 	flag.Parse()
+	if *pointQuery && *exp == "serve" {
+		*exp = "point-query"
+	}
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Segments: *segments}
 	w := os.Stdout
@@ -78,6 +87,7 @@ func main() {
 		{"feedback", func() (any, error) { return nil, bench.Feedback(cfg, w) }},
 		{"workers", func() (any, error) { return bench.Workers(cfg, w) }},
 		{"serve", func() (any, error) { return bench.ServeN(cfg, *clients, *serveDur, w) }},
+		{"point-query", func() (any, error) { return bench.PointQuery(cfg, *clients, *serveDur, w) }},
 	}
 
 	rep := bench.Report{

@@ -48,6 +48,12 @@
 //	probkb explain -kb DIR -fact "rel(x, y)" [-depth N]
 //	    Expand, then print the derivation tree of one fact.
 //
+//	probkb query   -kb DIR -atom "rel(x, y)" [-depth N] [-radius N]
+//	               [-markov N] [-burnin N] [-samples N] [-seed N]
+//	    Answer one point query without expanding: ground only the atom's
+//	    local proof graph and Gibbs-sample only its Markov neighborhood.
+//	    -samples -1 skips inference and just reports derivability.
+//
 //	probkb rules   -kb DIR [-top N]
 //	    Score the KB's rules by statistical significance.
 //
@@ -103,6 +109,8 @@ func main() {
 		cmdReport(os.Args[2:])
 	case "explain":
 		cmdExplain(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
 	case "rules":
 		cmdRules(os.Args[2:])
 	case "sql":
@@ -117,7 +125,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|rules|sql|top|incidents} [flags]; see -h of each subcommand")
+	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|query|rules|sql|top|incidents} [flags]; see -h of each subcommand")
 	os.Exit(2)
 }
 
@@ -436,6 +444,45 @@ func cmdExplain(args []string) {
 		die(err)
 	}
 	fmt.Print(text)
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory")
+	atom := fs.String("atom", "", `query atom "rel(x, y)"`)
+	depth := fs.Int("depth", 0, "proof depth bound (0 = default)")
+	radius := fs.Int("radius", 0, "evidence-ball radius (0 = depth+1)")
+	markov := fs.Int("markov", 0, "Gibbs neighborhood radius (0 = whole component)")
+	burnin := fs.Int("burnin", 0, "Gibbs burn-in sweeps (0 = default)")
+	samples := fs.Int("samples", 0, "Gibbs sample sweeps (0 = default, -1 = skip inference)")
+	seed := fs.Int64("seed", 0, "random seed for sampling")
+	fs.Parse(args)
+	if *atom == "" {
+		die(fmt.Errorf("missing -atom \"rel(x, y)\""))
+	}
+	rel, x, y, err := probkb.ParseAtom(*atom)
+	if err != nil {
+		die(err)
+	}
+	k := loadKB(*dir)
+	m, err := k.PointQuery(context.Background(), probkb.PointQuery{
+		Rel: rel, X: x, Y: y,
+		Depth: *depth, Radius: *radius, MarkovRadius: *markov,
+		Burnin: *burnin, Samples: *samples,
+	}, probkb.Config{Seed: *seed})
+	if err != nil {
+		die(err)
+	}
+	switch {
+	case !m.Found:
+		fmt.Printf("%s(%s, %s): not derivable (depth %d, radius %d)\n", rel, x, y, m.Depth, m.Radius)
+	case m.Observed:
+		fmt.Printf("%s(%s, %s) = %.4f (observed)\n", rel, x, y, m.Probability)
+	default:
+		fmt.Printf("%s(%s, %s) = %.4f (inferred)\n", rel, x, y, m.Probability)
+	}
+	fmt.Printf("local: %d seed facts, %d facts after %d iterations, %d rules in scope, %d vars / %d factors sampled, %d sweeps, %s\n",
+		m.SeedFacts, m.LocalFacts, m.Iterations, m.RulesReachable, m.LocalVars, m.LocalFactors, m.Collected, m.Elapsed.Round(time.Millisecond))
 }
 
 func parseFactRef(s string) (rel, x, y string, err error) {

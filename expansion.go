@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"probkb/internal/engine"
@@ -64,6 +65,16 @@ type Expansion struct {
 
 	graph         *factor.Graph
 	inferenceTime time.Duration
+
+	// Point-query state (query.go): the generation the marginal cache
+	// is keyed by, the cache itself, and the lazily built local
+	// grounder. The cache dies with the expansion, which is what makes
+	// ExtendWith an invalidation.
+	gen       uint64
+	qmu       sync.RWMutex
+	qcache    map[queryKey]Marginal
+	localOnce sync.Once
+	local     *ground.LocalGrounder
 }
 
 // Journal returns the run's journal writer — the bounded in-memory
@@ -199,11 +210,51 @@ func (e *Expansion) InferredFacts() []Fact {
 
 // Find returns the expanded facts matching the relation and entity names
 // (empty strings match anything).
+//
+// Each non-wildcard name is resolved against the dictionaries once and
+// rows are filtered on int32 IDs, so no Fact is rendered (five dict
+// lookups per row) unless it matches; a name absent from its dictionary
+// matches nothing.
 func (e *Expansion) Find(rel, x, y string) []Fact {
+	relID, x1, y1 := int32(-1), int32(-1), int32(-1)
+	if rel != "" {
+		id, ok := e.kb.RelDict.Lookup(rel)
+		if !ok {
+			return nil
+		}
+		relID = id
+	}
+	if x != "" {
+		id, ok := e.kb.Entities.Lookup(x)
+		if !ok {
+			return nil
+		}
+		x1 = id
+	}
+	if y != "" {
+		id, ok := e.kb.Entities.Lookup(y)
+		if !ok {
+			return nil
+		}
+		y1 = id
+	}
+
+	t := e.res.Facts
+	ids := t.Int32Col(kb.TPiI)
+	rels := t.Int32Col(kb.TPiR)
+	xs := t.Int32Col(kb.TPiX)
+	ys := t.Int32Col(kb.TPiY)
 	var out []Fact
-	for _, f := range e.Facts() {
-		if (rel == "" || f.Rel == rel) && (x == "" || f.X == x) && (y == "" || f.Y == y) {
-			out = append(out, f)
+	for r := 0; r < t.NumRows(); r++ {
+		if (relID < 0 || rels[r] == relID) && (x1 < 0 || xs[r] == x1) && (y1 < 0 || ys[r] == y1) {
+			f := kb.FactAtRow(t, r)
+			out = append(out, Fact{
+				Rel: e.kb.RelDict.Name(f.Rel),
+				X:   e.kb.Entities.Name(f.X), XClass: e.kb.Classes.Name(f.XClass),
+				Y: e.kb.Entities.Name(f.Y), YClass: e.kb.Classes.Name(f.YClass),
+				Probability: probability(f.W),
+				Inferred:    int(ids[r]) >= e.res.BaseFacts,
+			})
 		}
 	}
 	return out
@@ -219,6 +270,12 @@ func (e *Expansion) Explain(rel, x, y string, depth int) (string, error) {
 	}
 	t := e.res.Facts
 	ids := t.Int32Col(kb.TPiI)
+	// One pass builds the fact-ID→row index the name closure needs;
+	// rendering a node is then O(1) instead of a rescan of ids per node.
+	rowOf := make(map[int32]int, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		rowOf[ids[r]] = r
+	}
 	targetID := int32(-1)
 	for r := 0; r < t.NumRows(); r++ {
 		f := kb.FactAtRow(t, r)
@@ -236,10 +293,8 @@ func (e *Expansion) Explain(rel, x, y string, depth int) (string, error) {
 	}
 	name := func(v int32) string {
 		id := e.graph.FactID(v)
-		for r := 0; r < t.NumRows(); r++ {
-			if ids[r] == id {
-				return e.kb.FactString(kb.FactAtRow(t, r))
-			}
+		if r, ok := rowOf[id]; ok {
+			return e.kb.FactString(kb.FactAtRow(t, r))
 		}
 		return fmt.Sprintf("fact#%d", id)
 	}
@@ -388,7 +443,7 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 	if err := persistFinal(e.cfg.Persist, e.kb, res.Facts); err != nil {
 		return nil, err
 	}
-	next := &Expansion{kb: e.kb, res: res, cfg: e.cfg, jr: jr}
+	next := newExpansion(e.kb, res, e.cfg, jr)
 	if e.cfg.RunInference {
 		if err := next.runInference(ctx); err != nil {
 			return nil, err

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"probkb"
+	"probkb/internal/obs"
+	"probkb/internal/server"
+)
+
+// PointQueryResult is the point-query harness's record in
+// BENCH_<date>.json: per-kind latencies for the cold (cache-bypassing)
+// and cached GET /query paths, plus the full-closure wall time the same
+// corpus costs — the number a point lookup used to pay.
+type PointQueryResult struct {
+	ServeResult
+	FullClosureMS float64 `json:"full_closure_ms"`
+}
+
+// PointQuery drives GET /query under load: clients goroutines alternate
+// between cold point queries (nocache=1 — every request grounds the
+// atom's local proof graph and samples its neighborhood) and cached
+// ones over a fixed atom pool. The expansion the server holds is
+// grounding-only; the local path does all inference, so the cold
+// latency is the true on-demand cost and the full-closure reference
+// (one Expand with inference over the same corpus, timed up front) is
+// what it replaces.
+func PointQuery(cfg Config, clients int, duration time.Duration, w io.Writer) (*PointQueryResult, error) {
+	cfg = cfg.withDefaults()
+	if clients <= 0 {
+		clients = 8
+	}
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+
+	k, _, err := probkb.Synthesize(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// The yardstick: what one "what is P(fact)?" lookup costs when the
+	// only route is the global pipeline (closure + full-graph Gibbs).
+	fullStart := time.Now()
+	oracle, err := k.Expand(probkb.Config{
+		Engine:       probkb.SingleNode,
+		RunInference: true,
+		GibbsBurnin:  20,
+		GibbsSamples: 100,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fullClosure := time.Since(fullStart)
+
+	// The served expansion skips global inference entirely — point
+	// queries bring their own.
+	exp, err := k.Expand(probkb.Config{
+		Engine:       probkb.SingleNode,
+		RunInference: false,
+		GibbsBurnin:  20,
+		GibbsSamples: 100,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	prevLogger := obs.Logger()
+	obs.SetLogger(obs.NewTextLogger(io.Discard, slog.LevelWarn))
+	defer obs.SetLogger(prevLogger)
+
+	srv := httptest.NewServer(server.New(k, exp))
+	defer srv.Close()
+
+	// Atom pool: inferred facts exercise local grounding + neighborhood
+	// Gibbs (the interesting path); pad with observed facts if the
+	// corpus derived too few.
+	targets := oracle.InferredFacts()
+	if len(targets) > 64 {
+		targets = targets[:64]
+	}
+	if len(targets) == 0 {
+		targets = oracle.Facts()
+		if len(targets) > 64 {
+			targets = targets[:64]
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("bench: point-query: corpus has no facts")
+	}
+	atoms := make([]string, len(targets))
+	for i, f := range targets {
+		atoms[i] = url.QueryEscape(fmt.Sprintf("%s(%s, %s)", f.Rel, f.X, f.Y))
+	}
+
+	type sample struct {
+		kind string
+		dur  time.Duration
+	}
+	perClient := make([][]sample, clients)
+	errs := make([]int, clients)
+	deadline := time.Now().Add(duration)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				atom := atoms[rng.Intn(len(atoms))]
+				var kind, target string
+				if rng.Intn(2) == 0 {
+					kind = "query-cold"
+					target = srv.URL + "/query?nocache=1&atom=" + atom
+				} else {
+					kind = "query-cached"
+					target = srv.URL + "/query?atom=" + atom
+				}
+				start := time.Now()
+				resp, err := client.Get(target)
+				elapsed := time.Since(start)
+				if err != nil {
+					errs[c]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c]++
+					continue
+				}
+				perClient[c] = append(perClient[c], sample{kind, elapsed})
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	byKind := map[string][]time.Duration{}
+	res := &PointQueryResult{
+		ServeResult:   ServeResult{Clients: clients, Seconds: duration.Seconds()},
+		FullClosureMS: float64(fullClosure) / float64(time.Millisecond),
+	}
+	for c := range perClient {
+		res.Errors += errs[c]
+		for _, s := range perClient[c] {
+			byKind[s.kind] = append(byKind[s.kind], s.dur)
+			res.Requests++
+		}
+	}
+	if res.Requests == 0 {
+		return nil, fmt.Errorf("bench: point-query: no request succeeded (%d errors)", res.Errors)
+	}
+	res.QPS = float64(res.Requests) / duration.Seconds()
+	for _, kind := range []string{"query-cold", "query-cached"} {
+		durs := byKind[kind]
+		if len(durs) == 0 {
+			continue
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		res.Kinds = append(res.Kinds, ServeKind{
+			Kind:     kind,
+			Requests: len(durs),
+			P50ms:    percentileMS(durs, 0.50),
+			P95ms:    percentileMS(durs, 0.95),
+			P99ms:    percentileMS(durs, 0.99),
+		})
+	}
+
+	fmt.Fprintf(w, "Point queries: %d clients for %s over %d atoms (scale=%.3g)\n\n",
+		clients, duration, len(atoms), cfg.Scale)
+	fmt.Fprintf(w, "  %-14s %10s %10s %10s %10s\n", "kind", "requests", "p50", "p95", "p99")
+	for _, k := range res.Kinds {
+		fmt.Fprintf(w, "  %-14s %10d %9.2fms %9.2fms %9.2fms\n",
+			k.Kind, k.Requests, k.P50ms, k.P95ms, k.P99ms)
+	}
+	fmt.Fprintf(w, "\n  total %d requests, %d errors, %.0f qps\n", res.Requests, res.Errors, res.QPS)
+	fmt.Fprintf(w, "  full-closure reference (one Expand with inference): %.1fms\n", res.FullClosureMS)
+	return res, nil
+}

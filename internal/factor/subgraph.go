@@ -1,0 +1,86 @@
+package factor
+
+import "sort"
+
+// Subgraph extracts the factor graph induced by the variables within
+// radius hops of seed in the Markov graph (two variables are one hop
+// apart when they share a factor). radius <= 0 means unbounded, which
+// yields seed's entire connected component — the exact support of its
+// marginal, since disconnected factors cancel in the conditional.
+//
+// The subgraph keeps the original fact IDs, so VarOf and FactID keep
+// working on it; only the variable indices are renumbered (in
+// increasing original order, for determinism). Factors with any
+// variable outside the ball are dropped — the truncated-neighborhood
+// approximation of query-time MCMC: the boundary variables keep their
+// singleton evidence but lose potentials reaching further out, so a
+// bounded radius trades accuracy for locality. Inference over the
+// subgraph is exact for the component when radius covers it.
+func (g *Graph) Subgraph(seed int32, radius int) *Graph {
+	in := map[int32]bool{seed: true}
+	frontier := []int32{seed}
+	for hop := 0; len(frontier) > 0 && (radius <= 0 || hop < radius); hop++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if !in[u] {
+					in[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	vars := make([]int32, 0, len(in))
+	for v := range in {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(a, b int) bool { return vars[a] < vars[b] })
+
+	sub := &Graph{
+		nvars: len(vars),
+		adj:   make([][]int32, len(vars)),
+		ids:   make([]int32, len(vars)),
+		byID:  make(map[int32]int32, len(vars)),
+	}
+	remap := make(map[int32]int32, len(vars))
+	for i, v := range vars {
+		remap[v] = int32(i)
+		sub.ids[i] = g.ids[v]
+		sub.byID[g.ids[v]] = int32(i)
+	}
+
+	// Only factors touching an included variable can qualify; walk their
+	// adjacency lists instead of the full factor list.
+	seenFactor := map[int32]bool{}
+	for _, v := range vars {
+		for _, fi := range g.adj[v] {
+			if seenFactor[fi] {
+				continue
+			}
+			seenFactor[fi] = true
+			f := g.factors[fi]
+			inside := true
+			for _, u := range f.Vars() {
+				if !in[u] {
+					inside = false
+					break
+				}
+			}
+			if !inside {
+				continue
+			}
+			nf := Factor{Head: remap[f.Head], W: f.W}
+			for _, u := range f.Body {
+				nf.Body = append(nf.Body, remap[u])
+			}
+			idx := int32(len(sub.factors))
+			sub.factors = append(sub.factors, nf)
+			for _, u := range nf.Vars() {
+				sub.adj[u] = append(sub.adj[u], idx)
+			}
+		}
+	}
+	return sub
+}

@@ -1,0 +1,88 @@
+package factor
+
+import (
+	"reflect"
+	"testing"
+
+	"probkb/internal/engine"
+	"probkb/internal/ground"
+	"probkb/internal/kb"
+)
+
+func TestSubgraphWholeComponent(t *testing.T) {
+	g, _, _ := paperGraph(t)
+	// The paper example is one connected component, so an unbounded
+	// subgraph from any seed is the whole graph.
+	for v := int32(0); int(v) < g.NumVars(); v++ {
+		sub := g.Subgraph(v, 0)
+		if sub.NumVars() != g.NumVars() {
+			t.Fatalf("seed %d: vars = %d, want %d", v, sub.NumVars(), g.NumVars())
+		}
+		if sub.NumFactors() != g.NumFactors() {
+			t.Fatalf("seed %d: factors = %d, want %d", v, sub.NumFactors(), g.NumFactors())
+		}
+	}
+}
+
+func TestSubgraphKeepsFactIDs(t *testing.T) {
+	g, _, _ := paperGraph(t)
+	sub := g.Subgraph(0, 0)
+	for v := int32(0); int(v) < sub.NumVars(); v++ {
+		id := sub.FactID(v)
+		if _, ok := g.VarOf(id); !ok {
+			t.Fatalf("subgraph var %d carries fact id %d unknown to the parent", v, id)
+		}
+		if u, _ := sub.VarOf(id); u != v {
+			t.Fatalf("VarOf(FactID(%d)) = %d in the subgraph", v, u)
+		}
+	}
+}
+
+func TestSubgraphRadiusGrowsToComponent(t *testing.T) {
+	g, _, _ := paperGraph(t)
+	prev := 0
+	for radius := 1; radius <= g.NumVars(); radius++ {
+		sub := g.Subgraph(0, radius)
+		if sub.NumVars() < prev {
+			t.Fatalf("radius %d shrank the ball: %d < %d", radius, sub.NumVars(), prev)
+		}
+		prev = sub.NumVars()
+	}
+	if prev != g.NumVars() {
+		t.Fatalf("radius %d ball has %d vars, want the whole component (%d)", g.NumVars(), prev, g.NumVars())
+	}
+}
+
+func TestSubgraphDropsCrossBoundaryFactors(t *testing.T) {
+	// A 3-chain a -> b -> c: radius 1 around a keeps {a, b} and must
+	// drop the b->c implication factor (c is outside the ball) while
+	// keeping singletons and the a->b factor.
+	facts := engine.NewTable("T", kb.FactsSchema())
+	for i := 0; i < 3; i++ {
+		facts.AppendRow(i, 0, i, 0, i+10, 0, engine.NullFloat64())
+	}
+	null := engine.NullInt32
+	factors := engine.NewTable("TPhi", ground.FactorSchema())
+	factors.AppendRow(0, null, null, 0.5)
+	factors.AppendRow(1, 0, null, 1.0)
+	factors.AppendRow(2, 1, null, 1.0)
+	g, err := FromTables(facts, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := g.Subgraph(0, 1)
+	if sub.NumVars() != 2 {
+		t.Fatalf("vars = %d, want 2", sub.NumVars())
+	}
+	if sub.NumFactors() != 2 {
+		t.Fatalf("factors = %d, want 2 (singleton on a, implication a->b)", sub.NumFactors())
+	}
+}
+
+func TestSubgraphDeterministic(t *testing.T) {
+	g, _, _ := paperGraph(t)
+	a, b := g.Subgraph(0, 2), g.Subgraph(0, 2)
+	if !reflect.DeepEqual(a.ids, b.ids) || !reflect.DeepEqual(a.factors, b.factors) {
+		t.Fatal("two identical Subgraph calls disagree")
+	}
+}

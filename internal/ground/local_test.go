@@ -1,0 +1,157 @@
+package ground
+
+import (
+	"context"
+	"testing"
+
+	"probkb/internal/kb"
+)
+
+// localQueryFor resolves the atom's names, failing on unknown symbols.
+func localQueryFor(t *testing.T, k *kb.KB, rel, x, y string) LocalQuery {
+	t.Helper()
+	r, ok1 := k.RelDict.Lookup(rel)
+	xi, ok2 := k.Entities.Lookup(x)
+	yi, ok3 := k.Entities.Lookup(y)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("unknown symbol in %s(%s, %s)", rel, x, y)
+	}
+	return LocalQuery{Rel: r, X: xi, Y: yi}
+}
+
+func TestLocalGroundMatchesGlobalOnPaperExample(t *testing.T) {
+	k := paperKB(t)
+	global, err := Ground(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := NewLocal(k.Rules, k.FactsTable(), Options{})
+
+	// The example is one tight entity neighborhood: with generous
+	// bounds the local closure must reproduce the global fact set.
+	q := localQueryFor(t, k, "located_in", "Brooklyn", "New_York_City")
+	q.Depth, q.Radius = 4, 5
+	lres, err := lg.Ground(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := factSet(global.Facts), factSet(lres.Facts)
+	if len(got) != len(want) {
+		t.Fatalf("local closure has %d facts, global %d", len(got), len(want))
+	}
+	for key := range want {
+		if !got[key] {
+			t.Fatalf("local closure misses %v", key)
+		}
+	}
+	if len(lres.TargetRows) == 0 {
+		t.Fatal("target atom not found in its own local closure")
+	}
+	if lres.RulesReachable != 4 {
+		t.Fatalf("rules reachable = %d, want all 4", lres.RulesReachable)
+	}
+	if lres.SeedFacts != 2 {
+		t.Fatalf("seed facts = %d, want both born_in observations", lres.SeedFacts)
+	}
+	if !lres.Converged {
+		t.Fatal("local closure did not converge within the depth bound")
+	}
+}
+
+func TestLocalGroundObservedAtom(t *testing.T) {
+	k := paperKB(t)
+	lg := NewLocal(k.Rules, k.FactsTable(), Options{})
+	q := localQueryFor(t, k, "born_in", "Ruth_Gruber", "Brooklyn")
+	lres, err := lg.Ground(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lres.TargetRows) == 0 {
+		t.Fatal("observed atom not found")
+	}
+	if r := lres.TargetRows[0]; r >= lres.BaseFacts {
+		t.Fatalf("observed atom landed at row %d, past the %d seed rows", r, lres.BaseFacts)
+	}
+}
+
+func TestLocalGroundDepthOneStillDerives(t *testing.T) {
+	k := paperKB(t)
+	lg := NewLocal(k.Rules, k.FactsTable(), Options{})
+	// Depth 1 keeps only the two located_in rules; the born_in ∧
+	// born_in rule derives the atom from raw evidence in one step.
+	q := localQueryFor(t, k, "located_in", "Brooklyn", "New_York_City")
+	q.Depth = 1
+	lres, err := lg.Ground(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.RulesReachable != 2 {
+		t.Fatalf("rules reachable at depth 1 = %d, want the 2 located_in rules", lres.RulesReachable)
+	}
+	if len(lres.TargetRows) == 0 {
+		t.Fatal("depth-1 derivation missed the atom")
+	}
+}
+
+func TestLocalGroundIrrelevantEvidenceExcluded(t *testing.T) {
+	k := paperKB(t)
+	// A disconnected fact about unrelated entities must not enter the
+	// entity ball.
+	k.InternFact("born_in", "Freud", "Writer", "Vienna", "Place", 0.9)
+	lg := NewLocal(k.Rules, k.FactsTable(), Options{})
+	q := localQueryFor(t, k, "located_in", "Brooklyn", "New_York_City")
+	lres, err := lg.Ground(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.SeedFacts != 2 {
+		t.Fatalf("seed facts = %d, want 2 (Vienna is disconnected)", lres.SeedFacts)
+	}
+	rels := lres.Facts.Int32Col(kb.TPiR)
+	xs := lres.Facts.Int32Col(kb.TPiX)
+	freud, _ := k.Entities.Lookup("Freud")
+	for r := 0; r < lres.Facts.NumRows(); r++ {
+		if xs[r] == freud {
+			t.Fatalf("disconnected entity leaked into the local closure (rel %d)", rels[r])
+		}
+	}
+}
+
+func TestLocalGroundUnderivableAtom(t *testing.T) {
+	k := paperKB(t)
+	// live_in(NYC, Brooklyn) reverses the argument order no rule
+	// produces: the closure must complete without finding it.
+	q := localQueryFor(t, k, "live_in", "New_York_City", "Brooklyn")
+	lg := NewLocal(k.Rules, k.FactsTable(), Options{})
+	lres, err := lg.Ground(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lres.TargetRows) != 0 {
+		t.Fatalf("underivable atom matched rows %v", lres.TargetRows)
+	}
+}
+
+func TestLocalGroundConcurrent(t *testing.T) {
+	k := paperKB(t)
+	lg := NewLocal(k.Rules, k.FactsTable(), Options{})
+	queries := []LocalQuery{
+		localQueryFor(t, k, "located_in", "Brooklyn", "New_York_City"),
+		localQueryFor(t, k, "live_in", "Ruth_Gruber", "Brooklyn"),
+		localQueryFor(t, k, "born_in", "Ruth_Gruber", "Brooklyn"),
+	}
+	done := make(chan error, 8*len(queries))
+	for i := 0; i < 8; i++ {
+		for _, q := range queries {
+			go func(q LocalQuery) {
+				_, err := lg.Ground(context.Background(), q)
+				done <- err
+			}(q)
+		}
+	}
+	for i := 0; i < 8*len(queries); i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

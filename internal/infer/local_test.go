@@ -1,0 +1,84 @@
+package infer
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLocalMarginalOracle: the neighborhood Gibbs estimate of every
+// variable must match the exact enumeration oracle — with an unbounded
+// radius the subgraph is the variable's whole connected component,
+// whose marginal equals the full graph's.
+func TestLocalMarginalOracle(t *testing.T) {
+	for seed := int64(300); seed < 304; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(t, rng, 3+rng.Intn(8))
+		exact, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Burnin: 500, Samples: 8000, Seed: seed}
+		for v := range exact {
+			res, err := LocalMarginalContext(context.Background(), g, int32(v), 0, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(res.Probability - exact[v]); d > oracleTol {
+				t.Errorf("seed %d var %d: local %v vs exact %v (|Δ|=%v, %d vars sampled)",
+					seed, v, res.Probability, exact[v], d, res.Vars)
+			}
+			if res.Collected == 0 || res.Vars == 0 {
+				t.Errorf("seed %d var %d: empty local run %+v", seed, v, res)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// A bounded radius must still produce a sane probability, and the
+// neighborhood must be no larger than the full graph.
+func TestLocalMarginalBoundedRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomGraph(t, rng, 10)
+	res, err := LocalMarginalContext(context.Background(), g, 0, 1, Options{Burnin: 50, Samples: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probability < 0 || res.Probability > 1 {
+		t.Fatalf("probability = %v", res.Probability)
+	}
+	if res.Vars > g.NumVars() {
+		t.Fatalf("neighborhood has %d vars, graph only %d", res.Vars, g.NumVars())
+	}
+}
+
+func TestLocalMarginalBadTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(t, rng, 4)
+	if _, err := LocalMarginalContext(context.Background(), g, 99, 0, Options{}); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := LocalMarginalContext(context.Background(), g, -1, 0, Options{}); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestLocalMarginalCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(t, rng, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := LocalMarginalContext(ctx, g, 0, 0, Options{Burnin: 100, Samples: 1000, Seed: 1})
+	if err == nil {
+		t.Fatal("cancelled context produced no error")
+	}
+	if res.Collected != 0 {
+		// Partial estimates are allowed, but a pre-cancelled context
+		// should not have collected anything.
+		t.Fatalf("collected %d sweeps on a pre-cancelled context", res.Collected)
+	}
+}

@@ -48,6 +48,11 @@ const (
 	// TypeIncident is a watchdog-captured anomaly report (obs.Incident);
 	// anomalies depend on load and wall time, so Canonicalize drops it.
 	TypeIncident = "incident"
+	// TypeQueryLocal records a point query answered by the local
+	// grounding path. The answer is a deterministic function of the
+	// evidence, the query, and the seed, so Canonicalize keeps it
+	// (stripping only the timing field).
+	TypeQueryLocal = "query_local"
 )
 
 // Event is the JSONL envelope: one line per event.
@@ -129,6 +134,29 @@ type AnalyzedQuery struct {
 	Query   string   `json:"query"`
 	Seconds float64  `json:"seconds"`
 	Plan    PlanNode `json:"plan"`
+}
+
+// QueryLocal is one point query served by the local grounding path: the
+// atom, the resolved bounds, the shape of the local computation, and
+// the answer. Probability is nil when the marginal is NaN (unknown
+// atom, underivable within bounds, or skipped inference) — json.Marshal
+// rejects NaN, and Emit panics on a marshal failure.
+type QueryLocal struct {
+	Rel          string   `json:"rel"`
+	X            string   `json:"x"`
+	Y            string   `json:"y"`
+	Depth        int      `json:"depth"`
+	Radius       int      `json:"radius"`
+	Found        bool     `json:"found"`
+	Observed     bool     `json:"observed"`
+	SeedFacts    int      `json:"seed_facts"`
+	LocalFacts   int      `json:"local_facts"`
+	LocalVars    int      `json:"local_vars"`
+	LocalFactors int      `json:"local_factors"`
+	Rules        int      `json:"rules"`
+	Collected    int      `json:"collected"`
+	Probability  *float64 `json:"probability"`
+	Seconds      float64  `json:"seconds"`
 }
 
 // Motion is one motion operator's shipped volume, extracted from a

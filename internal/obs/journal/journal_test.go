@@ -238,3 +238,30 @@ func TestCanonicalize(t *testing.T) {
 		}
 	}
 }
+
+// TestCanonicalizeQueryLocal: a point-query answer is a deterministic
+// function of the evidence, the query, and the seed, so Canonicalize
+// keeps the event — only its wall-clock field goes.
+func TestCanonicalizeQueryLocal(t *testing.T) {
+	w := New()
+	p := 0.42
+	w.Emit(TypeQueryLocal, QueryLocal{
+		Rel: "located_in", X: "Brooklyn", Y: "New_York_City",
+		Depth: 3, Radius: 4, Found: true,
+		SeedFacts: 2, LocalFacts: 5, LocalVars: 3, LocalFactors: 4,
+		Rules: 4, Collected: 500, Probability: &p, Seconds: 0.012,
+	})
+	canon := Canonicalize(w.Events())
+	if len(canon) != 1 || canon[0].Type != TypeQueryLocal {
+		t.Fatalf("canonicalized events = %+v, want the query_local event kept", canon)
+	}
+	data := string(canon[0].Data)
+	for _, keep := range []string{"probability", "local_facts", "seed_facts", "collected"} {
+		if !strings.Contains(data, `"`+keep+`"`) {
+			t.Fatalf("run-determined key %q was stripped:\n%s", keep, data)
+		}
+	}
+	if strings.Contains(data, `"seconds"`) {
+		t.Fatalf("timing key survived canonicalization:\n%s", data)
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"probkb"
+	"probkb/internal/obs"
+)
+
+// marginalJSON is the GET /query payload. Marginal is null — not NaN,
+// which JSON cannot carry — when the atom is unknown, underivable
+// within the bounds, or inference was skipped (samples<0); check
+// "found" to tell the cases apart.
+type marginalJSON struct {
+	Atom         string   `json:"atom"`
+	Rel          string   `json:"rel"`
+	X            string   `json:"x"`
+	Y            string   `json:"y"`
+	Marginal     *float64 `json:"marginal"`
+	Found        bool     `json:"found"`
+	Observed     bool     `json:"observed"`
+	Cached       bool     `json:"cached"`
+	Generation   uint64   `json:"generation"`
+	Depth        int      `json:"depth"`
+	Radius       int      `json:"radius"`
+	SeedFacts    int      `json:"seedFacts"`
+	LocalFacts   int      `json:"localFacts"`
+	LocalVars    int      `json:"localVars"`
+	LocalFactors int      `json:"localFactors"`
+	Collected    int      `json:"collected"`
+	ElapsedMS    float64  `json:"elapsedMs"`
+}
+
+func marginalToJSON(atom string, m probkb.Marginal) marginalJSON {
+	out := marginalJSON{
+		Atom: atom, Rel: m.Rel, X: m.X, Y: m.Y,
+		Found: m.Found, Observed: m.Observed, Cached: m.Cached,
+		Generation: m.Generation, Depth: m.Depth, Radius: m.Radius,
+		SeedFacts: m.SeedFacts, LocalFacts: m.LocalFacts,
+		LocalVars: m.LocalVars, LocalFactors: m.LocalFactors,
+		Collected: m.Collected,
+		ElapsedMS: float64(m.Elapsed) / float64(time.Millisecond),
+	}
+	if !math.IsNaN(m.Probability) {
+		p := m.Probability
+		out.Marginal = &p
+	}
+	return out
+}
+
+// intParam parses an optional integer query parameter into *dst,
+// reporting a 400-worthy error on garbage. Negative values pass
+// through — samples=-1 is the documented way to skip inference.
+func intParam(q url.Values, name string, dst *int) error {
+	s := q.Get(name)
+	if s == "" {
+		return nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("bad %s %q", name, s)
+	}
+	*dst = n
+	return nil
+}
+
+// handleQuery answers GET /query?atom=Rel(x,y): a point query via
+// local grounding and neighborhood Gibbs (probkb.QueryLocal), never the
+// global fixpoint. Optional knobs: depth, radius (grounding bounds),
+// markov (Gibbs neighborhood radius), burnin, samples (samples=-1
+// skips inference), nocache=1 (bypass the marginal cache). Cancellation
+// via DELETE /debug/queries/{id} unwinds as a 499.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	atom := qv.Get("atom")
+	if atom == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("query needs atom=Rel(x, y)"))
+		return
+	}
+	rel, x, y, err := probkb.ParseAtom(atom)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pq := probkb.PointQuery{Rel: rel, X: x, Y: y}
+	for name, dst := range map[string]*int{
+		"depth": &pq.Depth, "radius": &pq.Radius, "markov": &pq.MarkovRadius,
+		"burnin": &pq.Burnin, "samples": &pq.Samples,
+	} {
+		if err := intParam(qv, name, dst); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if nc := qv.Get("nocache"); nc != "" {
+		v, err := strconv.ParseBool(nc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad nocache %q", nc))
+			return
+		}
+		pq.NoCache = v
+	}
+
+	ctx, aq := obs.Queries.Begin(r.Context(), "query", atom)
+	defer obs.Queries.Finish(aq)
+	start := time.Now()
+	m, err := s.expansion().QueryLocal(ctx, pq)
+	s.noteQuery(r, aq, time.Since(start), "", nil)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, marginalToJSON(atom, m))
+}

@@ -15,6 +15,13 @@
 //	                                      facts, filterable by relation,
 //	                                      arguments, and inferred flag
 //	GET    /explain?rel=&x=&y=&depth=     derivation tree (text/plain)
+//	GET    /query?atom=Rel(x,y)&depth=&radius=&markov=&burnin=&samples=&nocache=
+//	                                      point query: local grounding +
+//	                                      neighborhood Gibbs, cached per
+//	                                      (atom, bounds) until the expansion
+//	                                      is swapped; "marginal" is null when
+//	                                      the atom is unknown/underivable or
+//	                                      samples=-1 skipped inference
 //	GET    /sql?q=SELECT...&analyze=1     run a SQL query (see probkb.QuerySQL);
 //	                                      analyze=1 adds the EXPLAIN ANALYZE
 //	                                      plan (estimates vs actuals) to the
@@ -121,6 +128,7 @@ func NewPending() *Server {
 	s.mux.HandleFunc("GET /stats", instrument("/stats", s.whenReady(s.handleStats)))
 	s.mux.HandleFunc("GET /facts", instrument("/facts", s.whenReady(s.handleFacts)))
 	s.mux.HandleFunc("GET /explain", instrument("/explain", s.whenReady(s.handleExplain)))
+	s.mux.HandleFunc("GET /query", instrument("/query", s.whenReady(s.handleQuery)))
 	s.mux.HandleFunc("GET /sql", instrument("GET /sql", s.whenReady(s.handleSQL)))
 	s.mux.HandleFunc("POST /sql", instrument("POST /sql", s.whenReady(s.handleDistSQL)))
 	s.mux.HandleFunc("GET /metrics", instrument("/metrics", s.handleMetrics))

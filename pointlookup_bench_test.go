@@ -1,0 +1,97 @@
+// Point-lookup microbenchmarks: Explain and Find are the hot paths a
+// lookup service hammers, and both used to rescan the fact table per
+// call (Explain even per rendered node). These benchmarks exist to keep
+// them honest: Explain is O(tree + one indexing pass) and Find resolves
+// names to IDs once instead of rendering every row.
+package probkb_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"probkb"
+)
+
+var (
+	lookupOnce sync.Once
+	lookupExp  *probkb.Expansion
+	lookupFact probkb.Fact
+)
+
+// lookupExpansion expands (once) a synthetic corpus big enough that a
+// per-row rescan is visibly quadratic.
+func lookupExpansion(b *testing.B) (*probkb.Expansion, probkb.Fact) {
+	b.Helper()
+	lookupOnce.Do(func() {
+		k, _, err := probkb.Synthesize(benchScale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp, err := k.Expand(probkb.Config{Engine: probkb.SingleNode, RunInference: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inferred := exp.InferredFacts()
+		if len(inferred) == 0 {
+			b.Fatal("corpus derived nothing")
+		}
+		lookupExp, lookupFact = exp, inferred[len(inferred)/2]
+	})
+	return lookupExp, lookupFact
+}
+
+func BenchmarkExplain(b *testing.B) {
+	exp, f := lookupExpansion(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Explain(f.Rel, f.X, f.Y, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	exp, f := lookupExpansion(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := exp.Find(f.Rel, f.X, f.Y); len(got) == 0 {
+			b.Fatal("fact not found")
+		}
+	}
+}
+
+func BenchmarkFindWildcardRel(b *testing.B) {
+	exp, f := lookupExpansion(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := exp.Find(f.Rel, "", ""); len(got) == 0 {
+			b.Fatal("relation not found")
+		}
+	}
+}
+
+func BenchmarkQueryLocalCold(b *testing.B) {
+	exp, f := lookupExpansion(b)
+	q := probkb.PointQuery{Rel: f.Rel, X: f.X, Y: f.Y, Burnin: 20, Samples: 100, NoCache: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.QueryLocal(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryLocalCached(b *testing.B) {
+	exp, f := lookupExpansion(b)
+	q := probkb.PointQuery{Rel: f.Rel, X: f.X, Y: f.Y, Burnin: 20, Samples: 100}
+	if _, err := exp.QueryLocal(context.Background(), q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.QueryLocal(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

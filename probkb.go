@@ -539,7 +539,7 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 		// completed iterations.
 		if res != nil && isCtxErr(err) {
 			observeStage("ground", groundStart)
-			exp := &Expansion{kb: work, res: res, cfg: cfg, jr: jr}
+			exp := newExpansion(work, res, cfg, jr)
 			exp.emitRunEnd()
 			return nil, &PartialError{Phase: "ground", Partial: exp, Err: err}
 		}
@@ -553,7 +553,7 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 		return nil, err
 	}
 
-	exp := &Expansion{kb: work, res: res, cfg: cfg, jr: jr}
+	exp := newExpansion(work, res, cfg, jr)
 	if cfg.RunInference {
 		if err := exp.runInference(ctx); err != nil {
 			if isCtxErr(err) {
