@@ -3,7 +3,7 @@ GO ?= go
 # Baseline for bench-diff (write one with `make bench-baseline`).
 BENCH_BASE ?= BENCH_baseline.json
 
-.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke incident-smoke query-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke incident-smoke query-smoke mvcc-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke incident-smoke query-smoke
+check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke incident-smoke query-smoke mvcc-smoke
 
 # Metric hygiene: every Counter/Gauge/Histogram name is probkb_-prefixed
 # snake_case with the right unit suffix and a Help() string (see
@@ -108,6 +108,7 @@ chaos-smoke:
 	grep -q "Fault injection" "$$tmp/report.txt" && \
 	grep -q "injected faults:" "$$tmp/report.txt" && \
 	grep -q "segment retries:" "$$tmp/report.txt" && \
+	$(GO) test -race -count=1 -run 'TestChaosFaultedExpandNeverSwaps|TestChaosCancelledExpandKeepsReaders' . >/dev/null && \
 	echo "chaos-smoke: ok"
 
 # Watchdog/incident smoke test: the end-to-end stuck-query path — a
@@ -128,6 +129,21 @@ query-smoke:
 	$(GO) test -race -count=1 -run 'TestQuerySmoke|TestQueryConcurrentInvalidation|TestQueryMarginalNull|TestQueryObservedAtom|TestQueryBadRequests' ./internal/server
 	$(GO) test -race -count=1 -run 'TestQueryLocal|TestKBPointQuery|TestParseAtom' .
 	@echo "query-smoke: ok"
+
+# MVCC serving-tier smoke: the epoch manager's unit battery, the
+# snapshot-isolation property test (randomized interleavings over the
+# epoch manager + COW fork, shrink on failure), the API-level
+# differential oracle (pinned-generation answers byte-identical to a
+# serial replay while ExtendWith races), and the server's
+# read-while-write surface (POST /facts publish, batch point queries,
+# admission control, cancelled rebuilds never publishing) — all under
+# -race, where a torn read is also a reported data race.
+mvcc-smoke:
+	$(GO) test -race -count=1 ./internal/epoch
+	$(GO) test -race -count=1 -run 'TestSnapshotIsolation|TestReplayMVCCDeterministic|TestShrinkMVCCReduces' ./internal/proptest
+	$(GO) test -race -count=1 -run 'TestMVCC' .
+	$(GO) test -race -count=1 -run 'TestAdmissionControl|TestFactsPost|TestQueryBatch|TestCancelledExpandDoesNotPublish|TestQueryCancelPinnedReader' ./internal/server
+	@echo "mvcc-smoke: ok"
 
 fmt:
 	gofmt -l -w .

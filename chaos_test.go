@@ -3,9 +3,11 @@ package probkb
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -281,5 +283,140 @@ func TestDeadlineMidGibbs(t *testing.T) {
 	}
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, does not unwrap to context.DeadlineExceeded", err)
+	}
+}
+
+// --- MVCC under chaos: failed builds never reach readers ---
+
+// raceChaosReaders hammers the serving generation's full query surface
+// (observeGeneration, from mvcc_test.go) from n goroutines until the
+// returned func is called, which stops them and reports the first
+// divergence from want. Under -race this doubles as a data-race probe:
+// the faulted/cancelled rebuild must write nothing these readers touch.
+func raceChaosReaders(t *testing.T, exp *Expansion, want []byte, n int) func() error {
+	t.Helper()
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := observeGeneration(t, exp); string(got) != string(want) {
+					select {
+					case errCh <- fmt.Errorf("serving generation drifted during a doomed rebuild:\n got %s\nwant %s", got, want):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	return func() error {
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+}
+
+// TestChaosFaultedExpandNeverSwaps serves a generation to racing
+// readers, then rebuilds from that very generation's KB under a lethal
+// fault plan (every segment task fails, zero retries). The rebuild must
+// die, return nothing publishable, and leave the pinned readers'
+// answers byte-identical throughout — the "swap never occurs" half of
+// the MVCC publication contract, under injected faults rather than a
+// clean cancel.
+func TestChaosFaultedExpandNeverSwaps(t *testing.T) {
+	clean := journalConfig()
+	clean.RunInference = false
+	exp, err := paperKB(t).Expand(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := observeGeneration(t, exp)
+	check := raceChaosReaders(t, exp, before, 4)
+
+	lethal := journalConfig()
+	lethal.RunInference = false
+	lethal.Faults = &FaultConfig{Seed: 1, FailRate: 1}
+	lethal.SegmentRetries = 0
+	// Rebuild from the generation being served, exactly like a server
+	// /admin/expand against the pinned snapshot.
+	expFail, err := exp.KB().ExpandContext(context.Background(), lethal)
+	if err == nil {
+		t.Fatal("lethal fault plan did not kill the rebuild")
+	}
+	if expFail != nil {
+		t.Fatal("failed rebuild returned a publishable expansion")
+	}
+
+	if rerr := check(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if got := observeGeneration(t, exp); string(got) != string(before) {
+		t.Fatalf("faulted rebuild mutated the serving generation:\n got %s\nwant %s", got, before)
+	}
+
+	// The machinery recovers: the same rebuild with the faults gone
+	// succeeds from the untouched generation.
+	ok := journalConfig()
+	ok.RunInference = false
+	if _, err := exp.KB().ExpandContext(context.Background(), ok); err != nil {
+		t.Fatalf("clean rebuild after the faulted one failed: %v", err)
+	}
+}
+
+// TestChaosCancelledExpandKeepsReaders is the cancellation variant:
+// a rebuild from the served generation is cancelled mid-grounding
+// (PartialError, phase "ground") while readers race; the served
+// answers must not move and the partial result is never the serving
+// generation's problem.
+func TestChaosCancelledExpandKeepsReaders(t *testing.T) {
+	clean := journalConfig()
+	clean.RunInference = false
+	exp, err := paperKB(t).Expand(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := observeGeneration(t, exp)
+	check := raceChaosReaders(t, exp, before, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	doomed := journalConfig()
+	doomed.RunInference = false
+	doomed.OnIteration = func(st IterationStats) {
+		if st.Iteration >= 1 {
+			cancel()
+		}
+	}
+	expFail, err := exp.KB().ExpandContext(ctx, doomed)
+	if expFail != nil {
+		t.Fatal("cancelled rebuild returned a publishable expansion")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PartialError", err, err)
+	}
+	if pe.Phase != "ground" {
+		t.Fatalf("phase = %q, want %q", pe.Phase, "ground")
+	}
+
+	if rerr := check(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if got := observeGeneration(t, exp); string(got) != string(before) {
+		t.Fatalf("cancelled rebuild mutated the serving generation:\n got %s\nwant %s", got, before)
 	}
 }

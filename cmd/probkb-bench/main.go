@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|serve|point-query|all
+//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|serve|serve-mixed|point-query|all
 //	             [-scale 0.02] [-seed 42] [-segments 4] [-json PATH]
-//	             [-clients 8] [-serve-duration 2s] [-point-query]
+//	             [-clients 8] [-serve-duration 2s] [-point-query] [-mixed]
 //	             [-compare BENCH_old.json]
 //
 // A bare first argument is shorthand for -exp, so `probkb-bench serve`
@@ -16,6 +16,12 @@
 // (cache-bypassing local grounding + neighborhood Gibbs) vs cached
 // lookups — and records the full-closure wall time of the same corpus
 // as the reference those latencies replace.
+// `probkb-bench serve -mixed` measures the MVCC serving tier: the same
+// read workload first against an idle server, then while a writer
+// streams POST /facts extends that publish a new generation each round
+// — the idle and under-write percentiles land in BENCH_<date>.json as
+// one serve-mixed experiment, so bench-diff gates regressions in the
+// read-while-expand path.
 //
 // Besides the human-readable tables on stdout, the run's structured
 // results and per-experiment wall times are written to BENCH_<date>.json
@@ -48,7 +54,7 @@ func main() {
 	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
 		os.Args = append([]string{os.Args[0], "-exp", os.Args[1]}, os.Args[2:]...)
 	}
-	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, serve, point-query, all)")
+	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, serve, serve-mixed, point-query, all)")
 	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	segments := flag.Int("segments", 4, "MPP cluster segments")
@@ -61,9 +67,14 @@ func main() {
 		"diff this run against an older BENCH_<date>.json; exit nonzero on >20% regression")
 	pointQuery := flag.Bool("point-query", false,
 		"with -exp serve: drive GET /query (cold vs cached local grounding) instead of the read endpoints")
+	mixed := flag.Bool("mixed", false,
+		"with -exp serve: mixed read-while-expand workload — idle vs under-write read percentiles")
 	flag.Parse()
 	if *pointQuery && *exp == "serve" {
 		*exp = "point-query"
+	}
+	if *mixed && *exp == "serve" {
+		*exp = "serve-mixed"
 	}
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Segments: *segments}
@@ -87,6 +98,7 @@ func main() {
 		{"feedback", func() (any, error) { return nil, bench.Feedback(cfg, w) }},
 		{"workers", func() (any, error) { return bench.Workers(cfg, w) }},
 		{"serve", func() (any, error) { return bench.ServeN(cfg, *clients, *serveDur, w) }},
+		{"serve-mixed", func() (any, error) { return bench.ServeMixed(cfg, *clients, *serveDur, w) }},
 		{"point-query", func() (any, error) { return bench.PointQuery(cfg, *clients, *serveDur, w) }},
 	}
 

@@ -6,7 +6,7 @@
 //
 //	probkb-server -kb DIR [-addr :8080] [-engine probkb] [-iters N]
 //	              [-no-constraints] [-theta F] [-no-inference]
-//	              [-persist DIR] [-slow DUR]
+//	              [-persist DIR] [-slow DUR] [-max-in-flight N]
 //	              [-watchdog-interval DUR] [-stuck-query DUR]
 //	              [-max-goroutines N] [-max-rhat F] [-max-wal-records N]
 //	              [-max-retries-per-tick N] [-incident-dir DIR]
@@ -56,6 +56,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "inference seed")
 	persistDir := flag.String("persist", "", "durable store directory: created from -kb if empty, recovered if it already holds a store")
 	slowThreshold := flag.Duration("slow", 0, "slow-query threshold for /debug/slow (0 = off), e.g. 250ms")
+	maxInFlight := flag.Int("max-in-flight", 0, "admission control: max concurrently served data requests, excess answers 429 (0 = unlimited)")
 	watchInterval := flag.Duration("watchdog-interval", 5*time.Second, "watchdog detector evaluation interval (0 = watchdogs off)")
 	stuckQuery := flag.Duration("stuck-query", 5*time.Minute, "flag a query running longer than this")
 	maxGoroutines := flag.Int("max-goroutines", 10000, "flag a goroutine count above this")
@@ -131,6 +132,7 @@ func main() {
 	// /healthz and /metrics serve immediately, /readyz stays 503 until
 	// the expansion below attaches.
 	srv := server.NewPending()
+	srv.SetMaxInFlight(*maxInFlight)
 	go func() {
 		logger.Info("listening", "addr", *addr)
 		if err := http.ListenAndServe(*addr, srv); err != nil {

@@ -67,15 +67,25 @@ type Expansion struct {
 	inferenceTime time.Duration
 
 	// Point-query state (query.go): the generation the marginal cache
-	// is keyed by, the cache itself, and the lazily built local
-	// grounder. The cache dies with the expansion, which is what makes
-	// ExtendWith an invalidation.
+	// is keyed by, the cache itself, the in-flight coalescing table
+	// (concurrent identical lookups share one grounding run), and the
+	// lazily built local grounder. The cache dies with the expansion,
+	// which is what makes ExtendWith an invalidation.
 	gen       uint64
 	qmu       sync.RWMutex
 	qcache    map[queryKey]Marginal
+	qflight   map[queryKey]*queryCall
 	localOnce sync.Once
 	local     *ground.LocalGrounder
 }
+
+// KB returns the knowledge base this expansion was grounded from — the
+// generation's frozen base. After ExtendWith it is the copy-on-write
+// fork carrying the round's new symbols and memberships; the MVCC
+// serving tier publishes it next to the expansion so SQL and dictionary
+// lookups resolve against the same generation the expansion answers
+// from. Callers must treat it as read-only while readers are pinned.
+func (e *Expansion) KB() *KB { return &KB{inner: e.kb} }
 
 // Journal returns the run's journal writer — the bounded in-memory
 // event record every expansion keeps (and, when Config.JournalPath was
@@ -368,7 +378,7 @@ func (e *Expansion) ConvergenceDiagnostics(chains int) (maxRHat float64, converg
 // are the expanded set (inferred probabilities as weights), suitable for
 // Save or further expansion rounds.
 func (e *Expansion) ToKB() *KB {
-	out := e.kb.Clone()
+	out := e.kb.Fork()
 	t := e.res.Facts
 	facts := make([]kb.Fact, 0, t.NumRows())
 	for r := 0; r < t.NumRows(); r++ {
@@ -387,31 +397,43 @@ func (e *Expansion) ToKB() *KB {
 // and ExtendWith refuses.
 //
 // The returned Expansion replaces the receiver for further queries; the
-// receiver stays valid but frozen at its old contents. Facts derived in
-// earlier rounds count as *base* facts of the new expansion (their
-// inferred probabilities, when inference ran, carry over as evidence
-// weights); Stats().InferredFacts and Fact.Inferred describe only the
-// new round.
+// receiver stays valid and genuinely frozen: the new round builds on a
+// copy-on-write fork of the receiver's KB (kb.Fork), so readers pinned
+// to the old generation — the MVCC serving tier keeps them lock-free
+// mid-extend — never observe a new symbol, membership, or weight.
+// Facts derived in earlier rounds count as *base* facts of the new
+// expansion (their inferred probabilities, when inference ran, carry
+// over as evidence weights); Stats().InferredFacts and Fact.Inferred
+// describe only the new round.
 func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
+	return e.ExtendWithContext(context.Background(), newFacts)
+}
+
+// ExtendWithContext is ExtendWith under the caller's context: grounding
+// and inference observe cancellation cooperatively (a cancelled round
+// returns an error and publishes nothing — the receiver generation is
+// untouched), and the round's span tree hangs off ctx's trace.
+func (e *Expansion) ExtendWithContext(ctx context.Context, newFacts []Fact) (*Expansion, error) {
 	if !e.res.Converged {
 		return nil, fmt.Errorf("probkb: ExtendWith requires a converged prior expansion")
 	}
+	work := e.kb.Fork()
 	interned := make([]kb.Fact, 0, len(newFacts))
 	for _, f := range newFacts {
-		cx := e.kb.Classes.Intern(f.XClass)
-		cy := e.kb.Classes.Intern(f.YClass)
-		rel := e.kb.AddRelation(f.Rel, cx, cy)
-		e.kb.AddMember(cx, e.kb.Entities.Intern(f.X))
-		e.kb.AddMember(cy, e.kb.Entities.Intern(f.Y))
+		cx := work.Classes.Intern(f.XClass)
+		cy := work.Classes.Intern(f.YClass)
+		rel := work.AddRelation(f.Rel, cx, cy)
+		work.AddMember(cx, work.Entities.Intern(f.X))
+		work.AddMember(cy, work.Entities.Intern(f.Y))
 		interned = append(interned, kb.Fact{
 			Rel: rel,
-			X:   e.kb.Entities.Intern(f.X), XClass: cx,
-			Y: e.kb.Entities.Intern(f.Y), YClass: cy,
+			X:   work.Entities.Intern(f.X), XClass: cx,
+			Y: work.Entities.Intern(f.Y), YClass: cy,
 			W: f.Probability,
 		})
 	}
 
-	ctx, root := obs.StartSpan(context.Background(), "extend")
+	ctx, root := obs.StartSpan(ctx, "extend")
 	defer root.End()
 	root.SetAttr("new_facts", len(newFacts))
 
@@ -431,24 +453,24 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 	if p := e.cfg.Persist; p != nil {
 		p.inner.SetJournal(jr)
 		defer p.inner.SetJournal(nil)
-		attachPersist(&opts, p, e.kb)
+		attachPersist(&opts, p, work)
 	}
 	if e.cfg.ApplyConstraints {
-		opts.ConstraintHook = journaledHook(jr, quality.NewChecker(e.kb))
+		opts.ConstraintHook = journaledHook(jr, quality.NewChecker(work))
 	}
-	res, err := ground.Extend(e.kb, e.res, interned, opts)
+	res, err := ground.Extend(work, e.res, interned, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := persistFinal(e.cfg.Persist, e.kb, res.Facts); err != nil {
+	if err := persistFinal(e.cfg.Persist, work, res.Facts); err != nil {
 		return nil, err
 	}
-	next := newExpansion(e.kb, res, e.cfg, jr)
+	next := newExpansion(work, res, e.cfg, jr)
 	if e.cfg.RunInference {
 		if err := next.runInference(ctx); err != nil {
 			return nil, err
 		}
-		if err := persistFinal(e.cfg.Persist, e.kb, res.Facts); err != nil {
+		if err := persistFinal(e.cfg.Persist, work, res.Facts); err != nil {
 			return nil, err
 		}
 	}

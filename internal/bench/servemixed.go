@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"probkb"
+	"probkb/internal/obs"
+	"probkb/internal/server"
+)
+
+// MixedPhase aggregates the read latencies of one phase of the mixed
+// workload: "idle" (no writer) or "under-write" (a writer streaming
+// POST /facts extends, each publishing a new generation mid-phase).
+type MixedPhase struct {
+	Phase    string  `json:"phase"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// MixedResult is the read-while-expand harness's record in
+// BENCH_<date>.json: the MVCC serving tier's claim — readers make
+// progress at comparable latency while generations turn over — in
+// numbers.
+type MixedResult struct {
+	Clients     int          `json:"clients"`
+	Seconds     float64      `json:"seconds"`
+	Generations int          `json:"generations"` // published by the writer mid-phase
+	FactsAdded  int          `json:"facts_added"`
+	Phases      []MixedPhase `json:"phases"`
+}
+
+// ServeMixed measures the epoch-pinned read path against a moving
+// target: the same point-read workload as Serve, first against an idle
+// server, then while one writer continuously streams fact batches
+// through POST /facts — every accepted batch builds a generation on a
+// copy-on-write fork and publishes it. Readers pin per request, so the
+// under-write phase answers from a mix of generations but each answer
+// is a whole one; the interesting output is the latency delta between
+// the two phases and that the reader side never stalls.
+func ServeMixed(cfg Config, clients int, duration time.Duration, w io.Writer) (*MixedResult, error) {
+	cfg = cfg.withDefaults()
+	if clients <= 0 {
+		clients = 8
+	}
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+	phaseDur := duration / 2
+
+	k, _, err := probkb.Synthesize(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	exp, err := k.Expand(probkb.Config{
+		Engine:       probkb.SingleNode,
+		RunInference: true,
+		GibbsBurnin:  20,
+		GibbsSamples: 100,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	prevLogger := obs.Logger()
+	obs.SetLogger(obs.NewTextLogger(io.Discard, slog.LevelWarn))
+	defer obs.SetLogger(prevLogger)
+
+	srv := httptest.NewServer(server.New(k, exp))
+	defer srv.Close()
+
+	facts := exp.Facts()
+	if len(facts) == 0 {
+		return nil, fmt.Errorf("bench: serve-mixed: expansion has no facts")
+	}
+	if len(facts) > 512 {
+		facts = facts[:512]
+	}
+	factURLs := make([]string, len(facts))
+	for i, f := range facts {
+		factURLs[i] = srv.URL + "/facts?rel=" + url.QueryEscape(f.Rel) +
+			"&x=" + url.QueryEscape(f.X) + "&y=" + url.QueryEscape(f.Y)
+	}
+	entities := k.Stats().Entities
+	if entities == 0 {
+		entities = 1
+	}
+
+	// runPhase drives the read workload for phaseDur and aggregates it.
+	runPhase := func(phase string) MixedPhase {
+		perClient := make([][]time.Duration, clients)
+		errs := make([]int, clients)
+		deadline := time.Now().Add(phaseDur)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+				client := &http.Client{}
+				for time.Now().Before(deadline) {
+					var target string
+					if rng.Intn(2) == 0 {
+						q := fmt.Sprintf("SELECT T.R, T.y, T.w FROM T WHERE T.x = %d", rng.Intn(entities))
+						target = srv.URL + "/sql?q=" + url.QueryEscape(q)
+					} else {
+						target = factURLs[rng.Intn(len(factURLs))]
+					}
+					start := time.Now()
+					resp, err := client.Get(target)
+					elapsed := time.Since(start)
+					if err != nil {
+						errs[c]++
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs[c]++
+						continue
+					}
+					perClient[c] = append(perClient[c], elapsed)
+				}
+			}(c)
+		}
+		wg.Wait()
+
+		var durs []time.Duration
+		p := MixedPhase{Phase: phase}
+		for c := range perClient {
+			p.Errors += errs[c]
+			durs = append(durs, perClient[c]...)
+		}
+		p.Requests = len(durs)
+		p.QPS = float64(p.Requests) / phaseDur.Seconds()
+		if len(durs) > 0 {
+			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			p.P50ms = percentileMS(durs, 0.50)
+			p.P95ms = percentileMS(durs, 0.95)
+			p.P99ms = percentileMS(durs, 0.99)
+		}
+		return p
+	}
+
+	res := &MixedResult{Clients: clients, Seconds: duration.Seconds()}
+
+	// Phase 1: the baseline — readers against an idle server.
+	res.Phases = append(res.Phases, runPhase("idle"))
+
+	// Phase 2: the same readers while a writer streams extends. Each
+	// batch interns fresh entities so every round genuinely grows the
+	// KB and publishes a new generation.
+	stopWriter := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		client := &http.Client{}
+		for round := 0; ; round++ {
+			select {
+			case <-stopWriter:
+				return
+			default:
+			}
+			const batch = 8
+			var b strings.Builder
+			b.WriteString(`{"facts": [`)
+			for i := 0; i < batch; i++ {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, `{"rel": "observed_with", "x": "mx%d_%d", "xClass": "Entity", "y": "my%d_%d", "yClass": "Entity", "probability": 0.7}`,
+					round, i, round, i)
+			}
+			b.WriteString(`]}`)
+			resp, err := client.Post(srv.URL+"/facts", "application/json", strings.NewReader(b.String()))
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				res.Generations++
+				res.FactsAdded += batch
+			}
+		}
+	}()
+	under := runPhase("under-write")
+	close(stopWriter)
+	<-writerDone
+	res.Phases = append(res.Phases, under)
+
+	// The whole point of the harness: readers progressed through live
+	// generation turnover. Zero published generations means the writer
+	// never ran (or every extend failed) and the numbers are vacuous.
+	if res.Generations == 0 {
+		return nil, fmt.Errorf("bench: serve-mixed: writer published no generations during the under-write phase")
+	}
+	if under.Requests == 0 {
+		return nil, fmt.Errorf("bench: serve-mixed: readers made no progress during the under-write phase")
+	}
+
+	fmt.Fprintf(w, "Mixed read-while-expand load: %d reader clients, %s per phase (scale=%.3g)\n", clients, phaseDur, cfg.Scale)
+	fmt.Fprintf(w, "writer published %d generations (+%d facts) during the under-write phase\n\n", res.Generations, res.FactsAdded)
+	fmt.Fprintf(w, "  %-12s %10s %8s %10s %10s %10s %8s\n", "phase", "requests", "errors", "p50", "p95", "p99", "qps")
+	for _, p := range res.Phases {
+		fmt.Fprintf(w, "  %-12s %10d %8d %9.2fms %9.2fms %9.2fms %8.0f\n",
+			p.Phase, p.Requests, p.Errors, p.P50ms, p.P95ms, p.P99ms, p.QPS)
+	}
+	return res, nil
+}

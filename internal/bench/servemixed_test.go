@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeMixed(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := ServeMixed(tiny(), 4, 400*time.Millisecond, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 4 || res.Generations == 0 || res.FactsAdded == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if len(res.Phases) != 2 || res.Phases[0].Phase != "idle" || res.Phases[1].Phase != "under-write" {
+		t.Fatalf("phases: %+v", res.Phases)
+	}
+	for _, p := range res.Phases {
+		if p.Requests == 0 {
+			t.Fatalf("phase %q made no requests: %+v", p.Phase, p)
+		}
+		if p.Errors != 0 {
+			t.Fatalf("phase %q had %d errors: %+v", p.Phase, p.Errors, p)
+		}
+		if p.P50ms <= 0 || p.P50ms > p.P99ms+1e-9 || p.P95ms > p.P99ms+1e-9 {
+			t.Fatalf("phase %q percentiles out of order: %+v", p.Phase, p)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Mixed read-while-expand load", "under-write", "generations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

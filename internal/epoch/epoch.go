@@ -1,0 +1,166 @@
+// Package epoch is the MVCC serving tier's concurrency primitive: a
+// lock-free epoch manager over immutable generations of a value.
+//
+// The serving workload is read-while-write — queries keep arriving
+// while knowledge expansion derives new facts (Wick et al. serve
+// marginals concurrently with ongoing MCMC for the same reason). The
+// manager resolves it without reader-side locks:
+//
+//   - Readers Pin() the current generation and use it for as long as
+//     they like; a pin is one atomic pointer load plus one CAS on the
+//     generation's reference count, never a mutex.
+//   - A writer builds the next generation off to the side (the value is
+//     immutable once published — internal/kb's COW Fork makes building
+//     it cheap) and Publish()es it with a single atomic swap. In-flight
+//     readers keep their pinned generation; new readers see the new one.
+//   - A generation is reclaimed — its OnReclaim hook runs — when the
+//     last reference drops: the publisher's own reference at swap time
+//     plus one per outstanding pin. A failed build is simply never
+//     published; pins are unaffected.
+//
+// The package is mechanism only: it knows nothing about knowledge
+// bases, HTTP, or metrics. internal/server composes it with
+// probkb.Expansion snapshots and exports the gauges.
+package epoch
+
+import (
+	"sync/atomic"
+)
+
+// generation is one refcounted immutable value. refs counts the
+// publisher's reference (dropped when a newer generation replaces it)
+// plus one per outstanding pin; the generation whose refs hits zero is
+// unreachable — the current pointer moved past it and every reader
+// left — and is reclaimed exactly once.
+type generation[T any] struct {
+	val  T
+	gen  uint64
+	refs atomic.Int64
+}
+
+// Manager publishes immutable generations of T to lock-free readers.
+// The zero value is not usable; call New.
+type Manager[T any] struct {
+	cur atomic.Pointer[generation[T]]
+	// live counts generations published but not yet reclaimed — the
+	// leak-detection observable the reclamation tests assert on.
+	live atomic.Int64
+	// reclaimed counts generations whose last reference dropped.
+	reclaimed atomic.Uint64
+	// pins counts outstanding pins across all generations.
+	pins atomic.Int64
+	// onReclaim, when non-nil, observes each generation as its last
+	// reference drops. It runs on whichever goroutine released the last
+	// reference (a reader's Unpin or a writer's Publish); keep it cheap
+	// or hand off.
+	onReclaim func(gen uint64, v T)
+}
+
+// New returns a manager serving v as generation 1. onReclaim may be
+// nil.
+func New[T any](v T, onReclaim func(gen uint64, v T)) *Manager[T] {
+	m := &Manager[T]{onReclaim: onReclaim}
+	g := &generation[T]{val: v, gen: 1}
+	g.refs.Store(1) // the publisher's reference
+	m.live.Store(1)
+	m.cur.Store(g)
+	return m
+}
+
+// Pin acquires the current generation for reading. The returned Pin's
+// Value is immutable and valid until Unpin; the generation cannot be
+// reclaimed while any pin on it is outstanding. Pin never blocks on a
+// writer: it is a pointer load plus a reference-count CAS, retried only
+// in the unlikely window where the loaded generation was concurrently
+// retired and fully released (the retry then sees the newer one).
+func (m *Manager[T]) Pin() *Pin[T] {
+	for {
+		g := m.cur.Load()
+		r := g.refs.Load()
+		if r == 0 {
+			// Fully released between our load and now; the current
+			// pointer has already moved on. Reload.
+			continue
+		}
+		if g.refs.CompareAndSwap(r, r+1) {
+			m.pins.Add(1)
+			return &Pin[T]{m: m, g: g}
+		}
+	}
+}
+
+// Publish atomically swaps in v as the next generation and returns its
+// generation number. The previous generation loses the publisher's
+// reference and is reclaimed once its last reader unpins. The caller
+// must not mutate v after publishing — readers now hold it without
+// locks.
+func (m *Manager[T]) Publish(v T) uint64 {
+	g := &generation[T]{val: v}
+	g.refs.Store(1)
+	m.live.Add(1)
+	for {
+		old := m.cur.Load()
+		g.gen = old.gen + 1
+		if m.cur.CompareAndSwap(old, g) {
+			m.release(old)
+			return g.gen
+		}
+	}
+}
+
+// Current returns the current generation number without pinning.
+func (m *Manager[T]) Current() uint64 { return m.cur.Load().gen }
+
+// Live returns how many generations are published but not yet
+// reclaimed (at least 1: the current one holds the publisher's
+// reference).
+func (m *Manager[T]) Live() int64 { return m.live.Load() }
+
+// Pins returns the number of outstanding pins across all generations.
+func (m *Manager[T]) Pins() int64 { return m.pins.Load() }
+
+// Reclaimed returns how many generations have been reclaimed since New.
+func (m *Manager[T]) Reclaimed() uint64 { return m.reclaimed.Load() }
+
+// release drops one reference and reclaims the generation when it was
+// the last.
+func (m *Manager[T]) release(g *generation[T]) {
+	if g.refs.Add(-1) == 0 {
+		m.live.Add(-1)
+		m.reclaimed.Add(1)
+		if m.onReclaim != nil {
+			m.onReclaim(g.gen, g.val)
+		}
+	}
+}
+
+// Pin is one reader's hold on a generation.
+type Pin[T any] struct {
+	m        *Manager[T]
+	g        *generation[T]
+	unpinned atomic.Bool
+}
+
+// Value returns the pinned generation's value. It panics after Unpin —
+// using a released generation is a lifetime bug, not a race to paper
+// over.
+func (p *Pin[T]) Value() T {
+	if p.unpinned.Load() {
+		panic("epoch: Value after Unpin")
+	}
+	return p.g.val
+}
+
+// Gen returns the pinned generation's number (valid even after Unpin).
+func (p *Pin[T]) Gen() uint64 { return p.g.gen }
+
+// Unpin releases the hold. It is idempotent: the second and later calls
+// are no-ops, so `defer pin.Unpin()` composes with early manual
+// release.
+func (p *Pin[T]) Unpin() {
+	if p.unpinned.Swap(true) {
+		return
+	}
+	p.m.pins.Add(-1)
+	p.m.release(p.g)
+}

@@ -1,0 +1,178 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPinSeesCurrentGeneration(t *testing.T) {
+	m := New("v1", nil)
+	p := m.Pin()
+	if p.Value() != "v1" || p.Gen() != 1 {
+		t.Fatalf("pin: got (%q, %d), want (v1, 1)", p.Value(), p.Gen())
+	}
+	p.Unpin()
+
+	if gen := m.Publish("v2"); gen != 2 {
+		t.Fatalf("publish: gen %d, want 2", gen)
+	}
+	p = m.Pin()
+	defer p.Unpin()
+	if p.Value() != "v2" || p.Gen() != 2 {
+		t.Fatalf("pin after publish: got (%q, %d), want (v2, 2)", p.Value(), p.Gen())
+	}
+}
+
+// TestPinnedGenerationSurvivesPublish is the MVCC contract: a reader
+// pinned to generation N keeps N's value after N+1 publishes, and N is
+// not reclaimed until that reader unpins.
+func TestPinnedGenerationSurvivesPublish(t *testing.T) {
+	var reclaimed []uint64
+	m := New("v1", func(gen uint64, _ string) { reclaimed = append(reclaimed, gen) })
+
+	p := m.Pin()
+	m.Publish("v2")
+	if p.Value() != "v1" {
+		t.Fatalf("pinned reader moved generations: got %q", p.Value())
+	}
+	if len(reclaimed) != 0 {
+		t.Fatalf("generation reclaimed while pinned: %v", reclaimed)
+	}
+	if m.Live() != 2 {
+		t.Fatalf("live: got %d, want 2 (old pinned + current)", m.Live())
+	}
+	p.Unpin()
+	if len(reclaimed) != 1 || reclaimed[0] != 1 {
+		t.Fatalf("after last unpin: reclaimed %v, want [1]", reclaimed)
+	}
+	if m.Live() != 1 {
+		t.Fatalf("live after reclaim: got %d, want 1", m.Live())
+	}
+}
+
+func TestUnpinIdempotent(t *testing.T) {
+	m := New(1, nil)
+	p := m.Pin()
+	p.Unpin()
+	p.Unpin() // must not double-release
+	m.Publish(2)
+	if m.Live() != 1 {
+		t.Fatalf("live: got %d, want 1", m.Live())
+	}
+	if m.Pins() != 0 {
+		t.Fatalf("pins: got %d, want 0", m.Pins())
+	}
+}
+
+func TestValueAfterUnpinPanics(t *testing.T) {
+	m := New(1, nil)
+	p := m.Pin()
+	p.Unpin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value after Unpin did not panic")
+		}
+	}()
+	p.Value()
+}
+
+// TestNoLeakAfterLastUnpin publishes many generations with overlapping
+// pins and asserts exactly the superseded ones reclaim: the epoch
+// layer must neither free a pinned generation nor leak an unpinned one.
+func TestNoLeakAfterLastUnpin(t *testing.T) {
+	freed := map[uint64]int{}
+	m := New(0, func(gen uint64, _ int) { freed[gen]++ })
+
+	const gens = 100
+	var pins []*Pin[int]
+	for i := 1; i < gens; i++ {
+		pins = append(pins, m.Pin())
+		m.Publish(i)
+	}
+	// Every generation except the current one is pinned exactly once.
+	if m.Live() != gens {
+		t.Fatalf("live: got %d, want %d", m.Live(), gens)
+	}
+	for _, p := range pins {
+		p.Unpin()
+	}
+	if m.Live() != 1 {
+		t.Fatalf("live after unpins: got %d, want 1 (only current)", m.Live())
+	}
+	if m.Reclaimed() != gens-1 {
+		t.Fatalf("reclaimed: got %d, want %d", m.Reclaimed(), gens-1)
+	}
+	for gen, n := range freed {
+		if n != 1 {
+			t.Errorf("generation %d reclaimed %d times", gen, n)
+		}
+		if gen == uint64(gens) {
+			t.Errorf("current generation %d reclaimed", gen)
+		}
+	}
+}
+
+// TestConcurrentPinPublish races many readers against a publisher under
+// -race: every pin must observe a fully published value (value matches
+// its generation number), every superseded generation must reclaim
+// exactly once, and nothing may reclaim while pinned.
+func TestConcurrentPinPublish(t *testing.T) {
+	type payload struct{ gen uint64 }
+	var reclaims atomic.Uint64
+	m := New(&payload{gen: 1}, func(gen uint64, v *payload) {
+		if v.gen != gen {
+			t.Errorf("reclaim: value gen %d under generation %d", v.gen, gen)
+		}
+		reclaims.Add(1)
+	})
+
+	const (
+		readers  = 8
+		pinsEach = 2000
+		writes   = 500
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pinsEach; i++ {
+				p := m.Pin()
+				if got := p.Value().gen; got != p.Gen() {
+					t.Errorf("pin observed value gen %d under generation %d", got, p.Gen())
+				}
+				p.Unpin()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			next := &payload{}
+			next.gen = m.Current() + 1
+			m.Publish(next)
+		}
+	}()
+	wg.Wait()
+
+	if m.Pins() != 0 {
+		t.Fatalf("pins outstanding after quiesce: %d", m.Pins())
+	}
+	if m.Live() != 1 {
+		t.Fatalf("live generations after quiesce: %d, want 1", m.Live())
+	}
+	if got := reclaims.Load(); got != writes {
+		t.Fatalf("reclaims: got %d, want %d", got, writes)
+	}
+}
+
+func BenchmarkPinUnpin(b *testing.B) {
+	m := New(struct{}{}, nil)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Pin().Unpin()
+		}
+	})
+}

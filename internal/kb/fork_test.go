@@ -1,0 +1,172 @@
+package kb
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func forkFixture(t *testing.T) *KB {
+	t.Helper()
+	k := New()
+	k.InternFact("born_in", "kafka", "Writer", "prague", "Place", 0.9)
+	k.InternFact("located_in", "prague", "Place", "czechia", "Country", 0.8)
+	c, err := k.ParseRule("1.2 live_in(x:Writer, y:Place) :- born_in(x:Writer, y:Place)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddRule(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddConstraint(Constraint{Rel: k.RelDict.Intern("born_in"), Type: TypeI, Degree: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// snapshotOf captures every externally observable piece of a KB so a
+// test can assert the frozen side of a fork did not move.
+type kbSnapshot struct {
+	stats    Stats
+	facts    []Fact
+	members  []ClassMember
+	entities []string
+	classes  []string
+	rels     []string
+}
+
+func snapshotOf(k *KB) kbSnapshot {
+	return kbSnapshot{
+		stats:    k.Stats(),
+		facts:    append([]Fact(nil), k.Facts...),
+		members:  append([]ClassMember(nil), k.Members...),
+		entities: append([]string(nil), k.Entities.Names()...),
+		classes:  append([]string(nil), k.Classes.Names()...),
+		rels:     append([]string(nil), k.RelDict.Names()...),
+	}
+}
+
+// TestForkIsolation is the COW contract: every mutation class applied
+// to a fork — new symbols, new facts, in-place weight writes, fact
+// deletion, wholesale replacement, rules, constraints, hierarchy — must
+// leave the frozen parent byte-for-byte unchanged, and vice versa.
+func TestForkIsolation(t *testing.T) {
+	parent := forkFixture(t)
+	before := snapshotOf(parent)
+
+	fork := parent.Fork()
+	// Mutate the fork through every write path.
+	fork.InternFact("died_in", "kafka", "Writer", "vienna", "Place", 0.7)
+	if !fork.SetWeight(fork.Facts[0].Key(), 0.123) {
+		t.Fatal("SetWeight missed an existing fact")
+	}
+	fork.DeleteFacts(map[Key]bool{fork.Facts[1].Key(): true})
+	if err := fork.DeclareSubclass(fork.Classes.Intern("Novelist"), fork.Classes.Intern("Writer")); err != nil {
+		t.Fatal(err)
+	}
+	fork.AddMember(fork.Classes.Intern("Novelist"), fork.Entities.Intern("kafka"))
+	if err := fork.AddConstraint(Constraint{Rel: fork.RelDict.Intern("died_in"), Type: TypeII, Degree: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := snapshotOf(parent); !reflect.DeepEqual(got, before) {
+		t.Fatalf("fork mutations leaked into the frozen parent:\nbefore: %+v\nafter:  %+v", before, got)
+	}
+
+	// The reverse direction: mutate the parent, the fork must not move.
+	forkBefore := snapshotOf(fork)
+	parent.InternFact("wrote", "kafka", "Writer", "the_trial", "Book", 0.95)
+	parent.SetWeight(parent.Facts[0].Key(), 0.5)
+	if got := snapshotOf(fork); !reflect.DeepEqual(got, forkBefore) {
+		t.Fatalf("parent mutations leaked into the fork:\nbefore: %+v\nafter:  %+v", forkBefore, got)
+	}
+}
+
+// TestForkOfFork chains forks: generation N+2 built on N+1 built on N,
+// each isolated from the others.
+func TestForkOfFork(t *testing.T) {
+	g1 := forkFixture(t)
+	g2 := g1.Fork()
+	g2.InternFact("died_in", "kafka", "Writer", "vienna", "Place", 0.7)
+	g3 := g2.Fork()
+	g3.InternFact("buried_in", "kafka", "Writer", "prague", "Place", 0.6)
+
+	if got := g1.Stats().Facts; got != 2 {
+		t.Errorf("g1 facts: got %d, want 2", got)
+	}
+	if got := g2.Stats().Facts; got != 3 {
+		t.Errorf("g2 facts: got %d, want 3", got)
+	}
+	if got := g3.Stats().Facts; got != 4 {
+		t.Errorf("g3 facts: got %d, want 4", got)
+	}
+}
+
+// TestForkPreservesIDs asserts dictionary IDs survive a fork unchanged
+// and new symbols extend, never renumber — cached query keys and tables
+// built against generation N stay valid against N+1.
+func TestForkPreservesIDs(t *testing.T) {
+	parent := forkFixture(t)
+	fork := parent.Fork()
+	fork.InternFact("died_in", "kafka", "Writer", "vienna", "Place", 0.7)
+	for _, name := range parent.Entities.Names() {
+		pid, _ := parent.Entities.Lookup(name)
+		fid, ok := fork.Entities.Lookup(name)
+		if !ok || pid != fid {
+			t.Fatalf("entity %q: parent id %d, fork id %d (ok=%v)", name, pid, fid, ok)
+		}
+	}
+	if _, ok := parent.Entities.Lookup("vienna"); ok {
+		t.Fatal("fork's new symbol visible in the frozen parent")
+	}
+}
+
+// TestForkConcurrentReadsDuringWrite drives the serving-tier access
+// pattern under -race: readers resolve symbols and scan facts on the
+// frozen side while the fork interns, appends, deletes and rewrites
+// weights concurrently.
+func TestForkConcurrentReadsDuringWrite(t *testing.T) {
+	parent := forkFixture(t)
+	fork := parent.Fork()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if id, ok := parent.Entities.Lookup("kafka"); !ok || parent.Entities.Name(id) != "kafka" {
+					t.Error("frozen parent lost a symbol mid-write")
+					return
+				}
+				n := 0
+				for _, f := range parent.Facts {
+					if f.W < 0 || f.W > 1 {
+						t.Errorf("frozen parent fact weight torn: %v", f.W)
+						return
+					}
+					n++
+				}
+				if n != 2 {
+					t.Errorf("frozen parent fact count moved: %d", n)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		fork.InternFact("rel", "e", "C", "e2", "C", float64(i%100)/100)
+		fork.SetWeight(fork.Facts[0].Key(), float64(i%100)/100)
+		if i%50 == 0 {
+			fork.DeleteFacts(map[Key]bool{fork.Facts[len(fork.Facts)-1].Key(): true})
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -90,6 +90,10 @@ type KB struct {
 	memberSet map[ClassMember]struct{}
 	factSet   map[Key]int
 	relSigs   map[Relation]struct{}
+
+	// shared marks this KB's slices and maps as visible to a Fork; the
+	// next mutation copies them privately first (see materialize).
+	shared bool
 }
 
 // ClassMember is one (class, entity) typing pair.
@@ -117,6 +121,7 @@ func New() *KB {
 // born_in(W, C) — so TR is a *set* of triples, not a function of the
 // name.
 func (k *KB) AddRelation(name string, domain, rng int32) int32 {
+	k.materialize()
 	id := k.RelDict.Intern(name)
 	sig := Relation{ID: id, Name: name, Domain: domain, Range: rng}
 	if _, ok := k.relSigs[sig]; !ok {
@@ -129,6 +134,7 @@ func (k *KB) AddRelation(name string, domain, rng int32) int32 {
 // AddMember records entity ∈ class and propagates the membership to every
 // (transitive) superclass; duplicates are ignored.
 func (k *KB) AddMember(class, entity int32) {
+	k.materialize()
 	m := ClassMember{Class: class, Entity: entity}
 	if _, ok := k.memberSet[m]; ok {
 		return
@@ -143,6 +149,7 @@ func (k *KB) AddMember(class, entity int32) {
 // DeclareSubclass records sub ⊆ super, propagating sub's existing members
 // into super. Cycles are rejected (a class hierarchy is a DAG).
 func (k *KB) DeclareSubclass(sub, super int32) error {
+	k.materialize()
 	if sub == super {
 		return fmt.Errorf("kb: class %s cannot be its own superclass", k.Classes.Name(sub))
 	}
@@ -238,6 +245,7 @@ func (k *KB) MembersOf(c int32) []int32 {
 // keeps the maximum weight seen (extractions repeat with varying
 // confidence).
 func (k *KB) AddFact(f Fact) (int, bool) {
+	k.materialize()
 	if i, ok := k.factSet[f.Key()]; ok {
 		if f.W > k.Facts[i].W {
 			k.Facts[i].W = f.W
@@ -256,6 +264,7 @@ func (k *KB) AddFact(f Fact) (int, bool) {
 // deduplication index. Quality control uses it after constraint-driven
 // deletions.
 func (k *KB) ReplaceFacts(facts []Fact) {
+	k.materialize()
 	k.Facts = k.Facts[:0]
 	k.factSet = make(map[Key]int, len(facts))
 	for _, f := range facts {
@@ -274,6 +283,7 @@ func (k *KB) HasFact(key Key) bool {
 // idempotent — the storage engine replays marginal updates through it,
 // and a duplicated WAL tail must not change the outcome.
 func (k *KB) SetWeight(key Key, w float64) bool {
+	k.materialize()
 	i, ok := k.factSet[key]
 	if !ok {
 		return false
@@ -288,6 +298,7 @@ func (k *KB) SetWeight(key Key, w float64) bool {
 // not typings). Deleting absent keys is a no-op, which makes WAL
 // replay of deletions idempotent.
 func (k *KB) DeleteFacts(keys map[Key]bool) int {
+	k.materialize()
 	if len(keys) == 0 {
 		return 0
 	}
@@ -313,6 +324,7 @@ func (k *KB) DeleteFacts(keys map[Key]bool) int {
 // AddRule appends a deductive Horn clause to H. Hard rules (infinite
 // weight) belong in Constraints, not H; AddRule rejects them.
 func (k *KB) AddRule(c mln.Clause) error {
+	k.materialize()
 	if c.Hard() {
 		return fmt.Errorf("kb: hard rules are semantic constraints; use AddConstraint")
 	}
@@ -325,6 +337,7 @@ func (k *KB) AddRule(c mln.Clause) error {
 
 // AddConstraint appends a functional constraint to Ω.
 func (k *KB) AddConstraint(c Constraint) error {
+	k.materialize()
 	if c.Type != TypeI && c.Type != TypeII {
 		return fmt.Errorf("kb: constraint type must be %d or %d, got %d", TypeI, TypeII, c.Type)
 	}

@@ -17,6 +17,11 @@ func init() {
 	obs.Default.Help("probkb_http_request_seconds", "HTTP request latency, by endpoint.")
 	obs.Default.Help("probkb_http_in_flight", "HTTP requests currently being served.")
 	obs.Default.Help("probkb_http_panics_total", "Handler panics recovered by the server middleware.")
+	obs.Default.Help("probkb_http_rejected_total", "Data-plane requests shed by admission control (429), by endpoint.")
+	obs.Default.Help("probkb_epoch_generation", "Current published serving-tier generation number.")
+	obs.Default.Help("probkb_epoch_generations_live", "Generations published but not yet reclaimed (current + still-pinned).")
+	obs.Default.Help("probkb_epoch_pins", "Outstanding reader pins across all generations.")
+	obs.Default.Help("probkb_epoch_generations_reclaimed", "Generations reclaimed since startup (monotonic).")
 }
 
 // statusRecorder captures the status code a handler writes so the
@@ -91,6 +96,11 @@ func instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 // refreshes at scrape time, so no background poller is needed.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.UpdateRuntimeMetrics()
+	// Epoch state refreshes at scrape time, like the runtime gauges.
+	obs.Default.Gauge("probkb_epoch_generation").Set(float64(s.snaps.Current()))
+	obs.Default.Gauge("probkb_epoch_generations_live").Set(float64(s.snaps.Live()))
+	obs.Default.Gauge("probkb_epoch_pins").Set(float64(s.snaps.Pins()))
+	obs.Default.Gauge("probkb_epoch_generations_reclaimed").Set(float64(s.snaps.Reclaimed()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default.WritePrometheus(w)
 }
@@ -114,8 +124,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 // handleJournal serves the served expansion's run journal as JSON: the
 // raw typed event stream (the same record `probkb expand -journal`
 // writes as JSONL).
-func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request) {
-	jr := s.expansion().Journal()
+func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request, snap *snapshot, _ uint64) {
+	jr := snap.exp.Journal()
 	if jr == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("expansion has no run journal"))
 		return
@@ -130,8 +140,8 @@ func (s *Server) handleJournal(w http.ResponseWriter, _ *http.Request) {
 // expansion's journal: phase breakdown, operator costs, per-segment
 // skew rows, motion volumes, and the Gibbs convergence timeline — the
 // JSON twin of `probkb report`.
-func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
-	jr := s.expansion().Journal()
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request, snap *snapshot, _ uint64) {
+	jr := snap.exp.Journal()
 	if jr == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("expansion has no run journal"))
 		return

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"probkb"
@@ -25,6 +27,7 @@ type marginalJSON struct {
 	Found        bool     `json:"found"`
 	Observed     bool     `json:"observed"`
 	Cached       bool     `json:"cached"`
+	Coalesced    bool     `json:"coalesced"`
 	Generation   uint64   `json:"generation"`
 	Depth        int      `json:"depth"`
 	Radius       int      `json:"radius"`
@@ -39,7 +42,8 @@ type marginalJSON struct {
 func marginalToJSON(atom string, m probkb.Marginal) marginalJSON {
 	out := marginalJSON{
 		Atom: atom, Rel: m.Rel, X: m.X, Y: m.Y,
-		Found: m.Found, Observed: m.Observed, Cached: m.Cached,
+		Found: m.Found, Observed: m.Observed,
+		Cached: m.Cached, Coalesced: m.Coalesced,
 		Generation: m.Generation, Depth: m.Depth, Radius: m.Radius,
 		SeedFacts: m.SeedFacts, LocalFacts: m.LocalFacts,
 		LocalVars: m.LocalVars, LocalFactors: m.LocalFactors,
@@ -71,11 +75,12 @@ func intParam(q url.Values, name string, dst *int) error {
 
 // handleQuery answers GET /query?atom=Rel(x,y): a point query via
 // local grounding and neighborhood Gibbs (probkb.QueryLocal), never the
-// global fixpoint. Optional knobs: depth, radius (grounding bounds),
-// markov (Gibbs neighborhood radius), burnin, samples (samples=-1
-// skips inference), nocache=1 (bypass the marginal cache). Cancellation
-// via DELETE /debug/queries/{id} unwinds as a 499.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// global fixpoint, against the generation pinned for this request.
+// Optional knobs: depth, radius (grounding bounds), markov (Gibbs
+// neighborhood radius), burnin, samples (samples=-1 skips inference),
+// nocache=1 (bypass the marginal cache). Cancellation via DELETE
+// /debug/queries/{id} unwinds as a 499.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, snap *snapshot, _ uint64) {
 	qv := r.URL.Query()
 	atom := qv.Get("atom")
 	if atom == "" {
@@ -109,11 +114,113 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, aq := obs.Queries.Begin(r.Context(), "query", atom)
 	defer obs.Queries.Finish(aq)
 	start := time.Now()
-	m, err := s.expansion().QueryLocal(ctx, pq)
-	s.noteQuery(r, aq, time.Since(start), "", nil)
+	m, err := snap.exp.QueryLocal(ctx, pq)
+	s.noteQuery(r, aq, snap.exp, time.Since(start), "", nil)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, marginalToJSON(atom, m))
+}
+
+// maxBatchAtoms bounds one POST /query/batch request; a bigger batch is
+// a 400, not a slow request admission control can't see inside.
+const maxBatchAtoms = 256
+
+// batchEntryJSON is one atom's answer in a /query/batch response; Error
+// is set (and the marginal zero) when that atom failed individually.
+type batchEntryJSON struct {
+	marginalJSON
+	Error string `json:"error,omitempty"`
+}
+
+// handleQueryBatch answers POST /query/batch: many point queries
+// against ONE pinned generation, so the whole batch observes a single
+// consistent snapshot no matter what writers publish mid-flight. Atoms
+// share the bounds knobs and run concurrently; identical concurrent
+// lookups coalesce into one grounding run (Marginal.Coalesced). Per-
+// atom failures come back inline; a cancelled request unwinds as 499.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request, snap *snapshot, gen uint64) {
+	var req struct {
+		Atoms   []string `json:"atoms"`
+		Depth   int      `json:"depth"`
+		Radius  int      `json:"radius"`
+		Markov  int      `json:"markov"`
+		Burnin  int      `json:"burnin"`
+		Samples int      `json:"samples"`
+		NoCache bool     `json:"nocache"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Atoms) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`no atoms: body must be {"atoms": ["Rel(x, y)", ...]}`))
+		return
+	}
+	if len(req.Atoms) > maxBatchAtoms {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d atoms exceeds the %d-atom limit", len(req.Atoms), maxBatchAtoms))
+		return
+	}
+	pqs := make([]probkb.PointQuery, len(req.Atoms))
+	for i, atom := range req.Atoms {
+		rel, x, y, err := probkb.ParseAtom(atom)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("atoms[%d]: %w", i, err))
+			return
+		}
+		pqs[i] = probkb.PointQuery{
+			Rel: rel, X: x, Y: y,
+			Depth: req.Depth, Radius: req.Radius, MarkovRadius: req.Markov,
+			Burnin: req.Burnin, Samples: req.Samples, NoCache: req.NoCache,
+		}
+	}
+
+	ctx, aq := obs.Queries.Begin(r.Context(), "query", fmt.Sprintf("batch of %d atoms", len(req.Atoms)))
+	defer obs.Queries.Finish(aq)
+	aq.SetPhase("run")
+	start := time.Now()
+
+	// Fan the batch out with bounded concurrency; every worker reads the
+	// same pinned snapshot, so ordering within the batch is irrelevant.
+	results := make([]batchEntryJSON, len(pqs))
+	errs := make([]error, len(pqs))
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i := range pqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := snap.exp.QueryLocal(ctx, pqs[i])
+			if err != nil {
+				errs[i] = err
+				results[i] = batchEntryJSON{Error: err.Error()}
+				return
+			}
+			results[i] = batchEntryJSON{marginalJSON: marginalToJSON(req.Atoms[i], m)}
+			aq.AddRows(1)
+		}(i)
+	}
+	wg.Wait()
+	s.noteQuery(r, aq, snap.exp, time.Since(start), "", nil)
+
+	// A cancelled request (client gone, or DELETE /debug/queries/{id})
+	// fails wholesale with the 499 contract rather than returning a
+	// batch of per-atom cancellation errors.
+	if ctx.Err() != nil {
+		for _, err := range errs {
+			if err != nil {
+				writeQueryError(w, err)
+				return
+			}
+		}
+		writeQueryError(w, &probkb.PartialError{Phase: "query-local", Err: ctx.Err()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen,
+		"results":    results,
+	})
 }

@@ -3,6 +3,20 @@
 // inferred results (Section 2.2): queries hit the materialized
 // expansion, never inference.
 //
+// # MVCC serving tier
+//
+// The server is a multi-version store over (KB, Expansion) snapshots.
+// Every data request pins the current generation through an epoch
+// manager (internal/epoch) for its whole lifetime — a pointer load and
+// a refcount CAS, never a lock — and answers entirely from that frozen
+// snapshot. Writers (POST /admin/expand, POST /facts) build generation
+// N+1 off to the side on a copy-on-write fork of the KB and publish it
+// with one atomic swap; in-flight readers keep serving generation N
+// and are never blocked, torn, or retried. A failed or cancelled build
+// publishes nothing. Old generations are reclaimed by refcount when
+// their last reader unpins. Competing writers serialize on a writer
+// mutex that readers never touch.
+//
 // Endpoints (all JSON unless noted):
 //
 //	GET    /healthz                       liveness probe (always 200)
@@ -10,10 +24,16 @@
 //	                                      is still recovering/expanding, 200
 //	                                      once an expansion is attached and
 //	                                      SetReady was called
-//	GET    /stats                         expansion statistics
+//	GET    /stats                         expansion statistics + epoch state
 //	GET    /facts?rel=&x=&y=&inferred=&limit=
 //	                                      facts, filterable by relation,
 //	                                      arguments, and inferred flag
+//	POST   /facts {"facts": [...]}        stream newly observed facts in:
+//	                                      ExtendWith builds the next generation
+//	                                      (semi-naive, cost scales with the
+//	                                      delta) and publishes it; concurrent
+//	                                      readers stay on their pinned
+//	                                      generation throughout
 //	GET    /explain?rel=&x=&y=&depth=     derivation tree (text/plain)
 //	GET    /query?atom=Rel(x,y)&depth=&radius=&markov=&burnin=&samples=&nocache=
 //	                                      point query: local grounding +
@@ -22,6 +42,11 @@
 //	                                      is swapped; "marginal" is null when
 //	                                      the atom is unknown/underivable or
 //	                                      samples=-1 skipped inference
+//	POST   /query/batch {"atoms": [...]}  many point queries answered against
+//	                                      ONE pinned generation (shared knobs:
+//	                                      depth/radius/markov/burnin/samples);
+//	                                      identical in-flight lookups coalesce
+//	                                      into a single grounding run
 //	GET    /sql?q=SELECT...&analyze=1     run a SQL query (see probkb.QuerySQL);
 //	                                      analyze=1 adds the EXPLAIN ANALYZE
 //	                                      plan (estimates vs actuals) to the
@@ -32,8 +57,9 @@
 //	                                      non-collocated joins are a 400,
 //	                                      never a crash
 //	GET    /metrics                       Prometheus text exposition, including
-//	                                      Go runtime health (goroutines, heap,
-//	                                      GC pauses, build info) (text/plain)
+//	                                      Go runtime health and the epoch
+//	                                      gauges (generation, live generations,
+//	                                      outstanding pins) (text/plain)
 //	GET    /debug/queries                 in-flight queries: id, kind, text,
 //	                                      phase, elapsed, rows produced so far
 //	DELETE /debug/queries/{id}            cancel an in-flight query; its request
@@ -60,13 +86,19 @@
 //	                                      columnar snapshot (409 when the
 //	                                      server runs without a store)
 //
+// Read endpoints sit behind admission control: WithMaxInFlight (or
+// SetMaxInFlight at runtime) caps concurrently admitted data-plane
+// requests, and overload answers 429 with Retry-After instead of
+// queueing without bound; rejections count in
+// probkb_http_rejected_total and show in `probkb top`.
+//
 // Every endpoint runs behind middleware that records per-endpoint
 // request counts and latency histograms (the /sql series are split by
 // method: "GET /sql" vs "POST /sql"), an in-flight gauge, recovers
 // handler panics into logged 500s, and emits a structured log line per
-// request (see internal/obs). SQL, explain, and expand requests
-// additionally register in the active-query registry for the lifetime
-// of the request.
+// request (see internal/obs). SQL, explain, point-query, extend, and
+// expand requests additionally register in the active-query registry
+// for the lifetime of the request.
 package server
 
 import (
@@ -81,6 +113,7 @@ import (
 	"time"
 
 	"probkb"
+	"probkb/internal/epoch"
 	"probkb/internal/obs"
 	"probkb/internal/obs/journal"
 )
@@ -90,14 +123,34 @@ import (
 // 499 convention, since no standard code covers it.
 const statusClientClosedRequest = 499
 
-// Server serves one expansion.
+// snapshot is one immutable generation of the serving state: a frozen
+// KB (the generation's dictionaries, hierarchy, and base facts) and the
+// expansion answering queries over it. Writers never mutate a published
+// snapshot — they fork the KB, build, and publish a fresh one.
+type snapshot struct {
+	kb  *probkb.KB
+	exp *probkb.Expansion
+}
+
+// Server serves one expansion per generation, MVCC-style.
 type Server struct {
-	mu    sync.RWMutex // guards kb and exp (swapped by Attach and /admin/expand)
-	kb    *probkb.KB
-	exp   *probkb.Expansion
+	// snaps is the epoch manager readers pin generations through. The
+	// pending server publishes a nil snapshot as generation 1; Attach
+	// publishes the first real one.
+	snaps *epoch.Manager[*snapshot]
+	// wmu serializes generation builders (Attach, POST /admin/expand,
+	// POST /facts). Readers never take it: a build runs off to the side
+	// and publication is a single atomic swap inside the manager.
+	wmu   sync.Mutex
 	store *probkb.Store
 	mux   *http.ServeMux
 	ready atomic.Bool
+
+	// Admission control: maxInFlight caps concurrently admitted
+	// data-plane requests (0 = unlimited), admitted counts them. Excess
+	// load sheds as 429 + Retry-After instead of queueing unboundedly.
+	maxInFlight atomic.Int64
+	admitted    atomic.Int64
 }
 
 // Option configures optional server wiring.
@@ -107,6 +160,12 @@ type Option func(*Server)
 // into, enabling POST /admin/snapshot.
 func WithStore(st *probkb.Store) Option {
 	return func(s *Server) { s.store = st }
+}
+
+// WithMaxInFlight caps concurrently admitted data-plane requests;
+// n <= 0 means unlimited. See Server.SetMaxInFlight.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) { s.SetMaxInFlight(n) }
 }
 
 // New builds the handler for an expanded KB, ready to serve.
@@ -122,15 +181,22 @@ func New(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) *Server {
 // SetReady, while data endpoints answer 503. This is what lets the
 // server binary bind its port first and recover/expand afterwards.
 func NewPending() *Server {
-	s := &Server{mux: http.NewServeMux()}
+	s := &Server{mux: http.NewServeMux(), snaps: epoch.New[*snapshot](nil, nil)}
+	// data wires a read endpoint: instrumented, admission-controlled,
+	// and pinned to one generation for the whole request.
+	data := func(path string, h snapHandler) http.HandlerFunc {
+		return instrument(path, s.admit(path, s.withSnap(h)))
+	}
 	s.mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /readyz", instrument("/readyz", s.handleReady))
-	s.mux.HandleFunc("GET /stats", instrument("/stats", s.whenReady(s.handleStats)))
-	s.mux.HandleFunc("GET /facts", instrument("/facts", s.whenReady(s.handleFacts)))
-	s.mux.HandleFunc("GET /explain", instrument("/explain", s.whenReady(s.handleExplain)))
-	s.mux.HandleFunc("GET /query", instrument("/query", s.whenReady(s.handleQuery)))
-	s.mux.HandleFunc("GET /sql", instrument("GET /sql", s.whenReady(s.handleSQL)))
-	s.mux.HandleFunc("POST /sql", instrument("POST /sql", s.whenReady(s.handleDistSQL)))
+	s.mux.HandleFunc("GET /stats", data("/stats", s.handleStats))
+	s.mux.HandleFunc("GET /facts", data("/facts", s.handleFacts))
+	s.mux.HandleFunc("POST /facts", instrument("POST /facts", s.handleFactsPost))
+	s.mux.HandleFunc("GET /explain", data("/explain", s.handleExplain))
+	s.mux.HandleFunc("GET /query", data("/query", s.handleQuery))
+	s.mux.HandleFunc("POST /query/batch", data("/query/batch", s.handleQueryBatch))
+	s.mux.HandleFunc("GET /sql", data("GET /sql", s.handleSQL))
+	s.mux.HandleFunc("POST /sql", data("POST /sql", s.handleDistSQL))
 	s.mux.HandleFunc("GET /metrics", instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/queries", instrument("/debug/queries", s.handleQueries))
 	s.mux.HandleFunc("DELETE /debug/queries/{id}", instrument("/debug/queries", s.handleQueryCancel))
@@ -138,32 +204,38 @@ func NewPending() *Server {
 	s.mux.HandleFunc("GET /debug/incidents", instrument("/debug/incidents", s.handleIncidents))
 	s.mux.HandleFunc("GET /debug/incidents/{id}", instrument("/debug/incidents", s.handleIncident))
 	s.mux.HandleFunc("GET /debug/traces", instrument("/debug/traces", s.handleTraces))
-	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.whenReady(s.handleJournal)))
-	s.mux.HandleFunc("GET /debug/profile", instrument("/debug/profile", s.whenReady(s.handleProfile)))
-	s.mux.HandleFunc("POST /admin/expand", instrument("/admin/expand", s.whenReady(s.handleExpand)))
+	s.mux.HandleFunc("GET /debug/journal", instrument("/debug/journal", s.withSnap(s.handleJournal)))
+	s.mux.HandleFunc("GET /debug/profile", instrument("/debug/profile", s.withSnap(s.handleProfile)))
+	s.mux.HandleFunc("POST /admin/expand", instrument("/admin/expand", s.handleExpand))
 	s.mux.HandleFunc("POST /admin/snapshot", instrument("/admin/snapshot", s.handleSnapshot))
 	s.registerDebug()
 	return s
 }
 
-// Attach installs the KB and expansion a pending server will serve,
-// and points the incident store's journal and plan-capture hooks at
-// them: incidents opened from here on are journaled into the served
-// expansion's run journal, and a finding that names a SQL query gets
-// its EXPLAIN plan captured.
+// Attach installs the KB and expansion a pending server will serve as
+// the first real generation, and points the incident store's journal
+// and plan-capture hooks at the serving tier: incidents opened from
+// here on are journaled into the *current* generation's run journal,
+// and a finding that names a SQL query gets its EXPLAIN plan captured
+// against the current generation.
 func (s *Server) Attach(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) {
-	s.mu.Lock()
-	s.kb, s.exp = kb, exp
-	s.mu.Unlock()
 	for _, opt := range opts {
 		opt(s)
 	}
-	obs.DefaultIncidents.SetJournal(exp.Journal())
+	s.wmu.Lock()
+	s.publish(kb, exp)
+	s.wmu.Unlock()
 	obs.DefaultIncidents.SetPlanner(func(kind, text string) string {
 		if kind != "sql" && kind != "dist-sql" {
 			return ""
 		}
-		plan, err := s.knowledge().ExplainSQL(text)
+		pin := s.snaps.Pin()
+		defer pin.Unpin()
+		snap := pin.Value()
+		if snap == nil {
+			return ""
+		}
+		plan, err := snap.kb.ExplainSQL(text)
 		if err != nil {
 			return ""
 		}
@@ -171,31 +243,85 @@ func (s *Server) Attach(kb *probkb.KB, exp *probkb.Expansion, opts ...Option) {
 	})
 }
 
+// publish swaps in (kb, exp) as the next generation and re-points the
+// incident journal at the new expansion's run record. Callers hold wmu.
+func (s *Server) publish(kb *probkb.KB, exp *probkb.Expansion) uint64 {
+	gen := s.snaps.Publish(&snapshot{kb: kb, exp: exp})
+	obs.DefaultIncidents.SetJournal(exp.Journal())
+	return gen
+}
+
 // SetReady flips the /readyz state; data endpoints serve only while
 // ready with an attached expansion.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// knowledge returns the served KB under the read lock.
-func (s *Server) knowledge() *probkb.KB {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.kb
+// SetMaxInFlight re-caps admission control at runtime; n <= 0 lifts the
+// cap. Requests already admitted are unaffected.
+func (s *Server) SetMaxInFlight(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxInFlight.Store(int64(n))
 }
 
-// expansion returns the served expansion under the read lock.
-func (s *Server) expansion() *probkb.Expansion {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.exp
+// Epoch exposes the serving tier's epoch manager — the bench harness
+// and tests assert on generation, pin, and reclamation counts.
+func (s *Server) Epoch() *epoch.Manager[*snapshot] { return s.snaps }
+
+// serving reports whether a real generation is attached and the server
+// was marked ready.
+func (s *Server) serving() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	pin := s.snaps.Pin()
+	defer pin.Unpin()
+	return pin.Value() != nil
 }
 
-// whenReady gates a data handler on readiness: 503 until the expansion
-// is attached and SetReady(true) was called.
-func (s *Server) whenReady(h http.HandlerFunc) http.HandlerFunc {
+// snapHandler is a read handler bound to one pinned generation: snap is
+// immutable for the duration of the call and gen is its epoch number.
+type snapHandler func(w http.ResponseWriter, r *http.Request, snap *snapshot, gen uint64)
+
+// withSnap gates a data handler on readiness and pins the current
+// generation for the request's whole lifetime: everything the handler
+// reads — dictionaries, fact tables, the marginal cache, the journal —
+// comes from one immutable snapshot, no matter how many generations
+// writers publish meanwhile.
+func (s *Server) withSnap(h snapHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.ready.Load() || s.expansion() == nil || s.knowledge() == nil {
+		if !s.ready.Load() {
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (still recovering or expanding)"))
 			return
+		}
+		pin := s.snaps.Pin()
+		defer pin.Unpin()
+		snap := pin.Value()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (no expansion attached)"))
+			return
+		}
+		h(w, r, snap, pin.Gen())
+	}
+}
+
+// admit is the admission-control middleware for data-plane endpoints:
+// when a cap is set and reached, the request is shed immediately with
+// 429 + Retry-After rather than queued, keeping latency bounded for
+// admitted requests under overload.
+func (s *Server) admit(path string, h http.HandlerFunc) http.HandlerFunc {
+	rejected := obs.Default.Counter("probkb_http_rejected_total", obs.L("path", path))
+	return func(w http.ResponseWriter, r *http.Request) {
+		if max := s.maxInFlight.Load(); max > 0 {
+			if s.admitted.Add(1) > max {
+				s.admitted.Add(-1)
+				rejected.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("server at capacity (%d data requests in flight); retry shortly", max))
+				return
+			}
+			defer s.admitted.Add(-1)
 		}
 		h(w, r)
 	}
@@ -232,7 +358,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // load balancers don't route queries to a server still recovering its
 // store or running its initial expansion.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() || s.expansion() == nil {
+	if !s.serving() {
 		// Retry-After tells probes and load balancers when to come back;
 		// recovery and initial expansion usually finish within seconds.
 		w.Header().Set("Retry-After", "5")
@@ -242,14 +368,32 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
+// epochJSON is the serving tier's epoch state in /stats.
+type epochJSON struct {
+	Generation uint64 `json:"generation"`
+	Live       int64  `json:"liveGenerations"`
+	Pins       int64  `json:"pins"`
+	Reclaimed  uint64 `json:"reclaimedGenerations"`
+}
+
 // statsResponse is the /stats payload.
 type statsResponse struct {
 	KB        probkb.Stats       `json:"kb"`
 	Expansion probkb.ExpandStats `json:"expansion"`
+	Epoch     epochJSON          `json:"epoch"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{KB: s.knowledge().Stats(), Expansion: s.expansion().Stats()})
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, snap *snapshot, gen uint64) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		KB:        snap.kb.Stats(),
+		Expansion: snap.exp.Stats(),
+		Epoch: epochJSON{
+			Generation: gen,
+			Live:       s.snaps.Live(),
+			Pins:       s.snaps.Pins(),
+			Reclaimed:  s.snaps.Reclaimed(),
+		},
+	})
 }
 
 // factJSON is one fact in API responses. Probability is null for
@@ -276,7 +420,7 @@ func toJSON(f probkb.Fact) factJSON {
 	return out
 }
 
-func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, snap *snapshot, _ uint64) {
 	q := r.URL.Query()
 	limit := 100
 	if ls := q.Get("limit"); ls != "" {
@@ -297,7 +441,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		inferredFilter = &v
 	}
 
-	matches := s.expansion().Find(q.Get("rel"), q.Get("x"), q.Get("y"))
+	matches := snap.exp.Find(q.Get("rel"), q.Get("x"), q.Get("y"))
 	out := make([]factJSON, 0, limit)
 	total := 0
 	for _, f := range matches {
@@ -312,7 +456,86 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"total": total, "facts": out})
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+// factIn is one observed fact in a POST /facts body.
+type factIn struct {
+	Rel         string  `json:"rel"`
+	X           string  `json:"x"`
+	XClass      string  `json:"xClass"`
+	Y           string  `json:"y"`
+	YClass      string  `json:"yClass"`
+	Probability float64 `json:"probability"`
+}
+
+// handleFactsPost streams newly observed facts into the KB: ExtendWith
+// builds the next generation on a copy-on-write fork (semi-naive, cost
+// scales with the delta) and on success the server publishes it.
+// Readers pinned to older generations are untouched throughout — they
+// never see a partial extend, and a failed or cancelled build (the
+// request registers as kind "extend", so DELETE /debug/queries/{id}
+// can kill it) publishes nothing.
+func (s *Server) handleFactsPost(w http.ResponseWriter, r *http.Request) {
+	if !s.serving() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (still recovering or expanding)"))
+		return
+	}
+	var req struct {
+		Facts []factIn `json:"facts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Facts) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`no facts: body must be {"facts": [{"rel": ..., "x": ..., "xClass": ..., "y": ..., "yClass": ..., "probability": ...}]}`))
+		return
+	}
+	facts := make([]probkb.Fact, 0, len(req.Facts))
+	for i, f := range req.Facts {
+		if f.Rel == "" || f.X == "" || f.XClass == "" || f.Y == "" || f.YClass == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("facts[%d]: rel, x, xClass, y, yClass are all required", i))
+			return
+		}
+		if f.Probability < 0 || f.Probability > 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("facts[%d]: probability %v outside [0, 1]", i, f.Probability))
+			return
+		}
+		facts = append(facts, probkb.Fact{
+			Rel: f.Rel, X: f.X, XClass: f.XClass, Y: f.Y, YClass: f.YClass,
+			Probability: f.Probability,
+		})
+	}
+
+	ctx, aq := obs.Queries.Begin(r.Context(), "extend", fmt.Sprintf("extend +%d facts", len(facts)))
+	defer obs.Queries.Finish(aq)
+	aq.SetPhase("queue")
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	aq.SetPhase("ground")
+
+	// Pin the newest generation *after* winning the writer mutex: a
+	// competing writer may have published while we queued, and the new
+	// round must extend that, not a stale base.
+	pin := s.snaps.Pin()
+	defer pin.Unpin()
+	base := pin.Value()
+	if base == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (no expansion attached)"))
+		return
+	}
+	next, err := base.exp.ExtendWithContext(ctx, facts)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	gen := s.publish(next.KB(), next)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added":      len(facts),
+		"generation": gen,
+		"stats":      next.Stats(),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, snap *snapshot, _ uint64) {
 	q := r.URL.Query()
 	rel, x, y := q.Get("rel"), q.Get("x"), q.Get("y")
 	if rel == "" || x == "" || y == "" {
@@ -331,7 +554,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	_, aq := obs.Queries.Begin(r.Context(), "explain", fmt.Sprintf("explain %s(%s, %s)", rel, x, y))
 	defer obs.Queries.Finish(aq)
 	aq.SetPhase("run")
-	text, err := s.expansion().Explain(rel, x, y, depth)
+	text, err := snap.exp.Explain(rel, x, y, depth)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -360,7 +583,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request, snap *snapshot, _ uint64) {
 	query := r.URL.Query().Get("q")
 	if query == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
@@ -372,16 +595,16 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	aq.SetPhase("run")
 
 	start := time.Now()
-	res, planText, planNode, err := s.knowledge().QuerySQLAnalyze(ctx, query)
+	res, planText, planNode, err := snap.kb.QuerySQLAnalyze(ctx, query)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	s.noteQuery(r, aq, time.Since(start), planText, planNode)
+	s.noteQuery(r, aq, snap.exp, time.Since(start), planText, planNode)
 	payload := map[string]any{"columns": res.Columns, "rows": res.Rows}
 	if analyze {
 		payload["plan"] = planText
-		s.journalAnalyzed(aq, query, time.Since(start), planNode)
+		journalAnalyzed(snap.exp, aq, query, time.Since(start), planNode)
 	}
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -390,7 +613,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 // — including joins whose inputs are not collocated, which once
 // panicked deep inside the MPP layer — come back as a 400 with the
 // planner's error; the process stays up.
-func (s *Server) handleDistSQL(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDistSQL(w http.ResponseWriter, r *http.Request, snap *snapshot, _ uint64) {
 	var req struct {
 		Q        string `json:"q"`
 		Segments int    `json:"segments"`
@@ -409,16 +632,16 @@ func (s *Server) handleDistSQL(w http.ResponseWriter, r *http.Request) {
 	aq.SetPhase("run")
 
 	start := time.Now()
-	res, planText, planNode, err := s.knowledge().QueryDistSQLAnalyze(ctx, req.Q, req.Segments)
+	res, planText, planNode, err := snap.kb.QueryDistSQLAnalyze(ctx, req.Q, req.Segments)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	s.noteQuery(r, aq, time.Since(start), planText, planNode)
+	s.noteQuery(r, aq, snap.exp, time.Since(start), planText, planNode)
 	payload := map[string]any{"columns": res.Columns, "rows": res.Rows}
 	if req.Analyze {
 		payload["plan"] = planText
-		s.journalAnalyzed(aq, req.Q, time.Since(start), planNode)
+		journalAnalyzed(snap.exp, aq, req.Q, time.Since(start), planNode)
 	}
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -440,8 +663,8 @@ func writeQueryError(w http.ResponseWriter, err error) {
 
 // noteQuery feeds a finished query into the slow-query log: requests
 // over the threshold retain their analyzed plan and emit a slow_query
-// journal event.
-func (s *Server) noteQuery(r *http.Request, aq *obs.ActiveQuery, elapsed time.Duration, planText string, planNode *journal.PlanNode) {
+// journal event into the generation that served them.
+func (s *Server) noteQuery(r *http.Request, aq *obs.ActiveQuery, exp *probkb.Expansion, elapsed time.Duration, planText string, planNode *journal.PlanNode) {
 	if aq == nil {
 		return
 	}
@@ -449,7 +672,7 @@ func (s *Server) noteQuery(r *http.Request, aq *obs.ActiveQuery, elapsed time.Du
 		ID: aq.ID(), Kind: aq.Kind(), Text: aq.Text(), Elapsed: elapsed, Plan: planText,
 	})
 	if slow && planNode != nil {
-		s.expansion().Journal().Emit(journal.TypeSlowQuery, journal.AnalyzedQuery{
+		exp.Journal().Emit(journal.TypeSlowQuery, journal.AnalyzedQuery{
 			ID: aq.ID(), Kind: aq.Kind(), Query: aq.Text(),
 			Seconds: elapsed.Seconds(), Plan: *planNode,
 		})
@@ -457,12 +680,12 @@ func (s *Server) noteQuery(r *http.Request, aq *obs.ActiveQuery, elapsed time.Du
 }
 
 // journalAnalyzed records an analyze=1 request's profiled plan in the
-// served expansion's journal (nil-safe when the expansion has none).
-func (s *Server) journalAnalyzed(aq *obs.ActiveQuery, query string, elapsed time.Duration, planNode *journal.PlanNode) {
+// serving generation's journal (nil-safe when the expansion has none).
+func journalAnalyzed(exp *probkb.Expansion, aq *obs.ActiveQuery, query string, elapsed time.Duration, planNode *journal.PlanNode) {
 	if aq == nil || planNode == nil {
 		return
 	}
-	s.expansion().Journal().Emit(journal.TypeQueryAnalyzed, journal.AnalyzedQuery{
+	exp.Journal().Emit(journal.TypeQueryAnalyzed, journal.AnalyzedQuery{
 		ID: aq.ID(), Kind: aq.Kind(), Query: query,
 		Seconds: elapsed.Seconds(), Plan: *planNode,
 	})
@@ -530,11 +753,18 @@ func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleExpand re-runs the expansion pipeline on the served KB and, on
-// success, swaps the served expansion for the fresh one. The request
-// registers in the active-query registry (kind "expand"), so a runaway
-// expansion shows in /debug/queries and DELETE /debug/queries/{id}
-// cancels it through the same PartialError path ExpandContext uses.
+// success, publishes the fresh expansion as the next generation —
+// readers pinned to the old one keep serving it lock-free for as long
+// as their requests last. The request registers in the active-query
+// registry (kind "expand"), so a runaway expansion shows in
+// /debug/queries and DELETE /debug/queries/{id} cancels it through the
+// same PartialError path ExpandContext uses; a cancelled or failed
+// expansion publishes nothing.
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	if !s.serving() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (still recovering or expanding)"))
+		return
+	}
 	var req struct {
 		Iterations int   `json:"iterations"`
 		Inference  bool  `json:"inference"`
@@ -549,7 +779,20 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	desc := fmt.Sprintf("expand iterations=%d inference=%v samples=%d", req.Iterations, req.Inference, req.Samples)
 	ctx, aq := obs.Queries.Begin(r.Context(), "expand", desc)
 	defer obs.Queries.Finish(aq)
+	aq.SetPhase("queue")
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	aq.SetPhase("ground")
+
+	// Pin the newest generation after winning the writer mutex (see
+	// handleFactsPost) — the re-expansion grounds that generation's KB.
+	pin := s.snaps.Pin()
+	defer pin.Unpin()
+	base := pin.Value()
+	if base == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (no expansion attached)"))
+		return
+	}
 
 	cfg := probkb.Config{
 		Engine:        probkb.SingleNode,
@@ -564,13 +807,11 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		},
 		OnGibbsSweep: func(probkb.GibbsSweep) { aq.SetPhase("infer") },
 	}
-	exp, err := s.knowledge().ExpandContext(ctx, cfg)
+	exp, err := base.kb.ExpandContext(ctx, cfg)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	s.mu.Lock()
-	s.exp = exp
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"stats": exp.Stats()})
+	gen := s.publish(base.kb, exp)
+	writeJSON(w, http.StatusOK, map[string]any{"stats": exp.Stats(), "generation": gen})
 }

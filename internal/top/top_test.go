@@ -13,6 +13,11 @@ probkb_http_requests_total{path="/sql",code="200"} 40
 probkb_http_requests_total{path="/metrics",code="200"} 10
 # TYPE probkb_queries_in_flight gauge
 probkb_queries_in_flight 3
+# TYPE probkb_http_rejected_total counter
+probkb_http_rejected_total{path="/sql"} 4
+probkb_http_rejected_total{path="/query"} 3
+# TYPE probkb_epoch_generation gauge
+probkb_epoch_generation 6
 # TYPE probkb_http_request_seconds histogram
 probkb_http_request_seconds_bucket{path="/sql",le="0.1"} 50
 probkb_http_request_seconds_bucket{path="/sql",le="1"} 90
@@ -142,7 +147,8 @@ func TestRenderFrame(t *testing.T) {
 		{ID: "i2", Time: cur.Time.Add(-90 * time.Second), Detector: "stuck_query", Summary: "query q7 stuck"},
 		{ID: "i1", Time: cur.Time.Add(-5 * time.Minute), Detector: "wal_growth", Summary: "wal runaway"},
 	})
-	for _, want := range []string{"qps 5.0", "in-flight 3", "q7", "SELECT * FROM T", "run",
+	for _, want := range []string{"qps 5.0", "in-flight 3", "rejected 7", "gen 6",
+		"q7", "SELECT * FROM T", "run",
 		"incidents 2", "i2 stuck_query (1m30s ago): query q7 stuck"} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)

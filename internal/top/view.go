@@ -136,10 +136,19 @@ func Render(prev, cur *Scrape, queries []QueryRow, incidents []IncidentRow) stri
 	goroutines, _ := cur.Value("probkb_go_goroutines")
 	heap, _ := cur.Value("probkb_go_heap_bytes")
 	slow, _ := cur.Value("probkb_slow_queries_total")
+	// Admission-control sheds (summed over paths) and the serving
+	// tier's current epoch generation — a climbing gen with flat
+	// rejected is the healthy read-while-expand signature.
+	rejected, _ := cur.Value("probkb_http_rejected_total")
+	gen, hasGen := cur.Value("probkb_epoch_generation")
 
 	fmt.Fprintf(&b, "probkb top  %s\n\n", cur.Time.Format("15:04:05"))
-	fmt.Fprintf(&b, "  qps %-8s  p50 %-10s  p99 %-10s  in-flight %d  slow %d\n",
-		qps, p50, p99, int(inFlight), int(slow))
+	fmt.Fprintf(&b, "  qps %-8s  p50 %-10s  p99 %-10s  in-flight %d  rejected %d  slow %d",
+		qps, p50, p99, int(inFlight), int(rejected), int(slow))
+	if hasGen {
+		fmt.Fprintf(&b, "  gen %d", int(gen))
+	}
+	b.WriteString("\n")
 	gs := "-"
 	if hasGibbs {
 		gs = fmt.Sprintf("%.0f", gibbs)

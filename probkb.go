@@ -473,7 +473,10 @@ func (k *KB) ExpandContext(ctx context.Context, cfg Config) (*Expansion, error) 
 	case cfg.RuleCleanTheta > 0 && cfg.RuleCleanTheta < 1:
 		work = quality.CleanRules(work, cfg.RuleCleanTheta)
 	default:
-		work = work.Clone()
+		// A copy-on-write fork, not a deep clone: the run only pays for
+		// a copy if quality repair actually deletes facts, and the
+		// receiver stays frozen for concurrent readers either way.
+		work = work.Fork()
 	}
 
 	opts := groundOptions(ctx, cfg)

@@ -87,9 +87,13 @@ type Marginal struct {
 	// bounds; Observed that it is a base (evidence) fact.
 	Found    bool
 	Observed bool
-	// Cached reports a marginal-cache hit; Generation identifies the
-	// expansion that computed the answer (bumps on ExtendWith).
+	// Cached reports a marginal-cache hit; Coalesced that this call
+	// waited on an identical in-flight query and shares its answer
+	// (request batching: N concurrent identical lookups pay for one
+	// grounding run). Generation identifies the expansion that computed
+	// the answer (bumps on ExtendWith).
 	Cached     bool
+	Coalesced  bool
 	Generation uint64
 	// Depth and Radius are the resolved grounding bounds.
 	Depth  int
@@ -122,6 +126,15 @@ type queryKey struct {
 // arbitrary entry is evicted (the workload is point lookups with heavy
 // repetition, so any victim works).
 const queryCacheLimit = 4096
+
+// queryCall is one in-flight cache-miss computation; concurrent
+// identical queries wait on done and share m/err instead of grounding
+// the same neighborhood again.
+type queryCall struct {
+	done chan struct{}
+	m    Marginal
+	err  error
+}
 
 // expansionGen numbers expansions process-wide so cached marginals are
 // attributable to the generation that computed them.
@@ -224,17 +237,77 @@ func (e *Expansion) QueryLocal(ctx context.Context, q PointQuery) (Marginal, err
 
 	key := queryKey{rel: rel, x: x, y: y, depth: depth, radius: radius,
 		markov: q.MarkovRadius, burnin: burnin, samples: samples}
-	if !q.NoCache {
-		e.qmu.RLock()
-		hit, ok := e.qcache[key]
-		e.qmu.RUnlock()
-		if ok {
+	if q.NoCache {
+		return e.queryLocalMiss(ctx, q, m, depth, radius, burnin, samples, start)
+	}
+	for {
+		e.qmu.Lock()
+		if hit, ok := e.qcache[key]; ok {
+			e.qmu.Unlock()
 			hit.Cached = true
 			hit.Elapsed = time.Since(start)
 			obs.Default.Counter("probkb_query_local_total", obs.L("cache", "hit")).Inc()
 			return hit, nil
 		}
+		c, inflight := e.qflight[key]
+		if !inflight {
+			// Become the leader: compute, publish to cache and waiters.
+			c = &queryCall{done: make(chan struct{})}
+			if e.qflight == nil {
+				e.qflight = make(map[queryKey]*queryCall)
+			}
+			e.qflight[key] = c
+			e.qmu.Unlock()
+			out, err := e.queryLocalMiss(ctx, q, m, depth, radius, burnin, samples, start)
+			e.qmu.Lock()
+			delete(e.qflight, key)
+			if err == nil {
+				if e.qcache == nil {
+					e.qcache = make(map[queryKey]Marginal)
+				}
+				if len(e.qcache) >= queryCacheLimit {
+					for k := range e.qcache {
+						delete(e.qcache, k)
+						break
+					}
+				}
+				e.qcache[key] = out
+			}
+			e.qmu.Unlock()
+			c.m, c.err = out, err
+			close(c.done)
+			return out, err
+		}
+		e.qmu.Unlock()
+		// Coalesce onto the in-flight leader — but honor our own
+		// context: a cancelled waiter must not hang on a slow leader.
+		select {
+		case <-ctx.Done():
+			return m, &PartialError{Phase: "query-local", Err: ctx.Err()}
+		case <-c.done:
+		}
+		if c.err != nil {
+			// The leader failed (possibly its own cancellation, which
+			// says nothing about our query); retry — we will find the
+			// cache filled, a new leader to wait on, or lead ourselves.
+			continue
+		}
+		hit := c.m
+		hit.Cached, hit.Coalesced = true, true
+		hit.Elapsed = time.Since(start)
+		obs.Default.Counter("probkb_query_local_total", obs.L("cache", "coalesced")).Inc()
+		return hit, nil
 	}
+}
+
+// queryLocalMiss is the cache-miss path: local grounding, target
+// resolution, and neighborhood Gibbs. m arrives pre-filled with the
+// atom, generation, and resolved bounds; the caller owns caching and
+// coalescing.
+func (e *Expansion) queryLocalMiss(ctx context.Context, q PointQuery, m Marginal, depth, radius, burnin, samples int, start time.Time) (Marginal, error) {
+	rel, _ := e.kb.RelDict.Lookup(q.Rel)
+	x, _ := e.kb.Entities.Lookup(q.X)
+	y, _ := e.kb.Entities.Lookup(q.Y)
 
 	ctx, span := obs.StartSpan(ctx, "query-local")
 	defer span.End()
@@ -330,20 +403,6 @@ func (e *Expansion) QueryLocal(ctx context.Context, q PointQuery) (Marginal, err
 		Probability: p,
 		Seconds:     m.Elapsed.Seconds(),
 	})
-	if !q.NoCache {
-		e.qmu.Lock()
-		if e.qcache == nil {
-			e.qcache = make(map[queryKey]Marginal)
-		}
-		if len(e.qcache) >= queryCacheLimit {
-			for k := range e.qcache {
-				delete(e.qcache, k)
-				break
-			}
-		}
-		e.qcache[key] = m
-		e.qmu.Unlock()
-	}
 	return m, nil
 }
 
