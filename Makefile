@@ -3,7 +3,7 @@ GO ?= go
 # Baseline for bench-diff (write one with `make bench-baseline`).
 BENCH_BASE ?= BENCH_baseline.json
 
-.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke incident-smoke query-smoke mvcc-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
+.PHONY: build vet test race check bench bench-baseline bench-diff report-smoke chaos-smoke incident-smoke query-smoke mvcc-smoke ingest-smoke proptest fuzz-smoke crash-smoke crashtest cover-store lint-metrics fmt
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 	$(GO) test -race ./...
 
 # The standard verify loop: what CI (and every PR) should run.
-check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke incident-smoke query-smoke mvcc-smoke
+check: build vet lint-metrics race proptest fuzz-smoke crash-smoke report-smoke chaos-smoke incident-smoke query-smoke mvcc-smoke ingest-smoke
 
 # Metric hygiene: every Counter/Gauge/Histogram name is probkb_-prefixed
 # snake_case with the right unit suffix and a Help() string (see
@@ -41,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDistSQL -fuzztime 30s ./internal/sql
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzIngestBatching -fuzztime 30s ./internal/ingest
 
 # Quick durability gate for the check loop: the store's own tests plus
 # the short crash matrix (every write truncated at frame boundaries,
@@ -144,6 +145,20 @@ mvcc-smoke:
 	$(GO) test -race -count=1 -run 'TestMVCC' .
 	$(GO) test -race -count=1 -run 'TestAdmissionControl|TestFactsPost|TestQueryBatch|TestCancelledExpandDoesNotPublish|TestQueryCancelPinnedReader' ./internal/server
 	@echo "mvcc-smoke: ok"
+
+# Streaming-ingest smoke: the pipeline's unit battery (batching
+# triggers, error latch, cancellation, concurrent submitters), the
+# split-invariance property test with shrinking, the API-level
+# differential battery (every batch split of the firehose vs the t=0
+# oracle, marginals included), the chaos leg (cancelled absorb
+# publishes nothing, WAL recovery + idempotent re-streaming converges),
+# and the server's streaming POST /facts contract — all under -race.
+ingest-smoke:
+	$(GO) test -race -count=1 ./internal/ingest
+	$(GO) test -race -count=1 -run 'TestIngestSplitInvariance|TestReplayIngestDeterministic|TestShrinkIngestReduces' ./internal/proptest
+	$(GO) test -race -count=1 -run 'TestIngest|TestExtendWithSplitDifferential' .
+	$(GO) test -race -count=1 -run 'TestFactsStream|TestFactsPostAdmission' ./internal/server
+	@echo "ingest-smoke: ok"
 
 fmt:
 	gofmt -l -w .

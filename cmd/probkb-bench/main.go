@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|serve|serve-mixed|point-query|all
+//	probkb-bench -exp table2|table3|table4|fig4|fig6a|fig6b|fig6c|fig7a|fig7b|growth|ingest|serve|serve-mixed|point-query|all
 //	             [-scale 0.02] [-seed 42] [-segments 4] [-json PATH]
 //	             [-clients 8] [-serve-duration 2s] [-point-query] [-mixed]
 //	             [-compare BENCH_old.json]
@@ -54,7 +54,7 @@ func main() {
 	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
 		os.Args = append([]string{os.Args[0], "-exp", os.Args[1]}, os.Args[2:]...)
 	}
-	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, serve, serve-mixed, point-query, all)")
+	exp := flag.String("exp", "all", "experiment id (table2, table3, table4, fig4, fig6a, fig6b, fig6c, fig7a, fig7b, growth, workers, ingest, serve, serve-mixed, point-query, all)")
 	scale := flag.Float64("scale", 0.02, "corpus scale relative to the paper (1.0 = 407K facts)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	segments := flag.Int("segments", 4, "MPP cluster segments")
@@ -97,6 +97,7 @@ func main() {
 		{"growth", func() (any, error) { return bench.Growth(cfg, w) }},
 		{"feedback", func() (any, error) { return nil, bench.Feedback(cfg, w) }},
 		{"workers", func() (any, error) { return bench.Workers(cfg, w) }},
+		{"ingest", func() (any, error) { return bench.Ingest(cfg, w) }},
 		{"serve", func() (any, error) { return bench.ServeN(cfg, *clients, *serveDur, w) }},
 		{"serve-mixed", func() (any, error) { return bench.ServeMixed(cfg, *clients, *serveDur, w) }},
 		{"point-query", func() (any, error) { return bench.PointQuery(cfg, *clients, *serveDur, w) }},

@@ -28,6 +28,26 @@
 //	    from the recovered facts — kill the process at any point and
 //	    re-run the same command.
 //
+//	probkb ingest  -kb DIR [-persist DIR] [-in FILE] [-format jsonl|csv]
+//	               [-batch N] [-delay D] [-queue N]
+//	               [-refresh-every K] [-refresh-interval D]
+//	               [-burnin N] [-samples N] [-seed N] [-journal FILE] [-v]
+//	    Stream facts into a live KB. The input (a file, or stdin with
+//	    -in -) is a firehose of facts — JSONL objects with rel/x/xClass/
+//	    y/yClass/probability fields, or CSV rows in that column order —
+//	    absorbed in batches of up to -batch facts (a partial batch closes
+//	    after -delay). Each batch lands with semi-naive delta grounding:
+//	    its facts and everything derivable from them are visible (and,
+//	    with -persist, WAL-durable) as soon as the batch is absorbed,
+//	    while Gibbs marginals refresh lazily every -refresh-every batches
+//	    or -refresh-interval of wall clock, whichever fires first. SIGINT
+//	    stops the reader, drains the queue, runs a final refresh, and
+//	    summarizes; a second SIGINT aborts the in-flight batch. With
+//	    -persist, a DIR that already holds a store is recovered and
+//	    ingestion resumes on top of it — re-streaming the same input is
+//	    harmless (duplicate facts are dropped by the closure). -journal
+//	    streams one ingest_batch/ingest_refresh JSONL event per batch.
+//
 //	probkb save    -kb DIR -store DIR
 //	    Initialize a durable store from a KB: generation-1 snapshot plus
 //	    an empty WAL.
@@ -75,18 +95,22 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"probkb"
+	"probkb/internal/ingest"
 	"probkb/internal/obs"
 	"probkb/internal/obs/journal"
 	"probkb/internal/top"
@@ -101,6 +125,8 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "expand":
 		cmdExpand(os.Args[2:])
+	case "ingest":
+		cmdIngest(os.Args[2:])
 	case "save":
 		cmdSave(os.Args[2:])
 	case "load":
@@ -125,7 +151,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|save|load|report|explain|query|rules|sql|top|incidents} [flags]; see -h of each subcommand")
+	fmt.Fprintln(os.Stderr, "usage: probkb {stats|expand|ingest|save|load|report|explain|query|rules|sql|top|incidents} [flags]; see -h of each subcommand")
 	os.Exit(2)
 }
 
@@ -339,6 +365,228 @@ func cmdExpand(args []string) {
 			die(err)
 		}
 		fmt.Printf("expanded KB written to %s\n", *out)
+	}
+}
+
+// cmdIngest streams a firehose of facts into a live KB through the
+// ingest pipeline: batches land with semi-naive delta grounding (facts
+// and closure visible immediately, WAL-durable with -persist) while
+// Gibbs marginals refresh lazily on the configured staleness policy.
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := fs.String("kb", "", "KB directory (rules + seed facts); not consulted when -persist already holds a store")
+	persistDir := fs.String("persist", "", "durable store directory: created from -kb if empty, recovered and resumed if it already holds a store")
+	inPath := fs.String("in", "-", "fact stream: a file, or - for stdin")
+	format := fs.String("format", "", "jsonl | csv (default: csv for .csv files, jsonl otherwise)")
+	batch := fs.Int("batch", 256, "batch-size trigger (facts)")
+	delay := fs.Duration("delay", 50*time.Millisecond, "batch-latency trigger: a partial batch closes this long after its first fact")
+	queue := fs.Int("queue", 4096, "firehose queue depth (facts); the reader blocks when it is full")
+	refreshEvery := fs.Int("refresh-every", 8, "refresh Gibbs marginals every K absorbed batches (0 = only on close)")
+	refreshInterval := fs.Duration("refresh-interval", 0, "also refresh after this much wall clock since the last refresh (0 = off)")
+	burnin := fs.Int("burnin", 100, "Gibbs burn-in sweeps per refresh")
+	samples := fs.Int("samples", 500, "Gibbs sample sweeps per refresh")
+	seed := fs.Int64("seed", 0, "inference seed")
+	journalPath := fs.String("journal", "", "stream ingest_batch/ingest_refresh events (JSONL) to this file")
+	verbose := fs.Bool("v", false, "print one line per absorbed batch")
+	fs.Parse(args)
+
+	var (
+		k   *probkb.KB
+		pst *probkb.Store
+	)
+	if *persistDir != "" {
+		ok, err := probkb.StoreExists(*persistDir)
+		if err != nil {
+			die(err)
+		}
+		if ok {
+			if pst, err = probkb.OpenStore(*persistDir); err != nil {
+				die(err)
+			}
+			k = pst.KB()
+			fmt.Printf("resumed store %s: gen %d, %d WAL records replayed, %d facts\n",
+				*persistDir, pst.Gen(), pst.WALRecords(), pst.Facts())
+		} else {
+			k = loadKB(*dir)
+			if pst, err = probkb.CreateStore(*persistDir, k); err != nil {
+				die(err)
+			}
+			fmt.Printf("initialized store %s\n", *persistDir)
+		}
+		defer pst.Close()
+	} else {
+		k = loadKB(*dir)
+	}
+
+	// Seed the serving state: one full expansion of the starting KB,
+	// marginals included, so the stream lands on a converged baseline.
+	exp, err := k.Expand(probkb.Config{
+		Engine: probkb.SingleNode, RunInference: true,
+		GibbsBurnin: *burnin, GibbsSamples: *samples, GibbsParallel: true,
+		Seed: *seed, Persist: pst,
+	})
+	if err != nil {
+		die(err)
+	}
+	base := exp.Stats()
+	fmt.Printf("baseline       %d base + %d inferred facts\n", base.BaseFacts, base.InferredFacts)
+
+	var src io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	if *format == "" {
+		if strings.HasSuffix(*inPath, ".csv") {
+			*format = "csv"
+		} else {
+			*format = "jsonl"
+		}
+	}
+
+	// First SIGINT: stop the reader, drain the queue, run the closing
+	// refresh. Second SIGINT: abort the in-flight batch (nothing torn —
+	// with -persist, re-running the same command resumes).
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	readCtx, stopRead := context.WithCancel(context.Background())
+	defer stopRead()
+	pipeCtx, stopPipe := context.WithCancel(context.Background())
+	defer stopPipe()
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "probkb: interrupt — draining and refreshing (interrupt again to abort)")
+		stopRead()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "probkb: aborting in-flight batch")
+		stopPipe()
+	}()
+
+	ing := probkb.NewIngester(exp)
+	var jr *journal.Writer
+	if *journalPath != "" {
+		jr = journal.New()
+		if err := jr.SinkTo(*journalPath); err != nil {
+			die(err)
+		}
+		defer jr.Close()
+	}
+	cfg := ingest.Config{
+		MaxBatch: *batch, MaxDelay: *delay, QueueDepth: *queue,
+		RefreshEvery: *refreshEvery, RefreshInterval: *refreshInterval,
+		RefreshOnClose: true, Journal: jr,
+	}
+	if *verbose {
+		cfg.OnBatch = func(a ingest.Ack) {
+			extra := ""
+			if a.Refreshed {
+				extra = " [refreshed]"
+			}
+			fmt.Printf("  batch %d: %d facts (+%d new, %d derived) gen %d seq %d stale %d%s\n",
+				a.Batch, a.Facts, a.Added, a.Derived, a.Generation, a.DurableSeq, a.StaleBatches, extra)
+		}
+	}
+	start := time.Now()
+	p := ing.Pipeline(pipeCtx, cfg)
+
+	read, readErr := streamFacts(src, *format, func(f ingest.Fact) error {
+		return p.Submit(readCtx, f)
+	})
+	interrupted := errors.Is(readErr, context.Canceled)
+	if readErr != nil && !interrupted {
+		fmt.Fprintf(os.Stderr, "probkb: input stopped after %d facts: %v\n", read, readErr)
+	}
+	closeErr := p.Close(pipeCtx)
+	elapsed := time.Since(start)
+
+	st := p.Stats()
+	rate := float64(st.Facts) / elapsed.Seconds()
+	fmt.Printf("ingested       %d facts in %d batches, %s (%.0f facts/sec)\n",
+		st.Facts, st.Batches, elapsed.Round(time.Millisecond), rate)
+	fmt.Printf("refreshes      %d (staleness at exit: %d batches)\n", st.Refreshes, st.StaleBatches)
+	pin := ing.Current()
+	final := pin.Value().Stats()
+	fmt.Printf("closure        %d base + %d inferred facts, generation %d\n",
+		final.BaseFacts, final.InferredFacts, ing.Generation())
+	pin.Unpin()
+	if pst != nil {
+		fmt.Printf("store          %s: gen %d, %d WAL records, %d facts durable\n",
+			pst.Dir(), pst.Gen(), pst.WALRecords(), pst.Facts())
+	}
+	if closeErr != nil {
+		fmt.Fprintf(os.Stderr, "probkb: pipeline stopped early: %v\n", closeErr)
+		if pst != nil {
+			fmt.Fprintf(os.Stderr, "probkb: durable state through the last absorbed batch is in %s; re-run with -persist to resume\n", pst.Dir())
+		}
+		os.Exit(1)
+	}
+	if (readErr != nil && !interrupted) || interrupted {
+		os.Exit(1)
+	}
+}
+
+// streamFacts decodes the fact firehose and hands each fact to submit,
+// stopping at EOF or the first submit error (a cancelled reader context
+// surfaces here as context.Canceled).
+func streamFacts(r io.Reader, format string, submit func(ingest.Fact) error) (int, error) {
+	n := 0
+	switch format {
+	case "jsonl":
+		dec := json.NewDecoder(r)
+		for {
+			var f struct {
+				Rel         string  `json:"rel"`
+				X           string  `json:"x"`
+				XClass      string  `json:"xClass"`
+				Y           string  `json:"y"`
+				YClass      string  `json:"yClass"`
+				Probability float64 `json:"probability"`
+			}
+			if err := dec.Decode(&f); err == io.EOF {
+				return n, nil
+			} else if err != nil {
+				return n, fmt.Errorf("fact %d: %w", n+1, err)
+			}
+			n++
+			if err := submit(ingest.Fact{
+				Rel: f.Rel, X: f.X, XClass: f.XClass, Y: f.Y, YClass: f.YClass,
+				Probability: f.Probability,
+			}); err != nil {
+				return n, err
+			}
+		}
+	case "csv":
+		cr := csv.NewReader(r)
+		cr.FieldsPerRecord = 6
+		cr.TrimLeadingSpace = true
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				return n, nil
+			} else if err != nil {
+				return n, err
+			}
+			if n == 0 && rec[0] == "rel" {
+				continue // header row
+			}
+			prob, err := strconv.ParseFloat(rec[5], 64)
+			if err != nil {
+				return n, fmt.Errorf("fact %d: bad probability %q", n+1, rec[5])
+			}
+			n++
+			if err := submit(ingest.Fact{
+				Rel: rec[0], X: rec[1], XClass: rec[2], Y: rec[3], YClass: rec[4],
+				Probability: prob,
+			}); err != nil {
+				return n, err
+			}
+		}
+	default:
+		return 0, fmt.Errorf("unknown format %q (want jsonl or csv)", format)
 	}
 }
 

@@ -414,6 +414,23 @@ func (e *Expansion) ExtendWith(newFacts []Fact) (*Expansion, error) {
 // returns an error and publishes nothing — the receiver generation is
 // untouched), and the round's span tree hangs off ctx's trace.
 func (e *Expansion) ExtendWithContext(ctx context.Context, newFacts []Fact) (*Expansion, error) {
+	return e.extendWith(ctx, newFacts, false)
+}
+
+// ExtendWithDeferred is ExtendWithContext minus the factor phase and
+// marginal inference: the new facts and their semi-naive closure become
+// visible (and durable, when a store is attached) immediately, while
+// derived facts keep NaN probabilities until RefreshMarginals runs.
+// This is the streaming-ingest absorb step — the bounded-staleness
+// model lets a firehose of batches land at delta-grounding cost and
+// amortizes the closure-wide factor+Gibbs work over every K batches.
+func (e *Expansion) ExtendWithDeferred(ctx context.Context, newFacts []Fact) (*Expansion, error) {
+	return e.extendWith(ctx, newFacts, true)
+}
+
+// extendWith is the shared extend round. deferred skips the factor
+// phase and inference (see ExtendWithDeferred).
+func (e *Expansion) extendWith(ctx context.Context, newFacts []Fact, deferred bool) (*Expansion, error) {
 	if !e.res.Converged {
 		return nil, fmt.Errorf("probkb: ExtendWith requires a converged prior expansion")
 	}
@@ -449,6 +466,7 @@ func (e *Expansion) ExtendWithContext(ctx context.Context, newFacts []Fact) (*Ex
 
 	opts := groundOptions(ctx, e.cfg)
 	opts.SemiNaive = true
+	opts.SkipFactors = deferred
 	opts.Journal = jr
 	if p := e.cfg.Persist; p != nil {
 		p.inner.SetJournal(jr)
@@ -466,13 +484,59 @@ func (e *Expansion) ExtendWithContext(ctx context.Context, newFacts []Fact) (*Ex
 		return nil, err
 	}
 	next := newExpansion(work, res, e.cfg, jr)
-	if e.cfg.RunInference {
+	if !deferred && e.cfg.RunInference {
 		if err := next.runInference(ctx); err != nil {
 			return nil, err
 		}
 		if err := persistFinal(e.cfg.Persist, work, res.Facts); err != nil {
 			return nil, err
 		}
+	}
+	next.emitRunEnd()
+	return next, nil
+}
+
+// RefreshMarginals pays down the staleness a run of ExtendWithDeferred
+// rounds accumulated: it re-runs the factor phase over the (unchanged)
+// closure and refreshes every marginal with a fresh Gibbs pass,
+// regardless of Config.RunInference. Like ExtendWith it returns a new
+// Expansion built on a cloned fact table — the receiver stays frozen
+// for pinned readers — and persists the refreshed marginals when a
+// store is attached. The closure itself is already a fixpoint, so the
+// grounding step degenerates to one empty-delta iteration.
+func (e *Expansion) RefreshMarginals(ctx context.Context) (*Expansion, error) {
+	if !e.res.Converged {
+		return nil, fmt.Errorf("probkb: RefreshMarginals requires a converged prior expansion")
+	}
+	ctx, root := obs.StartSpan(ctx, "refresh-marginals")
+	defer root.End()
+
+	jr := journal.New()
+	jr.Emit(journal.TypeRunStart, journal.Header{
+		Engine:     e.cfg.Engine.String(),
+		Seed:       e.cfg.Seed,
+		ConfigHash: e.cfg.Hash(),
+		Start:      time.Now().UTC().Format(time.RFC3339),
+	})
+
+	opts := groundOptions(ctx, e.cfg)
+	opts.SemiNaive = true
+	opts.Journal = jr
+	if p := e.cfg.Persist; p != nil {
+		p.inner.SetJournal(jr)
+		defer p.inner.SetJournal(nil)
+		attachPersist(&opts, p, e.kb)
+	}
+	res, err := ground.Extend(e.kb, e.res, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	next := newExpansion(e.kb, res, e.cfg, jr)
+	if err := next.runInference(ctx); err != nil {
+		return nil, err
+	}
+	if err := persistFinal(e.cfg.Persist, e.kb, res.Facts); err != nil {
+		return nil, err
 	}
 	next.emitRunEnd()
 	return next, nil

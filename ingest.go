@@ -1,0 +1,120 @@
+package probkb
+
+import (
+	"context"
+	"sync"
+
+	"probkb/internal/epoch"
+	"probkb/internal/ingest"
+)
+
+// Ingester adapts an Expansion to the streaming-ingest pipeline: it is
+// the ingest.Absorber that lands each batch with a deferred extend
+// (semi-naive delta grounding plus WAL durability, no inference) and
+// pays down marginal staleness with RefreshMarginals. Every absorbed
+// batch publishes a fresh immutable generation through an epoch
+// manager, so concurrent readers see each batch's closure as soon as
+// its ack is computed — exactly-once, never torn.
+//
+// All methods are safe for concurrent use, but absorption is serial: an
+// ingest.Pipeline's single writer is the intended caller of Absorb and
+// Refresh.
+type Ingester struct {
+	mu     sync.Mutex
+	cur    *Expansion
+	epochs *epoch.Manager[*Expansion]
+
+	// onPublish, when set, observes every published generation.
+	onPublish func(gen uint64, e *Expansion)
+}
+
+// IngesterOption tweaks NewIngester.
+type IngesterOption func(*Ingester)
+
+// WithOnPublish observes every generation the ingester publishes —
+// both batch absorptions and marginal refreshes. The hook runs with the
+// ingester's write lock held; keep it cheap.
+func WithOnPublish(fn func(gen uint64, e *Expansion)) IngesterOption {
+	return func(in *Ingester) { in.onPublish = fn }
+}
+
+// NewIngester serves e as generation 1 and absorbs batches on top of
+// it.
+func NewIngester(e *Expansion, opts ...IngesterOption) *Ingester {
+	in := &Ingester{cur: e, epochs: epoch.New(e, nil)}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// Pipeline wires the ingester into a new ingest.Pipeline with cfg and
+// starts it under ctx. Closing the pipeline (or cancelling ctx) leaves
+// the ingester serving its last published generation.
+func (in *Ingester) Pipeline(ctx context.Context, cfg ingest.Config) *ingest.Pipeline {
+	p := ingest.New(in, cfg)
+	p.Start(ctx)
+	return p
+}
+
+// Current pins the latest published expansion for reading. The caller
+// must Unpin when done; the expansion is immutable and stays valid
+// until then even as later batches publish newer generations.
+func (in *Ingester) Current() *epoch.Pin[*Expansion] { return in.epochs.Pin() }
+
+// Generation returns the latest published generation number.
+func (in *Ingester) Generation() uint64 { return in.epochs.Current() }
+
+// Absorb lands one batch: a deferred extend (facts + closure visible
+// and durable immediately, marginals left stale) published as a new
+// generation. It implements ingest.Absorber.
+func (in *Ingester) Absorb(ctx context.Context, facts []ingest.Fact) (ingest.Ack, error) {
+	batch := make([]Fact, len(facts))
+	for i, f := range facts {
+		batch[i] = Fact{
+			Rel: f.Rel,
+			X:   f.X, XClass: f.XClass,
+			Y: f.Y, YClass: f.YClass,
+			Probability: f.Probability,
+		}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	prev := in.cur
+	prevFacts := prev.res.Facts.NumRows()
+	next, err := prev.ExtendWithDeferred(ctx, batch)
+	if err != nil {
+		return ingest.Ack{}, err
+	}
+	ack := ingest.Ack{
+		Added:   next.res.BaseFacts - prevFacts,
+		Derived: next.res.InferredFacts(),
+	}
+	if p := next.cfg.Persist; p != nil {
+		ack.DurableSeq = p.WALRecords()
+	}
+	ack.Generation = in.publishLocked(next)
+	return ack, nil
+}
+
+// Refresh pays down marginal staleness: a factor pass plus Gibbs
+// inference over the accumulated closure, published as a new
+// generation. It implements ingest.Absorber.
+func (in *Ingester) Refresh(ctx context.Context) (uint64, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	next, err := in.cur.RefreshMarginals(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return in.publishLocked(next), nil
+}
+
+func (in *Ingester) publishLocked(next *Expansion) uint64 {
+	in.cur = next
+	gen := in.epochs.Publish(next)
+	if in.onPublish != nil {
+		in.onPublish(gen, next)
+	}
+	return gen
+}

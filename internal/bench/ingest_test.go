@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIngest(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Ingest(tiny(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Facts == 0 || res.Batches == 0 || res.FactsPerSec <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Added == 0 {
+		t.Fatalf("stream added nothing new — not measuring absorption: %+v", res)
+	}
+	if res.AbsorbP50ms <= 0 || res.AbsorbP50ms > res.AbsorbP99ms+1e-9 ||
+		res.AbsorbP95ms > res.AbsorbP99ms+1e-9 {
+		t.Fatalf("absorb percentiles out of order: %+v", res)
+	}
+	if res.RefreshSeconds <= 0 {
+		t.Fatalf("closing refresh not timed: %+v", res)
+	}
+	out := buf.String()
+	for _, want := range []string{"Streaming ingest", "facts/sec", "p95", "refresh"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

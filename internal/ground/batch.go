@@ -42,10 +42,18 @@ func (g *BatchGrounder) Ground() (*Result, error) {
 }
 
 // groundFrom runs the closure loop and factor phase over an existing
-// facts table. deltaFrom >= 0 seeds the first iteration's semi-naive
-// delta at that row offset (the incremental-expansion path); -1 starts
-// naive.
-func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom int, res *Result) (*Result, error) {
+// facts table. deltaMin >= 0 seeds the first iteration's semi-naive
+// delta at that fact-ID watermark (the incremental-expansion path); -1
+// starts naive.
+//
+// The delta is tracked by fact ID, not row offset: IDs are assigned
+// monotonically by the fact index and never reused, so constraint-hook
+// deletions — which shift rows but leave surviving IDs intact — cannot
+// corrupt the watermark. A deleted fact simply drops out of the next
+// delta, and a re-derived one re-enters it under a fresh ID, so
+// semi-naive evaluation stays armed across removals instead of falling
+// back to naive joins for the rest of the run.
+func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaMin int32, res *Result) (*Result, error) {
 	ctx, span := obs.StartSpan(g.opts.ctxOf(), "ground")
 	defer span.End()
 	active := g.parts.NonEmpty()
@@ -61,8 +69,9 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 		res.AtomTime = time.Since(atomStart)
 		return res, err
 	}
-	// Semi-naive bookkeeping: deltaFrom marks where the previous
-	// iteration's new rows start; -1 forces a full (naive) join.
+	// Semi-naive bookkeeping: deltaMin is the fact-ID watermark below
+	// which every derivation has already been attempted; -1 forces a
+	// full (naive) join.
 	for iter := 1; maxIters == 0 || iter <= maxIters; iter++ {
 		// Cooperative cancellation: check at every fixpoint iteration.
 		if err := atomsCtx.Err(); err != nil {
@@ -74,12 +83,14 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 		st := IterStats{Iteration: iter}
 
 		var delta *engine.Table
-		if deltaFrom >= 0 && (g.opts.SemiNaive || iter == 1) {
+		if deltaMin >= 0 && (g.opts.SemiNaive || iter == 1) {
 			// Semi-naive delta; an explicit seed (incremental expansion)
 			// applies on the first iteration even under naive evaluation.
-			delta = sliceRows(tpi, deltaFrom)
+			delta = deltaRows(tpi, deltaMin)
 		}
-		prevLen := tpi.NumRows()
+		// IDs handed out from here on belong to this iteration's merge:
+		// they form the next iteration's delta.
+		nextMin := ix.next
 
 		// Run every partition's query against this iteration's snapshot
 		// of TΠ, then merge (Algorithm 1 lines 3-5).
@@ -115,11 +126,10 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 				ix.rebuild()
 			}
 		}
-		if st.Deleted > 0 {
-			deltaFrom = -1 // removals invalidate the delta; go naive once
-		} else {
-			deltaFrom = prevLen
-		}
+		// Removals don't invalidate the watermark: a deleted fact's ID
+		// vanishes from the table (and thus from the next delta), and any
+		// re-derivation re-enters under a fresh ID above nextMin.
+		deltaMin = nextMin
 
 		st.Elapsed = time.Since(iterStart)
 		res.PerIteration = append(res.PerIteration, st)
@@ -196,14 +206,17 @@ func (g *BatchGrounder) groundFrom(tpi *engine.Table, ix *factIndex, deltaFrom i
 	return res, nil
 }
 
-// sliceRows copies rows [from, NumRows) of t into a fresh table (the Δ
-// input of semi-naive evaluation).
-func sliceRows(t *engine.Table, from int) *engine.Table {
+// deltaRows copies the rows of t whose fact ID is >= minID into a fresh
+// table (the Δ input of semi-naive evaluation). Selecting by ID rather
+// than row position keeps the delta exact across constraint deletions.
+func deltaRows(t *engine.Table, minID int32) *engine.Table {
 	out := engine.NewTable(t.Name()+"_delta", t.Schema())
-	n := t.NumRows()
-	rows := make([]int32, 0, n-from)
-	for r := from; r < n; r++ {
-		rows = append(rows, int32(r))
+	ids := t.Int32Col(kb.TPiI)
+	rows := make([]int32, 0, len(ids))
+	for r, id := range ids {
+		if id >= minID {
+			rows = append(rows, int32(r))
+		}
 	}
 	out.AppendRowsFrom(t, rows)
 	return out
@@ -413,8 +426,9 @@ func Extend(k *kb.KB, prev *Result, newFacts []kb.Fact, opts Options) (*Result, 
 	res.LoadTime = time.Since(loadStart)
 
 	// Append the genuinely new facts with fresh IDs, preserving their
-	// observation weights.
-	deltaFrom := tpi.NumRows()
+	// observation weights. The seed delta is everything at or above the
+	// pre-append ID watermark.
+	deltaMin := ix.next
 	for _, f := range newFacts {
 		probe := engine.NewTable("new", kb.FactsSchema())
 		probe.AppendRow(int32(0), f.Rel, f.X, f.XClass, f.Y, f.YClass, f.W)
@@ -428,5 +442,5 @@ func Extend(k *kb.KB, prev *Result, newFacts []kb.Fact, opts Options) (*Result, 
 	}
 	res.BaseFacts = tpi.NumRows()
 
-	return g.groundFrom(tpi, ix, deltaFrom, res)
+	return g.groundFrom(tpi, ix, deltaMin, res)
 }

@@ -147,8 +147,10 @@ type Options struct {
 	// in iteration i-1 (for two-atom bodies, Δ⋈T ∪ T⋈Δ), instead of
 	// re-joining the full table. Same fixpoint, less rework on deep
 	// closures. The paper uses naive evaluation; this is the ablation
-	// DESIGN.md calls out. After a constraint deletion the next
-	// iteration falls back to a full join (deltas cannot see removals).
+	// DESIGN.md calls out. The delta is tracked by fact-ID watermark, so
+	// constraint deletions leave semi-naive armed: a removed fact drops
+	// out of the next delta and a re-derived one re-enters it under a
+	// fresh ID — no naive fallback.
 	SemiNaive bool
 	// Workers is the engine worker-pool size grounding query plans run
 	// with (engine.Opts.Workers): 0 means the engine default

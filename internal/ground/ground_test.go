@@ -439,6 +439,86 @@ func TestSemiNaiveWithConstraintHook(t *testing.T) {
 	}
 }
 
+// TestSemiNaiveRearmsAfterRemoval: a constraint deletion must not
+// disarm semi-naive evaluation for the rest of the run. The hook here
+// fires on a fact naive joins keep re-deriving from the base, so the
+// old row-offset delta (invalidated to -1 on any removal) degenerated
+// into naive churn: the violation was re-derived and re-deleted every
+// iteration and the run never converged. With the fact-ID watermark the
+// deleted fact simply leaves the delta, the chain keeps deriving
+// incrementally, and the run converges with exactly one deletion.
+func TestSemiNaiveRearmsAfterRemoval(t *testing.T) {
+	build := func() *kb.KB {
+		k := kb.New()
+		k.InternFact("r0", "a", "C", "b", "C", 0.9)
+		rules := []string{"1.0 bad(x:C, y:C) :- r0(x:C, y:C)"}
+		for i := 0; i < 6; i++ {
+			rules = append(rules, fmt.Sprintf("1.0 r%d(x:C, y:C) :- r%d(x:C, y:C)", i+1, i))
+		}
+		for _, line := range rules {
+			c, err := k.ParseRule(line)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if err := k.AddRule(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k
+	}
+	hookFor := func(k *kb.KB) func(*engine.Table) int {
+		bad, ok := k.RelDict.Lookup("bad")
+		if !ok {
+			t.Fatal("no bad relation")
+		}
+		return func(tpi *engine.Table) int {
+			return tpi.DeleteWhere(func(r int) bool {
+				return tpi.Int32Col(kb.TPiR)[r] == bad
+			})
+		}
+	}
+
+	ks := build()
+	semi, err := Ground(ks, Options{MaxIterations: 20, ConstraintHook: hookFor(ks), SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semi.Converged {
+		t.Fatalf("semi-naive run did not converge in %d iterations: the removal disarmed the delta", semi.Iterations)
+	}
+	// r1 and bad derive in iteration 1, r2..r6 one per iteration after
+	// that; iteration 7 finds the empty delta and fixpoints.
+	if semi.Iterations != 7 {
+		t.Fatalf("iterations = %d, want 7", semi.Iterations)
+	}
+	deleted := 0
+	for _, st := range semi.PerIteration {
+		deleted += st.Deleted
+	}
+	if deleted != 1 {
+		t.Fatalf("total deletions = %d, want 1 (re-derivation churn means the delta went naive)", deleted)
+	}
+
+	// The closure still matches the naive oracle (which churns: it
+	// re-derives and re-deletes the violation every iteration until the
+	// cap, ending on the same fact set).
+	kn := build()
+	naive, err := Ground(kn, Options{MaxIterations: 20, ConstraintHook: hookFor(kn)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := factSet(naive.Facts)
+	got := factSet(semi.Facts)
+	if len(got) != len(want) {
+		t.Fatalf("closures differ: semi %d facts, naive %d", len(got), len(want))
+	}
+	for key := range want {
+		if !got[key] {
+			t.Fatalf("semi-naive missing %+v", key)
+		}
+	}
+}
+
 // TestSemiNaiveChainDepth: a linear implication chain forces one new
 // fact per iteration — the worst case for naive re-derivation and the
 // best case for semi-naive deltas.

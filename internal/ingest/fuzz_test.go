@@ -1,0 +1,95 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// FuzzIngestBatching pins the firehose's conservation law under
+// arbitrary stream contents and batching parameters: every submitted
+// fact is absorbed exactly once, in submission order, in batches never
+// larger than the size trigger, with the refresh policy honored and
+// staleness fully paid down at close. The absorber is the recording
+// fake — the property under fuzz is the queue/batcher/writer machinery
+// itself, not grounding (the differential and property batteries cover
+// that).
+func FuzzIngestBatching(f *testing.F) {
+	f.Add([]byte("abcdef"), uint8(3), uint8(0))
+	f.Add([]byte{}, uint8(0), uint8(2))
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), uint8(255), uint8(1))
+	f.Add([]byte{0x00, 0xff}, uint8(1), uint8(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, maxBatch, refreshEvery uint8) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		mb := int(maxBatch)%16 + 1
+		re := int(refreshEvery) % 4
+		abs := &fakeAbsorber{}
+		p := New(abs, Config{
+			// An unreachable latency trigger keeps batch shapes a pure
+			// function of the inputs, so violations reproduce.
+			MaxBatch: mb, MaxDelay: time.Hour, QueueDepth: 8,
+			RefreshEvery: re, RefreshOnClose: true,
+		})
+		ctx := context.Background()
+		p.Start(ctx)
+
+		want := make([]Fact, len(data))
+		for i, b := range data {
+			want[i] = Fact{
+				Rel: "r", X: fmt.Sprintf("x%d", i), XClass: "C",
+				Y: fmt.Sprintf("y%d", b), YClass: "C",
+				Probability: float64(b) / 255,
+			}
+			if err := p.Submit(ctx, want[i]); err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+		}
+		if err := p.Close(ctx); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := p.Submit(ctx, Fact{Rel: "r"}); err != ErrClosed {
+			t.Fatalf("submit after close: %v, want ErrClosed", err)
+		}
+
+		abs.mu.Lock()
+		var got []Fact
+		for _, b := range abs.batches {
+			if len(b) == 0 || len(b) > mb {
+				abs.mu.Unlock()
+				t.Fatalf("batch of %d facts outside (0, %d]", len(b), mb)
+			}
+			got = append(got, b...)
+		}
+		batches, refreshes := len(abs.batches), abs.refreshes
+		abs.mu.Unlock()
+
+		if len(got) != len(want) {
+			t.Fatalf("absorbed %d facts, submitted %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fact %d reordered or corrupted: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		st := p.Stats()
+		if int(st.Facts) != len(want) || int(st.Batches) != batches || int(st.Refreshes) != refreshes {
+			t.Fatalf("stats %+v disagree with absorber (%d batches, %d refreshes, %d facts)",
+				st, batches, refreshes, len(want))
+		}
+		if batches > 0 && st.StaleBatches != 0 {
+			t.Fatalf("staleness %d after close with RefreshOnClose", st.StaleBatches)
+		}
+		if re > 0 {
+			// Every re-th batch refreshes; the close pass covers the tail.
+			min := batches / re
+			if refreshes < min {
+				t.Fatalf("%d refreshes for %d batches at refreshEvery=%d, want >= %d",
+					refreshes, batches, re, min)
+			}
+		}
+	})
+}

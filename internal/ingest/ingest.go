@@ -1,0 +1,439 @@
+// Package ingest is the streaming-ingest pipeline: a bounded firehose
+// queue feeding a batcher (size and latency triggers) feeding a single
+// writer that absorbs fact batches through an Absorber — in probkb, a
+// semi-naive delta-grounding extend round per batch — and pays down
+// marginal staleness through a bounded-staleness refresh policy.
+//
+// The pipeline owns no knowledge-base machinery. It owns the queueing
+// discipline: facts submitted concurrently are absorbed in arrival
+// order, one batch at a time; a full queue pushes back on Submit
+// instead of buffering without bound; a batch forms when MaxBatch facts
+// are waiting or MaxDelay has passed since the batch's first fact,
+// whichever comes first. Absorption is serial, so the Absorber never
+// sees two concurrent calls.
+//
+// Staleness model: every absorbed batch makes its facts (and their
+// closure) visible immediately, but marginal refresh — the expensive
+// factor + Gibbs pass — runs only when the policy fires: every
+// RefreshEvery batches, or when RefreshInterval has passed since the
+// last refresh, or at Close when RefreshOnClose is set. The current
+// staleness (batches absorbed since the last refresh) is exported as
+// the probkb_ingest_staleness_batches gauge.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"probkb/internal/obs"
+	"probkb/internal/obs/journal"
+)
+
+func init() {
+	obs.Default.Help("probkb_ingest_facts_total", "Facts absorbed by the streaming-ingest pipeline.")
+	obs.Default.Help("probkb_ingest_batches_total", "Fact batches absorbed by the streaming-ingest pipeline.")
+	obs.Default.Help("probkb_ingest_refreshes_total", "Marginal refresh passes run by the streaming-ingest pipeline.")
+	obs.Default.Help("probkb_ingest_queue_depth", "Facts waiting in the ingest firehose queue.")
+	obs.Default.Help("probkb_ingest_staleness_batches", "Batches absorbed since the last marginal refresh.")
+	obs.Default.Help("probkb_ingest_absorb_seconds", "Wall time absorbing one ingest batch (delta grounding + publication).")
+}
+
+// Fact is one symbolic observed fact in the ingest stream.
+type Fact struct {
+	Rel         string
+	X, XClass   string
+	Y, YClass   string
+	Probability float64
+}
+
+// Ack describes one absorbed batch. The Absorber fills the absorption
+// fields; the pipeline fills the bookkeeping ones.
+type Ack struct {
+	// Batch is the 1-based index of the batch within this pipeline run.
+	Batch int
+	// Facts is how many facts the batch carried.
+	Facts int
+	// Added is how many were genuinely new (not already in the closure).
+	Added int
+	// Derived is how many new facts delta grounding inferred from them.
+	Derived int
+	// Generation identifies the published expansion the batch landed in.
+	Generation uint64
+	// DurableSeq is the durable WAL record count after the batch (0
+	// when no store is attached).
+	DurableSeq int64
+	// StaleBatches is the marginal staleness after this batch: batches
+	// absorbed since the last refresh.
+	StaleBatches int
+	// Refreshed reports whether a marginal refresh ran right after this
+	// batch.
+	Refreshed bool
+}
+
+// Absorber lands batches. Calls are serialized by the pipeline.
+type Absorber interface {
+	// Absorb makes one batch's facts and their closure visible (and
+	// durable, if the implementation persists). It fills Added, Derived,
+	// Generation, and DurableSeq of the returned Ack.
+	Absorb(ctx context.Context, facts []Fact) (Ack, error)
+	// Refresh pays down accumulated marginal staleness. It returns the
+	// generation the refreshed state was published as.
+	Refresh(ctx context.Context) (uint64, error)
+}
+
+// Config tunes the pipeline. Zero values mean the documented defaults.
+type Config struct {
+	// MaxBatch is the batch-size trigger (default 256 facts).
+	MaxBatch int
+	// MaxDelay is the batch-latency trigger: a batch closes at most
+	// this long after its first fact arrived (default 50ms).
+	MaxDelay time.Duration
+	// QueueDepth bounds the firehose queue in facts; Submit blocks when
+	// it is full (default 4096).
+	QueueDepth int
+	// RefreshEvery runs a marginal refresh every K absorbed batches
+	// (0 = no batch-count trigger).
+	RefreshEvery int
+	// RefreshInterval runs a marginal refresh when this much time has
+	// passed since the last one (0 = no time trigger).
+	RefreshInterval time.Duration
+	// RefreshOnClose runs a final refresh at Close when any batch was
+	// absorbed since the last refresh.
+	RefreshOnClose bool
+	// OnBatch, when non-nil, observes every absorbed batch's Ack.
+	OnBatch func(Ack)
+	// Journal, when non-nil, receives ingest_batch and ingest_refresh
+	// events (nil-safe; payloads are deterministic for a fixed stream
+	// and batch split, so Canonicalize keeps them).
+	Journal *journal.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 50 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the pipeline's counters.
+type Stats struct {
+	Facts        int64 // facts absorbed
+	Batches      int64 // batches absorbed
+	Refreshes    int64 // refresh passes run
+	QueueDepth   int   // facts currently queued
+	StaleBatches int   // batches since the last refresh
+}
+
+// ErrClosed reports a Submit after Close.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// Pipeline is the firehose: Submit feeds it, a single writer goroutine
+// drains it through the Absorber. Create with New, start with Start.
+type Pipeline struct {
+	cfg Config
+	abs Absorber
+
+	ch   chan Fact
+	done chan struct{} // closed when the writer exits
+
+	// sendMu fences Submit's channel sends against Close's close(ch):
+	// senders hold it shared, Close holds it exclusive, so no send can
+	// be in flight when the channel closes.
+	sendMu sync.RWMutex
+
+	mu          sync.Mutex
+	closed      bool
+	err         error
+	facts       int64
+	batches     int64
+	refreshes   int64
+	stale       int
+	lastRefresh time.Time
+
+	qdepth    *obs.Gauge
+	staleness *obs.Gauge
+}
+
+// New builds a pipeline over the absorber; Start launches its writer.
+func New(a Absorber, cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	return &Pipeline{
+		cfg:       cfg,
+		abs:       a,
+		ch:        make(chan Fact, cfg.QueueDepth),
+		done:      make(chan struct{}),
+		qdepth:    obs.Default.Gauge("probkb_ingest_queue_depth"),
+		staleness: obs.Default.Gauge("probkb_ingest_staleness_batches"),
+	}
+}
+
+// Start launches the writer goroutine under ctx: cancelling ctx aborts
+// the in-flight batch (the Absorber sees the cancellation and must
+// publish nothing for it) and stops the pipeline.
+func (p *Pipeline) Start(ctx context.Context) {
+	go p.run(ctx)
+}
+
+// Submit enqueues facts in order, blocking while the queue is full. It
+// fails once the pipeline is closed, stopped, or ctx is cancelled;
+// facts enqueued before the failure are still absorbed.
+func (p *Pipeline) Submit(ctx context.Context, facts ...Fact) error {
+	for _, f := range facts {
+		if err := p.send(ctx, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) send(ctx context.Context, f Fact) error {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	p.mu.Lock()
+	closed, err := p.closed, p.err
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if closed {
+		return ErrClosed
+	}
+	select {
+	case p.ch <- f:
+		p.qdepth.Set(float64(len(p.ch)))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.done:
+		if err := p.Err(); err != nil {
+			return err
+		}
+		return ErrClosed
+	}
+}
+
+// Close stops intake, drains everything already submitted, runs the
+// final refresh when configured, and waits for the writer to exit. It
+// returns the first pipeline error (nil after a clean drain).
+func (p *Pipeline) Close(ctx context.Context) error {
+	p.sendMu.Lock()
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		close(p.ch)
+	}
+	p.sendMu.Unlock()
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return p.Err()
+}
+
+// Err returns the first error that stopped the writer, if any.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stats snapshots the pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Facts:        p.facts,
+		Batches:      p.batches,
+		Refreshes:    p.refreshes,
+		QueueDepth:   len(p.ch),
+		StaleBatches: p.stale,
+	}
+}
+
+// fail latches the writer's terminal error.
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// run is the writer: batch formation and serial absorption.
+func (p *Pipeline) run(ctx context.Context) {
+	defer close(p.done)
+	p.mu.Lock()
+	p.lastRefresh = time.Now()
+	p.mu.Unlock()
+	for {
+		// Block for the batch's first fact.
+		var batch []Fact
+		select {
+		case f, ok := <-p.ch:
+			if !ok {
+				p.finish(ctx)
+				return
+			}
+			batch = append(batch, f)
+		case <-ctx.Done():
+			p.fail(ctx.Err())
+			return
+		}
+
+		// Fill until the size or latency trigger fires.
+		drained := false
+		deadline := time.NewTimer(p.cfg.MaxDelay)
+		for len(batch) < p.cfg.MaxBatch && !drained {
+			select {
+			case f, ok := <-p.ch:
+				if !ok {
+					drained = true // channel closed: this is the last batch
+					continue
+				}
+				batch = append(batch, f)
+			case <-deadline.C:
+				drained = true
+			case <-ctx.Done():
+				deadline.Stop()
+				p.fail(ctx.Err())
+				return
+			}
+		}
+		deadline.Stop()
+		p.qdepth.Set(float64(len(p.ch)))
+
+		if err := p.absorb(ctx, batch); err != nil {
+			p.fail(err)
+			return
+		}
+	}
+}
+
+// finish drains whatever Close left in the queue and runs the final
+// refresh.
+func (p *Pipeline) finish(ctx context.Context) {
+	var batch []Fact
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		if err := p.absorb(ctx, batch); err != nil {
+			p.fail(err)
+			return false
+		}
+		batch = batch[:0]
+		return true
+	}
+	for f := range p.ch {
+		batch = append(batch, f)
+		if len(batch) >= p.cfg.MaxBatch && !flush() {
+			return
+		}
+	}
+	if !flush() {
+		return
+	}
+	p.mu.Lock()
+	stale := p.stale
+	p.mu.Unlock()
+	if p.cfg.RefreshOnClose && stale > 0 {
+		if err := p.refresh(ctx, int(p.batchCount())); err != nil {
+			p.fail(err)
+		}
+	}
+}
+
+func (p *Pipeline) batchCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.batches
+}
+
+// absorb lands one batch and applies the refresh policy.
+func (p *Pipeline) absorb(ctx context.Context, batch []Fact) error {
+	ctx, span := obs.StartSpan(ctx, "ingest.batch")
+	defer span.End()
+	start := time.Now()
+	ack, err := p.abs.Absorb(ctx, batch)
+	if err != nil {
+		return fmt.Errorf("ingest: absorbing batch of %d: %w", len(batch), err)
+	}
+	elapsed := time.Since(start)
+
+	p.mu.Lock()
+	p.facts += int64(len(batch))
+	p.batches++
+	p.stale++
+	ack.Batch = int(p.batches)
+	ack.Facts = len(batch)
+	ack.StaleBatches = p.stale
+	stale, last := p.stale, p.lastRefresh
+	p.mu.Unlock()
+
+	obs.Default.Counter("probkb_ingest_facts_total").Add(int64(len(batch)))
+	obs.Default.Counter("probkb_ingest_batches_total").Inc()
+	obs.Default.Histogram("probkb_ingest_absorb_seconds", nil).Observe(elapsed.Seconds())
+	p.staleness.Set(float64(stale))
+	span.SetAttr("facts", len(batch))
+	span.SetAttr("added", ack.Added)
+	span.SetAttr("derived", ack.Derived)
+
+	due := (p.cfg.RefreshEvery > 0 && stale >= p.cfg.RefreshEvery) ||
+		(p.cfg.RefreshInterval > 0 && time.Since(last) >= p.cfg.RefreshInterval)
+	if due {
+		if err := p.refresh(ctx, ack.Batch); err != nil {
+			return err
+		}
+		ack.Refreshed = true
+		ack.StaleBatches = 0
+	}
+
+	p.cfg.Journal.Emit(journal.TypeIngestBatch, journal.IngestBatch{
+		Batch:        ack.Batch,
+		Facts:        ack.Facts,
+		Added:        ack.Added,
+		Derived:      ack.Derived,
+		StaleBatches: ack.StaleBatches,
+		Seconds:      elapsed.Seconds(),
+	})
+	if p.cfg.OnBatch != nil {
+		p.cfg.OnBatch(ack)
+	}
+	return nil
+}
+
+// refresh runs one marginal refresh pass and resets staleness.
+func (p *Pipeline) refresh(ctx context.Context, afterBatch int) error {
+	ctx, span := obs.StartSpan(ctx, "ingest.refresh")
+	defer span.End()
+	start := time.Now()
+	gen, err := p.abs.Refresh(ctx)
+	if err != nil {
+		return fmt.Errorf("ingest: refreshing marginals: %w", err)
+	}
+	p.mu.Lock()
+	p.refreshes++
+	p.stale = 0
+	p.lastRefresh = time.Now()
+	p.mu.Unlock()
+	obs.Default.Counter("probkb_ingest_refreshes_total").Inc()
+	p.staleness.Set(0)
+	span.SetAttr("generation", int(gen))
+	p.cfg.Journal.Emit(journal.TypeIngestRefresh, journal.IngestRefresh{
+		Batch:   afterBatch,
+		Seconds: time.Since(start).Seconds(),
+	})
+	return nil
+}

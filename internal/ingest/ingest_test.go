@@ -1,0 +1,296 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"probkb/internal/obs/journal"
+)
+
+// fakeAbsorber records batches; configurable failure and latency.
+type fakeAbsorber struct {
+	mu        sync.Mutex
+	batches   [][]Fact
+	refreshes int
+	gen       uint64
+	failOn    int // 1-based batch index to fail on (0 = never)
+	delay     time.Duration
+}
+
+func (a *fakeAbsorber) Absorb(ctx context.Context, facts []Fact) (Ack, error) {
+	if a.delay > 0 {
+		select {
+		case <-time.After(a.delay):
+		case <-ctx.Done():
+			return Ack{}, ctx.Err()
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failOn > 0 && len(a.batches)+1 == a.failOn {
+		return Ack{}, errors.New("boom")
+	}
+	cp := append([]Fact(nil), facts...)
+	a.batches = append(a.batches, cp)
+	a.gen++
+	return Ack{Added: len(facts), Derived: 2 * len(facts), Generation: a.gen, DurableSeq: int64(a.gen)}, nil
+}
+
+func (a *fakeAbsorber) Refresh(ctx context.Context) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.refreshes++
+	a.gen++
+	return a.gen, nil
+}
+
+func (a *fakeAbsorber) snapshot() (n int, refreshes int, total int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, b := range a.batches {
+		total += len(b)
+	}
+	return len(a.batches), a.refreshes, total
+}
+
+func fact(i int) Fact {
+	return Fact{Rel: "r", X: fmt.Sprintf("x%d", i), XClass: "C", Y: fmt.Sprintf("y%d", i), YClass: "C", Probability: 0.9}
+}
+
+func TestPipelineBatchesBySize(t *testing.T) {
+	abs := &fakeAbsorber{}
+	var acks []Ack
+	var ackMu sync.Mutex
+	p := New(abs, Config{
+		MaxBatch: 10,
+		MaxDelay: time.Hour, // size trigger only
+		OnBatch: func(a Ack) {
+			ackMu.Lock()
+			acks = append(acks, a)
+			ackMu.Unlock()
+		},
+	})
+	p.Start(context.Background())
+	for i := 0; i < 95; i++ {
+		if err := p.Submit(context.Background(), fact(i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n, _, total := abs.snapshot()
+	if total != 95 {
+		t.Fatalf("absorbed %d facts, want 95", total)
+	}
+	// 95 facts at MaxBatch 10: at least 10 batches, none over the cap.
+	if n < 10 {
+		t.Fatalf("got %d batches, want >= 10", n)
+	}
+	for i, b := range abs.batches {
+		if len(b) > 10 {
+			t.Fatalf("batch %d has %d facts, exceeds MaxBatch 10", i, len(b))
+		}
+	}
+	// Facts absorbed in submission order.
+	seen := 0
+	for _, b := range abs.batches {
+		for _, f := range b {
+			if want := fact(seen); f != want {
+				t.Fatalf("fact %d = %+v, want %+v", seen, f, want)
+			}
+			seen++
+		}
+	}
+	ackMu.Lock()
+	defer ackMu.Unlock()
+	if len(acks) != n {
+		t.Fatalf("got %d acks, want %d", len(acks), n)
+	}
+	for i, a := range acks {
+		if a.Batch != i+1 {
+			t.Fatalf("ack %d has Batch %d, want %d", i, a.Batch, i+1)
+		}
+		if i > 0 && a.Generation <= acks[i-1].Generation {
+			t.Fatalf("ack generations not monotone: %d then %d", acks[i-1].Generation, a.Generation)
+		}
+		if i > 0 && a.DurableSeq < acks[i-1].DurableSeq {
+			t.Fatalf("ack durable seqs not monotone: %d then %d", acks[i-1].DurableSeq, a.DurableSeq)
+		}
+	}
+	st := p.Stats()
+	if st.Facts != 95 || st.Batches != int64(n) || st.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipelineLatencyTrigger(t *testing.T) {
+	abs := &fakeAbsorber{}
+	p := New(abs, Config{MaxBatch: 1 << 20, MaxDelay: 20 * time.Millisecond})
+	p.Start(context.Background())
+	if err := p.Submit(context.Background(), fact(0), fact(1)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, _, total := abs.snapshot(); n >= 1 && total == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("latency trigger never flushed the batch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestPipelineRefreshEvery(t *testing.T) {
+	abs := &fakeAbsorber{}
+	p := New(abs, Config{MaxBatch: 5, MaxDelay: time.Hour, RefreshEvery: 2, RefreshOnClose: true})
+	p.Start(context.Background())
+	for i := 0; i < 25; i++ {
+		if err := p.Submit(context.Background(), fact(i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n, refreshes, _ := abs.snapshot()
+	// Every 2 batches triggers a refresh; the close-time refresh covers a
+	// trailing odd batch.
+	wantMin := n / 2
+	if refreshes < wantMin {
+		t.Fatalf("got %d refreshes over %d batches, want >= %d", refreshes, n, wantMin)
+	}
+	st := p.Stats()
+	if st.StaleBatches != 0 {
+		t.Fatalf("staleness after close = %d, want 0 (RefreshOnClose)", st.StaleBatches)
+	}
+	if st.Refreshes != int64(refreshes) {
+		t.Fatalf("stats.Refreshes = %d, absorber saw %d", st.Refreshes, refreshes)
+	}
+}
+
+func TestPipelineErrorLatch(t *testing.T) {
+	abs := &fakeAbsorber{failOn: 2}
+	p := New(abs, Config{MaxBatch: 1, MaxDelay: time.Hour})
+	p.Start(context.Background())
+	// Keep submitting until the latched failure surfaces.
+	var submitErr error
+	for i := 0; i < 1000; i++ {
+		if submitErr = p.Submit(context.Background(), fact(i)); submitErr != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if submitErr == nil {
+		t.Fatal("Submit never surfaced the absorb failure")
+	}
+	if err := p.Close(context.Background()); err == nil {
+		t.Fatal("Close returned nil after an absorb failure")
+	}
+	n, _, _ := abs.snapshot()
+	if n != 1 {
+		t.Fatalf("absorber landed %d batches, want 1 (batch 2 failed)", n)
+	}
+}
+
+func TestPipelineSubmitAfterClose(t *testing.T) {
+	abs := &fakeAbsorber{}
+	p := New(abs, Config{MaxBatch: 4, MaxDelay: time.Hour})
+	p.Start(context.Background())
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := p.Submit(context.Background(), fact(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipelineCancelAbortsInFlight(t *testing.T) {
+	abs := &fakeAbsorber{delay: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(abs, Config{MaxBatch: 1, MaxDelay: time.Hour})
+	p.Start(ctx)
+	if err := p.Submit(context.Background(), fact(0)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the writer pick the batch up
+	cancel()
+	closeCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+	defer done()
+	err := p.Close(closeCtx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close after cancel = %v, want context.Canceled", err)
+	}
+	n, _, _ := abs.snapshot()
+	if n != 0 {
+		t.Fatalf("cancelled pipeline landed %d batches, want 0", n)
+	}
+}
+
+func TestPipelineConcurrentSubmitters(t *testing.T) {
+	abs := &fakeAbsorber{}
+	p := New(abs, Config{MaxBatch: 32, MaxDelay: 5 * time.Millisecond, QueueDepth: 64})
+	p.Start(context.Background())
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := p.Submit(context.Background(), fact(w*each+i)); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, _, total := abs.snapshot()
+	if total != workers*each {
+		t.Fatalf("absorbed %d facts, want %d", total, workers*each)
+	}
+}
+
+func TestPipelineJournalEvents(t *testing.T) {
+	abs := &fakeAbsorber{}
+	jr := journal.New()
+	p := New(abs, Config{MaxBatch: 3, MaxDelay: time.Hour, RefreshEvery: 2, Journal: jr})
+	p.Start(context.Background())
+	for i := 0; i < 12; i++ {
+		if err := p.Submit(context.Background(), fact(i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	batchEvents, refreshEvents := 0, 0
+	for _, ev := range jr.Events() {
+		switch ev.Type {
+		case journal.TypeIngestBatch:
+			batchEvents++
+		case journal.TypeIngestRefresh:
+			refreshEvents++
+		}
+	}
+	n, refreshes, _ := abs.snapshot()
+	if batchEvents != n {
+		t.Fatalf("journal has %d ingest_batch events, absorber saw %d batches", batchEvents, n)
+	}
+	if refreshEvents != refreshes {
+		t.Fatalf("journal has %d ingest_refresh events, absorber saw %d refreshes", refreshEvents, refreshes)
+	}
+}

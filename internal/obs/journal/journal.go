@@ -53,6 +53,13 @@ const (
 	// evidence, the query, and the seed, so Canonicalize keeps it
 	// (stripping only the timing field).
 	TypeQueryLocal = "query_local"
+	// TypeIngestBatch and TypeIngestRefresh come from the streaming
+	// ingest pipeline: one event per absorbed batch and per marginal
+	// refresh pass. Both payloads are deterministic for a fixed stream
+	// and batch split (timing lives in "seconds" fields Canonicalize
+	// strips), so Canonicalize keeps them.
+	TypeIngestBatch   = "ingest_batch"
+	TypeIngestRefresh = "ingest_refresh"
 )
 
 // Event is the JSONL envelope: one line per event.
@@ -248,6 +255,26 @@ type WALReplayed struct {
 	TruncatedBytes int64   `json:"truncated_bytes,omitempty"`
 	Facts          int     `json:"facts"`
 	Seconds        float64 `json:"seconds"`
+}
+
+// IngestBatch is one absorbed streaming-ingest batch: stream position,
+// what delta grounding did with it, and the marginal staleness it left
+// behind. For a fixed fact stream and batch split the payload is a
+// deterministic function of the inputs, so Canonicalize keeps it.
+type IngestBatch struct {
+	Batch        int     `json:"batch"`
+	Facts        int     `json:"facts"`
+	Added        int     `json:"added"`
+	Derived      int     `json:"derived"`
+	StaleBatches int     `json:"stale_batches"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// IngestRefresh is one marginal refresh pass paying down ingest
+// staleness, keyed by the batch it ran after.
+type IngestRefresh struct {
+	Batch   int     `json:"batch"`
+	Seconds float64 `json:"seconds"`
 }
 
 // RunEnd is the run_end payload: the expansion summary plus journal

@@ -1,0 +1,87 @@
+package proptest
+
+import (
+	"testing"
+)
+
+// TestIngestSplitInvariance is the streaming-ingest property: across
+// randomized streams, batch partitions, and cancel points, absorbing
+// the firehose batch-by-batch (with a recovery re-stream after a
+// cancelled batch) converges to exactly the t=0 oracle's closure, with
+// generations strictly monotone and cancelled batches publishing
+// nothing. Failures shrink to a minimal stream/partition.
+func TestIngestSplitInvariance(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	if *flagN > 0 {
+		n = *flagN
+	}
+	for i := 0; i < n; i++ {
+		seed := *flagSeed + int64(i)
+		c := NewIngestCase(seed)
+		if err := CheckIngest(c); err != nil {
+			minCase := ShrinkIngest(c, func(x *IngestCase) bool { return CheckIngest(x) != nil })
+			t.Fatalf("ingest split invariance violated at seed %d: %v\n\nshrunk case:\n%s\noriginal case:\n%s",
+				seed, err, minCase, c)
+		}
+	}
+}
+
+// TestReplayIngestDeterministic pins the oracle: the same case reaches
+// the same fingerprint twice, and the stream actually changes the
+// closure (no vacuous cases).
+func TestReplayIngestDeterministic(t *testing.T) {
+	c := NewIngestCase(7)
+	a, err := ReplayIngest(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayIngest(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("oracle not deterministic: %x vs %x", a, b)
+	}
+	empty := &IngestCase{Seed: c.Seed}
+	e, err := ReplayIngest(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == a {
+		t.Fatal("stream did not change the closure — vacuous case generator")
+	}
+}
+
+// TestShrinkIngestReduces checks the shrinker shrinks: with a predicate
+// that only needs two facts to "fail", the minimum keeps exactly two,
+// the partition stays consistent, and the cancel point is cleared.
+func TestShrinkIngestReduces(t *testing.T) {
+	c := NewIngestCase(5)
+	for len(c.Facts) < 4 {
+		c = NewIngestCase(c.Seed + 100)
+	}
+	fails := func(x *IngestCase) bool { return len(x.Facts) >= 2 }
+	minCase := ShrinkIngest(c, fails)
+	if !fails(minCase) {
+		t.Fatal("shrunk case no longer fails")
+	}
+	if len(minCase.Facts) != 2 {
+		t.Fatalf("shrink left %d facts, want 2", len(minCase.Facts))
+	}
+	total := 0
+	for _, sz := range minCase.Splits {
+		total += sz
+	}
+	if total != len(minCase.Facts) {
+		t.Fatalf("splits %v sum to %d for %d facts", minCase.Splits, total, len(minCase.Facts))
+	}
+	if minCase.CancelAt > len(minCase.Splits) {
+		t.Fatalf("cancelAt %d beyond %d splits", minCase.CancelAt, len(minCase.Splits))
+	}
+	if minCase.CancelAt != 0 {
+		t.Fatalf("cancel point survived shrinking: %d", minCase.CancelAt)
+	}
+}

@@ -49,6 +49,22 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers
+// (POST /facts?stream=1) can push each ack line to the client as soon
+// as its batch is published.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, which
+// the streaming ingest handler uses to enable full-duplex HTTP/1.1
+// (respond while the chunked request body is still open).
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
 // instrument wraps a handler with the server's observability middleware:
 // a request span, per-endpoint latency histogram and request counter, an
 // in-flight gauge, panic recovery, and structured request logging. The

@@ -34,6 +34,19 @@
 //	                                      delta) and publishes it; concurrent
 //	                                      readers stay on their pinned
 //	                                      generation throughout
+//	POST   /facts?stream=1&refreshEvery=K chunked streaming ingest: the body is
+//	                                      a sequence of {"facts": [...]} JSON
+//	                                      objects; each chunk is absorbed as one
+//	                                      deferred extend (facts + closure
+//	                                      visible immediately, marginals stale)
+//	                                      and acked with its own NDJSON line
+//	                                      carrying the published generation and
+//	                                      durable WAL sequence. refreshEvery=K
+//	                                      refreshes marginals every K batches
+//	                                      (0 = leave them stale). A mid-stream
+//	                                      disconnect keeps every acked batch
+//	                                      and publishes nothing for the one in
+//	                                      flight — no torn generation
 //	GET    /explain?rel=&x=&y=&depth=     derivation tree (text/plain)
 //	GET    /query?atom=Rel(x,y)&depth=&radius=&markov=&burnin=&samples=&nocache=
 //	                                      point query: local grounding +
@@ -102,6 +115,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,6 +131,17 @@ import (
 	"probkb/internal/obs"
 	"probkb/internal/obs/journal"
 )
+
+// The streaming ingest path shares internal/ingest's metric names; the
+// Help strings are registered here too so a server binary that never
+// links the pipeline package still exposes them documented.
+func init() {
+	obs.Default.Help("probkb_ingest_facts_total", "Facts absorbed by the streaming-ingest pipeline.")
+	obs.Default.Help("probkb_ingest_batches_total", "Fact batches absorbed by the streaming-ingest pipeline.")
+	obs.Default.Help("probkb_ingest_refreshes_total", "Marginal refresh passes run by the streaming-ingest pipeline.")
+	obs.Default.Help("probkb_ingest_staleness_batches", "Batches absorbed since the last marginal refresh.")
+	obs.Default.Help("probkb_ingest_absorb_seconds", "Wall time absorbing one ingest batch (delta grounding + publication).")
+}
 
 // statusClientClosedRequest reports a request whose query was cancelled
 // (via DELETE /debug/queries/{id} or a client disconnect) — the nginx
@@ -151,6 +176,11 @@ type Server struct {
 	// load sheds as 429 + Retry-After instead of queueing unboundedly.
 	maxInFlight atomic.Int64
 	admitted    atomic.Int64
+
+	// staleBatches counts deferred-ingest batches published since the
+	// last marginal refresh — the server side of the bounded-staleness
+	// knob, exported as probkb_ingest_staleness_batches.
+	staleBatches atomic.Int64
 }
 
 // Option configures optional server wiring.
@@ -191,7 +221,7 @@ func NewPending() *Server {
 	s.mux.HandleFunc("GET /readyz", instrument("/readyz", s.handleReady))
 	s.mux.HandleFunc("GET /stats", data("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /facts", data("/facts", s.handleFacts))
-	s.mux.HandleFunc("POST /facts", instrument("POST /facts", s.handleFactsPost))
+	s.mux.HandleFunc("POST /facts", instrument("POST /facts", s.admit("POST /facts", s.handleFactsPost)))
 	s.mux.HandleFunc("GET /explain", data("/explain", s.handleExplain))
 	s.mux.HandleFunc("GET /query", data("/query", s.handleQuery))
 	s.mux.HandleFunc("POST /query/batch", data("/query/batch", s.handleQueryBatch))
@@ -466,16 +496,43 @@ type factIn struct {
 	Probability float64 `json:"probability"`
 }
 
+// parseFacts validates a request's fact list into the API type.
+func parseFacts(in []factIn) ([]probkb.Fact, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf(`no facts: body must be {"facts": [{"rel": ..., "x": ..., "xClass": ..., "y": ..., "yClass": ..., "probability": ...}]}`)
+	}
+	facts := make([]probkb.Fact, 0, len(in))
+	for i, f := range in {
+		if f.Rel == "" || f.X == "" || f.XClass == "" || f.Y == "" || f.YClass == "" {
+			return nil, fmt.Errorf("facts[%d]: rel, x, xClass, y, yClass are all required", i)
+		}
+		if f.Probability < 0 || f.Probability > 1 {
+			return nil, fmt.Errorf("facts[%d]: probability %v outside [0, 1]", i, f.Probability)
+		}
+		facts = append(facts, probkb.Fact{
+			Rel: f.Rel, X: f.X, XClass: f.XClass, Y: f.Y, YClass: f.YClass,
+			Probability: f.Probability,
+		})
+	}
+	return facts, nil
+}
+
 // handleFactsPost streams newly observed facts into the KB: ExtendWith
 // builds the next generation on a copy-on-write fork (semi-naive, cost
 // scales with the delta) and on success the server publishes it.
 // Readers pinned to older generations are untouched throughout — they
 // never see a partial extend, and a failed or cancelled build (the
 // request registers as kind "extend", so DELETE /debug/queries/{id}
-// can kill it) publishes nothing.
+// can kill it) publishes nothing. With ?stream=1 the body is a sequence
+// of {"facts": [...]} chunks, each absorbed and acked independently
+// (handleFactsStream).
 func (s *Server) handleFactsPost(w http.ResponseWriter, r *http.Request) {
 	if !s.serving() {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is not ready (still recovering or expanding)"))
+		return
+	}
+	if r.URL.Query().Get("stream") == "1" {
+		s.handleFactsStream(w, r)
 		return
 	}
 	var req struct {
@@ -485,24 +542,10 @@ func (s *Server) handleFactsPost(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	if len(req.Facts) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf(`no facts: body must be {"facts": [{"rel": ..., "x": ..., "xClass": ..., "y": ..., "yClass": ..., "probability": ...}]}`))
+	facts, err := parseFacts(req.Facts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	facts := make([]probkb.Fact, 0, len(req.Facts))
-	for i, f := range req.Facts {
-		if f.Rel == "" || f.X == "" || f.XClass == "" || f.Y == "" || f.YClass == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("facts[%d]: rel, x, xClass, y, yClass are all required", i))
-			return
-		}
-		if f.Probability < 0 || f.Probability > 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("facts[%d]: probability %v outside [0, 1]", i, f.Probability))
-			return
-		}
-		facts = append(facts, probkb.Fact{
-			Rel: f.Rel, X: f.X, XClass: f.XClass, Y: f.Y, YClass: f.YClass,
-			Probability: f.Probability,
-		})
 	}
 
 	ctx, aq := obs.Queries.Begin(r.Context(), "extend", fmt.Sprintf("extend +%d facts", len(facts)))
@@ -533,6 +576,155 @@ func (s *Server) handleFactsPost(w http.ResponseWriter, r *http.Request) {
 		"generation": gen,
 		"stats":      next.Stats(),
 	})
+}
+
+// ingestAck is one streamed batch's NDJSON ack line.
+type ingestAck struct {
+	Batch int `json:"batch"`
+	Facts int `json:"facts"`
+	// Added/Derived are the batch's genuinely new observed facts and
+	// the facts delta grounding derived from them.
+	Added   int `json:"added"`
+	Derived int `json:"derived"`
+	// Generation is the epoch the batch was published as: readers that
+	// pin it (or any later one) see the batch's whole closure.
+	Generation uint64 `json:"generation"`
+	// DurableSeq is the WAL record count after the batch landed (0
+	// without -persist): replay up to here recovers the batch.
+	DurableSeq int64 `json:"durableSeq"`
+	// StaleBatches is the marginal staleness after this batch;
+	// Refreshed marks an ack whose batch triggered a refresh.
+	StaleBatches int64 `json:"staleBatches"`
+	Refreshed    bool  `json:"refreshed,omitempty"`
+}
+
+// handleFactsStream is the chunked ingest path: each decoded
+// {"facts": [...]} chunk becomes one deferred extend — the batch's
+// facts and semi-naive closure publish immediately; marginals refresh
+// every refreshEvery batches — and one flushed ack line. The loop is
+// strictly decode → absorb → ack, so by the time a client reads ack N,
+// batches 1..N are published and (with a store) durable; a disconnect
+// between chunks loses nothing, and a disconnect mid-absorb cancels
+// that extend before it publishes.
+func (s *Server) handleFactsStream(w http.ResponseWriter, r *http.Request) {
+	refreshEvery := 0
+	if re := r.URL.Query().Get("refreshEvery"); re != "" {
+		n, err := strconv.Atoi(re)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad refreshEvery %q", re))
+			return
+		}
+		refreshEvery = n
+	}
+	ctx, aq := obs.Queries.Begin(r.Context(), "extend", "extend stream")
+	defer obs.Queries.Finish(aq)
+
+	// HTTP/1.1 is half-duplex by default: writing the response headers
+	// drains the rest of the request body first, which would deadlock
+	// against a client that waits for ack N before sending chunk N+1.
+	// Full-duplex lets each ack line go out while the body stays open.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("streaming unsupported on this connection: %w", err))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	line := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	dec := json.NewDecoder(r.Body)
+	batch := 0
+	for dec.More() {
+		var req struct {
+			Facts []factIn `json:"facts"`
+		}
+		aq.SetPhase("decode")
+		if err := dec.Decode(&req); err != nil {
+			line(map[string]string{"error": fmt.Sprintf("batch %d: bad chunk: %v", batch+1, err)})
+			return
+		}
+		batch++
+		facts, err := parseFacts(req.Facts)
+		if err != nil {
+			line(map[string]string{"error": fmt.Sprintf("batch %d: %v", batch, err)})
+			return
+		}
+		ack, err := s.absorbBatch(ctx, aq, facts, refreshEvery)
+		if err != nil {
+			line(map[string]string{"error": fmt.Sprintf("batch %d: %v", batch, err)})
+			return
+		}
+		ack.Batch = batch
+		ack.Facts = len(facts)
+		aq.AddRows(len(facts))
+		line(ack)
+	}
+	line(map[string]any{"done": true, "batches": batch})
+}
+
+// absorbBatch lands one streamed batch under the writer mutex: deferred
+// extend, publish, refresh policy. The returned ack carries the
+// published generation and durable sequence.
+func (s *Server) absorbBatch(ctx context.Context, aq *obs.ActiveQuery, facts []probkb.Fact, refreshEvery int) (ingestAck, error) {
+	start := time.Now()
+	aq.SetPhase("queue")
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	aq.SetPhase("ground")
+
+	pin := s.snaps.Pin()
+	defer pin.Unpin()
+	base := pin.Value()
+	if base == nil {
+		return ingestAck{}, fmt.Errorf("server is not ready (no expansion attached)")
+	}
+	prevFacts := base.exp.Stats().TotalFacts
+	next, err := base.exp.ExtendWithDeferred(ctx, facts)
+	if err != nil {
+		return ingestAck{}, err
+	}
+	st := next.Stats()
+	ack := ingestAck{
+		Added:   st.BaseFacts - prevFacts,
+		Derived: st.InferredFacts,
+	}
+	ack.Generation = s.publish(next.KB(), next)
+	if s.store != nil {
+		ack.DurableSeq = s.store.WALRecords()
+	}
+	ack.StaleBatches = s.staleBatches.Add(1)
+
+	obs.Default.Counter("probkb_ingest_facts_total").Add(int64(len(facts)))
+	obs.Default.Counter("probkb_ingest_batches_total").Inc()
+	obs.Default.Histogram("probkb_ingest_absorb_seconds", nil).Observe(time.Since(start).Seconds())
+
+	if refreshEvery > 0 && ack.StaleBatches >= int64(refreshEvery) {
+		aq.SetPhase("infer")
+		ref, err := next.RefreshMarginals(ctx)
+		if err != nil {
+			// The batch itself is published and durable; only the refresh
+			// failed. Report the error — staleness stays, nothing tears.
+			obs.Default.Gauge("probkb_ingest_staleness_batches").Set(float64(ack.StaleBatches))
+			return ingestAck{}, fmt.Errorf("refresh after batch: %w", err)
+		}
+		ack.Generation = s.publish(ref.KB(), ref)
+		if s.store != nil {
+			ack.DurableSeq = s.store.WALRecords()
+		}
+		s.staleBatches.Store(0)
+		ack.StaleBatches = 0
+		ack.Refreshed = true
+		obs.Default.Counter("probkb_ingest_refreshes_total").Inc()
+	}
+	obs.Default.Gauge("probkb_ingest_staleness_batches").Set(float64(s.staleBatches.Load()))
+	return ack, nil
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, snap *snapshot, _ uint64) {

@@ -165,4 +165,33 @@ func TestRenderFrame(t *testing.T) {
 	if !strings.Contains(first, "incidents 0") {
 		t.Errorf("first frame missing incident count:\n%s", first)
 	}
+	// No ingest metrics in the fixture: the ingest row stays hidden.
+	if strings.Contains(frame, "ingest") {
+		t.Errorf("ingest row rendered without ingest metrics:\n%s", frame)
+	}
+}
+
+func TestRenderIngestRow(t *testing.T) {
+	const ingestMetrics = `# TYPE probkb_ingest_facts_total counter
+probkb_ingest_facts_total 1000
+# TYPE probkb_ingest_batches_total counter
+probkb_ingest_batches_total 40
+# TYPE probkb_ingest_refreshes_total counter
+probkb_ingest_refreshes_total 5
+# TYPE probkb_ingest_queue_depth gauge
+probkb_ingest_queue_depth 17
+# TYPE probkb_ingest_staleness_batches gauge
+probkb_ingest_staleness_batches 3
+`
+	prev := parseFixture(t, exposition+ingestMetrics, time.Unix(100, 0))
+	cur := parseFixture(t, exposition+strings.ReplaceAll(ingestMetrics,
+		"probkb_ingest_facts_total 1000",
+		"probkb_ingest_facts_total 1500"), time.Unix(110, 0))
+	frame := Render(prev, cur, nil, nil)
+	for _, want := range []string{"ingest 50 facts/s", "1500 facts in 40 batches",
+		"5 refreshes", "queue 17", "stale 3"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
 }

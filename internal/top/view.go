@@ -155,6 +155,23 @@ func Render(prev, cur *Scrape, queries []QueryRow, incidents []IncidentRow) stri
 	}
 	fmt.Fprintf(&b, "  gibbs %s samples/s   goroutines %d   heap %s\n",
 		gs, int(goroutines), fmtBytes(heap))
+	// Streaming-ingest row, shown once the server has absorbed a batch:
+	// absorption rate over the poll interval, lifetime totals, current
+	// firehose queue depth, and marginal staleness in batches.
+	if facts, ok := cur.Value("probkb_ingest_facts_total"); ok && facts > 0 {
+		fps := "-"
+		if prev != nil {
+			if r, ok := Rate(prev, cur, "probkb_ingest_facts_total"); ok {
+				fps = fmt.Sprintf("%.0f", r)
+			}
+		}
+		batches, _ := cur.Value("probkb_ingest_batches_total")
+		refreshes, _ := cur.Value("probkb_ingest_refreshes_total")
+		qdepth, _ := cur.Value("probkb_ingest_queue_depth")
+		stale, _ := cur.Value("probkb_ingest_staleness_batches")
+		fmt.Fprintf(&b, "  ingest %s facts/s   %d facts in %d batches   %d refreshes   queue %d   stale %d\n",
+			fps, int64(facts), int64(batches), int64(refreshes), int(qdepth), int(stale))
+	}
 	if len(incidents) == 0 {
 		b.WriteString("  incidents 0\n\n")
 	} else {
